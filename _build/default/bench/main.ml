@@ -1,0 +1,136 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation.
+
+   Usage:
+     dune exec bench/main.exe                  # everything, full size
+     dune exec bench/main.exe -- --quick       # shrunk runs
+     dune exec bench/main.exe -- fig12 table2  # selected experiments
+     dune exec bench/main.exe -- fig19         # Bechamel CPU micro-bench
+
+   Absolute numbers are not expected to match the authors' testbed; the
+   qualitative shape (who wins, by roughly what factor, where crossovers
+   fall) is the reproduction target.  See EXPERIMENTS.md for the
+   paper-vs-measured record. *)
+
+module E = Leotp_scenario.Experiments
+module S = Leotp_scenario.Starlink
+
+(* ------------------------------------------------------------------ *)
+(* Fig 19: Midnode CPU overhead, as per-packet processing cost          *)
+(* (Bechamel micro-benchmarks; flat-in-PLR is the paper's claim).       *)
+
+let config = Leotp.Config.default
+let bench_mss = config.Leotp.Config.mss
+
+(* Feed a pre-built stream of 256 data packets (with [plr] of them
+   missing, which exercises SHR hole tracking and VPH generation)
+   through a fresh Midnode handler. *)
+let midnode_stream ~plr () =
+  let engine = Leotp_sim.Engine.create () in
+  let node = Leotp_net.Node.create ~name:"mid" in
+  let (_ : Leotp.Midnode.t) = Leotp.Midnode.create engine ~config ~node () in
+  let rng = Leotp_util.Rng.create ~seed:1 in
+  let stream =
+    List.filter_map
+      (fun i ->
+        if Leotp_util.Rng.bernoulli rng plr then None
+        else
+          Some
+            (Leotp.Wire.data_packet ~config ~src:99 ~dst:98
+               ~name:
+                 { Leotp.Wire.flow = 7; lo = i * bench_mss; hi = (i + 1) * bench_mss }
+               ~timestamp:0.0 ~req_owd:0.001 ~first_sent:0.0 ~retx:false))
+      (List.init 256 Fun.id)
+  in
+  fun () -> List.iter (fun pkt -> Leotp_net.Node.receive node ~from:1 pkt) stream
+
+let cache_ops () =
+  let cache = Leotp.Cache.create ~config in
+  fun () ->
+    for i = 0 to 255 do
+      Leotp.Cache.insert cache ~flow:1 ~lo:(i * 1400) ~hi:((i + 1) * 1400)
+        ~first_sent:0.0 ~retx:false
+    done;
+    for i = 0 to 255 do
+      ignore (Leotp.Cache.lookup cache ~flow:1 ~lo:(i * 1400) ~hi:((i + 1) * 1400))
+    done
+
+let fig19_tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"midnode/256pkt/plr=0" (Staged.stage (midnode_stream ~plr:0.0 ()));
+    Test.make ~name:"midnode/256pkt/plr=1%" (Staged.stage (midnode_stream ~plr:0.01 ()));
+    Test.make ~name:"midnode/256pkt/plr=5%" (Staged.stage (midnode_stream ~plr:0.05 ()));
+    Test.make ~name:"cache/256 insert+lookup" (Staged.stage (cache_ops ()));
+  ]
+
+let fig19 () =
+  print_endline "\n=== Fig 19: Midnode per-packet processing cost ===";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ ns_per_run ] ->
+            Printf.printf "  %-26s %8.3f us/packet\n" name
+              (ns_per_run /. 256.0 /. 1000.0)
+          | _ -> Printf.printf "  %-26s <no estimate>\n" name)
+        res)
+    fig19_tests;
+  print_endline
+    "  (flat across PLR = the paper's Fig 19 claim: cost dominated by per-packet work)"
+
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  [
+    ("fig2", fun ~quick -> ignore (E.fig02 ~quick ()));
+    ("fig3", fun ~quick:_ -> ignore (E.fig03 ()));
+    ("fig4", fun ~quick -> ignore (E.fig04 ~quick ()));
+    ("fig5", fun ~quick -> ignore (E.fig05 ~quick ()));
+    ("fig10", fun ~quick -> ignore (E.fig10 ~quick ()));
+    ("fig11", fun ~quick -> ignore (E.fig11 ~quick ()));
+    ("fig12", fun ~quick -> ignore (E.fig12 ~quick ()));
+    ("fig13", fun ~quick -> ignore (E.fig13 ~quick ()));
+    ("fig14", fun ~quick -> ignore (E.fig14 ~quick ()));
+    ("fig15", fun ~quick -> ignore (E.fig15 ~quick ()));
+    ("fig16", fun ~quick -> ignore (S.fig16 ~quick ()));
+    ("fig17", fun ~quick -> ignore (S.fig17 ~quick ()));
+    ("fig18", fun ~quick -> ignore (S.fig18 ~quick ()));
+    ("table2", fun ~quick -> ignore (S.table2 ~quick ()));
+    ("fig19", fun ~quick:_ -> fig19 ());
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let selected = List.filter (fun a -> a <> "--quick") args in
+  let to_run =
+    if selected = [] then all_experiments
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name all_experiments with
+          | Some f -> Some (name, f)
+          | None ->
+            Printf.eprintf "unknown experiment %S (known: %s)\n" name
+              (String.concat ", " (List.map fst all_experiments));
+            exit 1)
+        selected
+  in
+  Printf.printf "LEOTP reproduction benchmarks%s\n"
+    (if quick then " (quick mode)" else "");
+  List.iter
+    (fun (name, f) ->
+      let t0 = Sys.time () in
+      f ~quick;
+      Printf.printf "  [%s done in %.1fs cpu]\n%!" name (Sys.time () -. t0))
+    to_run

@@ -1,0 +1,177 @@
+(* leotp_sim: command-line front end for the simulator.
+
+   Subcommands:
+     path      one flow over a static chain (any protocol)
+     starlink  one flow over the emulated constellation between two cities
+     fairness  three staggered flows on a dumbbell
+     ablation  Table II configurations on one city pair
+     route     print orbital routes for a city pair over time *)
+
+open Cmdliner
+module C = Leotp_scenario.Common
+
+let protocol_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "leotp" -> Ok (C.Leotp Leotp.Config.default)
+    | "leotp-b" | "leotp-no-cache" ->
+      Ok (C.Leotp (Leotp.Config.with_ablation Leotp.Config.No_cache Leotp.Config.default))
+    | "leotp-c" | "leotp-e2e-cc" ->
+      Ok (C.Leotp (Leotp.Config.with_ablation Leotp.Config.E2e_cc Leotp.Config.default))
+    | "leotp-d" | "leotp-e2e" ->
+      Ok (C.Leotp (Leotp.Config.with_ablation Leotp.Config.No_midnodes Leotp.Config.default))
+    | s when String.length s > 6 && String.sub s 0 6 = "split-" -> (
+      match Leotp_tcp.Cc.algo_of_name (String.sub s 6 (String.length s - 6)) with
+      | Some cc -> Ok (C.Split_tcp cc)
+      | None -> Error (`Msg ("unknown split algorithm: " ^ s)))
+    | s -> (
+      match Leotp_tcp.Cc.algo_of_name s with
+      | Some cc -> Ok (C.Tcp cc)
+      | None -> Error (`Msg ("unknown protocol: " ^ s)))
+  in
+  let print ppf p = Format.pp_print_string ppf (C.protocol_name p) in
+  Arg.conv (parse, print)
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt protocol_conv (C.Leotp Leotp.Config.default)
+    & info [ "p"; "protocol" ] ~docv:"PROTO"
+        ~doc:
+          "Transport: leotp, leotp-b/c/d (ablations), or a TCP variant \
+           (newreno, cubic, hybla, westwood, vegas, bbr, pcc), optionally \
+           prefixed with split- for Split TCP.")
+
+let duration_arg =
+  Arg.(value & opt float 60.0 & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc:"Simulated duration.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let print_summary (s : C.summary) =
+  Printf.printf "protocol      : %s\n" s.C.protocol;
+  Printf.printf "goodput       : %.3f Mbps\n" s.C.goodput_mbps;
+  Printf.printf "owd mean/p99  : %.1f / %.1f ms\n"
+    (Leotp_util.Stats.mean s.C.owd *. 1000.0)
+    (Leotp_util.Stats.percentile s.C.owd 99.0 *. 1000.0);
+  Printf.printf "queuing mean  : %.1f ms\n"
+    (Leotp_util.Stats.mean s.C.queuing_delay *. 1000.0);
+  Printf.printf "retransmits   : %d\n" s.C.retransmissions;
+  Printf.printf "wire bytes    : %d\n" s.C.wire_bytes;
+  match s.C.completion_time with
+  | Some t -> Printf.printf "completion    : %.2f s\n" t
+  | None -> ()
+
+let path_cmd =
+  let hops = Arg.(value & opt int 5 & info [ "hops" ] ~docv:"N" ~doc:"Hop count.") in
+  let bw = Arg.(value & opt float 20.0 & info [ "bw" ] ~docv:"MBPS" ~doc:"Per-hop bandwidth.") in
+  let delay = Arg.(value & opt float 10.0 & info [ "delay" ] ~docv:"MS" ~doc:"Per-hop one-way delay (ms).") in
+  let plr = Arg.(value & opt float 0.0 & info [ "plr" ] ~docv:"P" ~doc:"Per-hop loss rate (0-1).") in
+  let bytes = Arg.(value & opt (some int) None & info [ "bytes" ] ~docv:"N" ~doc:"Fixed transfer size (bulk flow if absent).") in
+  let run proto hops bw delay plr bytes duration seed =
+    let s =
+      C.run_chain ~seed ?bytes ~duration
+        ~hops:(C.uniform_hops ~n:hops (C.link ~plr ~bw ~delay:(delay /. 1000.0) ()))
+        proto
+    in
+    print_summary s
+  in
+  Cmd.v (Cmd.info "path" ~doc:"One flow over a static chain.")
+    Term.(const run $ protocol_arg $ hops $ bw $ delay $ plr $ bytes $ duration_arg $ seed_arg)
+
+let starlink_cmd =
+  let src = Arg.(value & pos 0 string "Beijing" & info [] ~docv:"SRC") in
+  let dst = Arg.(value & pos 1 string "New York" & info [] ~docv:"DST") in
+  let isls = Arg.(value & flag & info [ "no-isls" ] ~doc:"Disable inter-satellite links (bent-pipe only).") in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Shorter run.") in
+  let run proto src dst no_isls quick seed =
+    let r = Leotp_scenario.Starlink.run_pair ~quick ~seed ~src ~dst ~isls:(not no_isls) proto in
+    Printf.printf "route         : mean %.1f hops, min propagation %.1f ms, %d switches\n"
+      r.Leotp_scenario.Starlink.mean_hops
+      (r.Leotp_scenario.Starlink.min_propagation *. 1000.0)
+      r.Leotp_scenario.Starlink.switches;
+    print_summary r.Leotp_scenario.Starlink.summary
+  in
+  Cmd.v (Cmd.info "starlink" ~doc:"One flow over the emulated constellation.")
+    Term.(const run $ protocol_arg $ src $ dst $ isls $ quick $ seed_arg)
+
+let fairness_cmd =
+  let same_rtt = Arg.(value & flag & info [ "same-rtt" ] ~doc:"All flows share one RTT (default: 90/120/150 ms).") in
+  let run proto same_rtt duration =
+    let access_delays =
+      if same_rtt then [ 0.0075; 0.0075; 0.0075 ] else [ 0.015; 0.0225; 0.03 ]
+    in
+    let starts = [ 0.0; duration /. 4.0; duration /. 2.0 ] in
+    let summaries, _ =
+      C.run_flows_dumbbell ~duration ~access_delays
+        ~bottleneck:(C.link ~bw:5.0 ~delay:0.015 ())
+        ~access:(C.link ~bw:100.0 ~delay:0.0075 ())
+        ~starts proto
+    in
+    let lo = List.nth starts 2 +. 20.0 in
+    let rates =
+      List.map
+        (fun s ->
+          Leotp_util.Units.bytes_per_sec_to_mbps
+            (Leotp_util.Timeseries.window_sum s.C.delivery ~lo ~hi:duration
+            /. (duration -. lo)))
+        summaries
+    in
+    List.iteri (fun i r -> Printf.printf "flow %d: %.3f Mbps\n" (i + 1) r) rates;
+    Printf.printf "jain index: %.3f\n" (Leotp_util.Stats.jain_index rates)
+  in
+  Cmd.v (Cmd.info "fairness" ~doc:"Three staggered flows on a dumbbell.")
+    Term.(const run $ protocol_arg $ same_rtt $ duration_arg)
+
+let ablation_cmd =
+  let src = Arg.(value & pos 0 string "Beijing" & info [] ~docv:"SRC") in
+  let dst = Arg.(value & pos 1 string "Hong Kong" & info [] ~docv:"DST") in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Shorter run.") in
+  let run src dst quick =
+    List.iter
+      (fun (label, ablation) ->
+        let cfg = Leotp.Config.with_ablation ablation Leotp.Config.default in
+        let r =
+          Leotp_scenario.Starlink.run_pair ~quick ~src ~dst ~isls:true
+            (C.Leotp cfg)
+        in
+        Printf.printf "%s: %.2f Mbps, OWD %.1f ms\n" label
+          r.Leotp_scenario.Starlink.summary.C.goodput_mbps
+          (Leotp_util.Stats.mean r.Leotp_scenario.Starlink.summary.C.owd *. 1000.0))
+      [
+        ("A (full)        ", Leotp.Config.Full);
+        ("B (no cache)    ", Leotp.Config.No_cache);
+        ("C (e2e cc)      ", Leotp.Config.E2e_cc);
+        ("D (no midnodes) ", Leotp.Config.No_midnodes);
+      ]
+  in
+  Cmd.v (Cmd.info "ablation" ~doc:"Table II ablations on a city pair.")
+    Term.(const run $ src $ dst $ quick)
+
+let route_cmd =
+  let src = Arg.(value & pos 0 string "Beijing" & info [] ~docv:"SRC") in
+  let dst = Arg.(value & pos 1 string "New York" & info [] ~docv:"DST") in
+  let run src dst duration =
+    let w = Leotp_constellation.Walker.create Leotp_constellation.Walker.starlink in
+    let c1 = Leotp_constellation.Cities.find_exn src in
+    let c2 = Leotp_constellation.Cities.find_exn dst in
+    let snaps =
+      Leotp_constellation.Path_service.snapshots w ~src:c1 ~dst:c2 ~isls:true
+        ~t_end:duration ~step:10.0
+    in
+    List.iter
+      (fun (t, hops) ->
+        Printf.printf "t=%5.0fs: %2d hops, %.1f ms one-way\n" t
+          (Leotp_constellation.Path_service.hop_count hops)
+          (Leotp_constellation.Path_service.total_delay hops *. 1000.0))
+      snaps
+  in
+  Cmd.v (Cmd.info "route" ~doc:"Print orbital routes for a city pair over time.")
+    Term.(const run $ src $ dst $ duration_arg)
+
+let () =
+  let info =
+    Cmd.info "leotp_sim" ~version:"1.0.0"
+      ~doc:"LEOTP: information-centric transport for LEO satellite networks (simulator)"
+  in
+  exit (Cmd.eval (Cmd.group info [ path_cmd; starlink_cmd; fairness_cmd; ablation_cmd; route_cmd ]))

@@ -1,0 +1,1 @@
+examples/fairness.ml: Float Leotp Leotp_scenario Leotp_tcp Leotp_util List Printf String

@@ -1,0 +1,1 @@
+examples/multicast.ml: Leotp Leotp_net Leotp_sim Leotp_util Printf

@@ -1,0 +1,1 @@
+examples/partial_coverage.ml: Leotp Leotp_scenario Leotp_util List Printf

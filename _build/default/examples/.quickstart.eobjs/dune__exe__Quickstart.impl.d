@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Leotp Leotp_net Leotp_sim Leotp_util List Printf

@@ -1,0 +1,1 @@
+examples/transcontinental.ml: Leotp Leotp_constellation Leotp_scenario Leotp_tcp Leotp_util Printf Sys

@@ -1,0 +1,1 @@
+lib/constellation/cities.ml: Array Printf String

@@ -1,0 +1,1 @@
+lib/constellation/geo.ml: Float Leotp_util

@@ -1,0 +1,1 @@
+lib/constellation/geo.mli:

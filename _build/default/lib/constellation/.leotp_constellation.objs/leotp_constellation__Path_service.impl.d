@@ -1,0 +1,1 @@
+lib/constellation/path_service.ml: Array Cities Float Geo List Routing Walker

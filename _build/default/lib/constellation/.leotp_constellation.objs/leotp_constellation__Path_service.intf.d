@@ -1,0 +1,1 @@
+lib/constellation/path_service.mli: Cities Walker

@@ -1,0 +1,1 @@
+lib/constellation/routing.ml: Array Float Leotp_util List

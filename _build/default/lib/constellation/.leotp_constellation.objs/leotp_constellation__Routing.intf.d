@@ -1,0 +1,1 @@
+lib/constellation/routing.mli:

@@ -1,0 +1,1 @@
+lib/constellation/walker.ml: Float Geo Leotp_util Option

@@ -1,0 +1,1 @@
+lib/constellation/walker.mli: Geo

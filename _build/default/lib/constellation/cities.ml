@@ -1,0 +1,124 @@
+(** Ground-station sites: the 100 most populous metropolitan areas
+    (paper §V-A: "ground stations are supposed to be deployed in the 100
+    most populous cities").  Coordinates are approximate city centers. *)
+
+type t = { name : string; lat : float; lon : float }
+
+let all =
+  [|
+    { name = "Tokyo"; lat = 35.68; lon = 139.69 };
+    { name = "Delhi"; lat = 28.61; lon = 77.21 };
+    { name = "Shanghai"; lat = 31.23; lon = 121.47 };
+    { name = "Sao Paulo"; lat = -23.55; lon = -46.63 };
+    { name = "Mexico City"; lat = 19.43; lon = -99.13 };
+    { name = "Cairo"; lat = 30.04; lon = 31.24 };
+    { name = "Mumbai"; lat = 19.08; lon = 72.88 };
+    { name = "Beijing"; lat = 39.90; lon = 116.41 };
+    { name = "Dhaka"; lat = 23.81; lon = 90.41 };
+    { name = "Osaka"; lat = 34.69; lon = 135.50 };
+    { name = "New York"; lat = 40.71; lon = -74.01 };
+    { name = "Karachi"; lat = 24.86; lon = 67.01 };
+    { name = "Buenos Aires"; lat = -34.60; lon = -58.38 };
+    { name = "Chongqing"; lat = 29.43; lon = 106.91 };
+    { name = "Istanbul"; lat = 41.01; lon = 28.95 };
+    { name = "Kolkata"; lat = 22.57; lon = 88.36 };
+    { name = "Manila"; lat = 14.60; lon = 120.98 };
+    { name = "Lagos"; lat = 6.52; lon = 3.38 };
+    { name = "Rio de Janeiro"; lat = -22.91; lon = -43.17 };
+    { name = "Tianjin"; lat = 39.34; lon = 117.36 };
+    { name = "Kinshasa"; lat = -4.44; lon = 15.27 };
+    { name = "Guangzhou"; lat = 23.13; lon = 113.26 };
+    { name = "Los Angeles"; lat = 34.05; lon = -118.24 };
+    { name = "Moscow"; lat = 55.76; lon = 37.62 };
+    { name = "Shenzhen"; lat = 22.54; lon = 114.06 };
+    { name = "Lahore"; lat = 31.55; lon = 74.34 };
+    { name = "Bangalore"; lat = 12.97; lon = 77.59 };
+    { name = "Paris"; lat = 48.86; lon = 2.35 };
+    { name = "Bogota"; lat = 4.71; lon = -74.07 };
+    { name = "Jakarta"; lat = -6.21; lon = 106.85 };
+    { name = "Chennai"; lat = 13.08; lon = 80.27 };
+    { name = "Lima"; lat = -12.05; lon = -77.04 };
+    { name = "Bangkok"; lat = 13.76; lon = 100.50 };
+    { name = "Seoul"; lat = 37.57; lon = 126.98 };
+    { name = "Nagoya"; lat = 35.18; lon = 136.91 };
+    { name = "Hyderabad"; lat = 17.39; lon = 78.49 };
+    { name = "London"; lat = 51.51; lon = -0.13 };
+    { name = "Tehran"; lat = 35.69; lon = 51.39 };
+    { name = "Chicago"; lat = 41.88; lon = -87.63 };
+    { name = "Chengdu"; lat = 30.57; lon = 104.07 };
+    { name = "Nanjing"; lat = 32.06; lon = 118.80 };
+    { name = "Wuhan"; lat = 30.59; lon = 114.31 };
+    { name = "Ho Chi Minh City"; lat = 10.82; lon = 106.63 };
+    { name = "Luanda"; lat = -8.84; lon = 13.23 };
+    { name = "Ahmedabad"; lat = 23.02; lon = 72.57 };
+    { name = "Kuala Lumpur"; lat = 3.14; lon = 101.69 };
+    { name = "Xi'an"; lat = 34.34; lon = 108.94 };
+    { name = "Hong Kong"; lat = 22.32; lon = 114.17 };
+    { name = "Dongguan"; lat = 23.02; lon = 113.75 };
+    { name = "Hangzhou"; lat = 30.27; lon = 120.16 };
+    { name = "Foshan"; lat = 23.02; lon = 113.11 };
+    { name = "Shenyang"; lat = 41.81; lon = 123.43 };
+    { name = "Riyadh"; lat = 24.71; lon = 46.68 };
+    { name = "Baghdad"; lat = 33.31; lon = 44.37 };
+    { name = "Santiago"; lat = -33.45; lon = -70.67 };
+    { name = "Surat"; lat = 21.17; lon = 72.83 };
+    { name = "Madrid"; lat = 40.42; lon = -3.70 };
+    { name = "Suzhou"; lat = 31.30; lon = 120.58 };
+    { name = "Pune"; lat = 18.52; lon = 73.86 };
+    { name = "Harbin"; lat = 45.80; lon = 126.53 };
+    { name = "Houston"; lat = 29.76; lon = -95.37 };
+    { name = "Dallas"; lat = 32.78; lon = -96.80 };
+    { name = "Toronto"; lat = 43.65; lon = -79.38 };
+    { name = "Dar es Salaam"; lat = -6.79; lon = 39.21 };
+    { name = "Miami"; lat = 25.76; lon = -80.19 };
+    { name = "Belo Horizonte"; lat = -19.92; lon = -43.94 };
+    { name = "Singapore"; lat = 1.35; lon = 103.82 };
+    { name = "Philadelphia"; lat = 39.95; lon = -75.17 };
+    { name = "Atlanta"; lat = 33.75; lon = -84.39 };
+    { name = "Fukuoka"; lat = 33.59; lon = 130.40 };
+    { name = "Khartoum"; lat = 15.50; lon = 32.56 };
+    { name = "Barcelona"; lat = 41.39; lon = 2.17 };
+    { name = "Johannesburg"; lat = -26.20; lon = 28.05 };
+    { name = "Saint Petersburg"; lat = 59.93; lon = 30.34 };
+    { name = "Qingdao"; lat = 36.07; lon = 120.38 };
+    { name = "Dalian"; lat = 38.91; lon = 121.60 };
+    { name = "Washington"; lat = 38.91; lon = -77.04 };
+    { name = "Yangon"; lat = 16.87; lon = 96.20 };
+    { name = "Alexandria"; lat = 31.20; lon = 29.92 };
+    { name = "Jinan"; lat = 36.65; lon = 117.12 };
+    { name = "Guadalajara"; lat = 20.66; lon = -103.35 };
+    { name = "Sydney"; lat = -33.87; lon = 151.21 };
+    { name = "Melbourne"; lat = -37.81; lon = 144.96 };
+    { name = "Monterrey"; lat = 25.69; lon = -100.32 };
+    { name = "Nairobi"; lat = -1.29; lon = 36.82 };
+    { name = "Hanoi"; lat = 21.03; lon = 105.85 };
+    { name = "Brasilia"; lat = -15.79; lon = -47.88 };
+    { name = "Casablanca"; lat = 33.57; lon = -7.59 };
+    { name = "Kabul"; lat = 34.56; lon = 69.21 };
+    { name = "Jeddah"; lat = 21.49; lon = 39.19 };
+    { name = "Addis Ababa"; lat = 9.01; lon = 38.75 };
+    { name = "Rome"; lat = 41.90; lon = 12.50 };
+    { name = "Berlin"; lat = 52.52; lon = 13.41 };
+    { name = "Montreal"; lat = 45.50; lon = -73.57 };
+    { name = "Algiers"; lat = 36.74; lon = 3.09 };
+    { name = "Ankara"; lat = 39.93; lon = 32.86 };
+    { name = "Accra"; lat = 5.60; lon = -0.19 };
+    { name = "Abidjan"; lat = 5.36; lon = -4.01 };
+    { name = "San Francisco"; lat = 37.77; lon = -122.42 };
+    { name = "Cape Town"; lat = -33.92; lon = 18.42 };
+  |]
+
+let count = Array.length all
+
+let find name =
+  let rec go i =
+    if i >= count then None
+    else if String.equal all.(i).name name then Some all.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let find_exn name =
+  match find name with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Cities.find_exn: unknown city %S" name)

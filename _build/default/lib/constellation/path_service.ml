@@ -1,0 +1,104 @@
+type link_kind = Gsl | Isl
+type hop = { distance : float; kind : link_kind }
+
+let ground_pos (c : Cities.t) ~time =
+  Geo.ground_position ~lat_deg:c.Cities.lat ~lon_deg:c.Cities.lon ~time
+
+let route_with_isls w ~src ~dst ~time ?(min_elevation_deg = 25.0)
+    ?(gsl_policy = `Nearest) () =
+  let n = Walker.count w in
+  let g = Routing.create ~nodes:(n + 2) in
+  let src_node = n and dst_node = n + 1 in
+  let pos = Array.init n (fun sat -> Walker.position w ~sat ~time) in
+  (* ISL mesh (+grid). *)
+  for sat = 0 to n - 1 do
+    List.iter
+      (fun other ->
+        if other > sat then
+          Routing.add_edge g sat other (Geo.distance pos.(sat) pos.(other)))
+      (Walker.isl_neighbors w ~sat)
+  done;
+  let gp1 = ground_pos src ~time and gp2 = ground_pos dst ~time in
+  (match gsl_policy with
+  | `All_visible ->
+    (* GSLs to every visible satellite. *)
+    for sat = 0 to n - 1 do
+      if Geo.visible ~min_elevation_deg ~ground:gp1 ~sat:pos.(sat) () then
+        Routing.add_edge g src_node sat (Geo.distance gp1 pos.(sat));
+      if Geo.visible ~min_elevation_deg ~ground:gp2 ~sat:pos.(sat) () then
+        Routing.add_edge g dst_node sat (Geo.distance gp2 pos.(sat))
+    done
+  | `Nearest ->
+    (* One GSL per ground station (the HYPATIA-style model), but offer
+       the few nearest visible satellites as candidates: a station's
+       single dish tracks one satellite, and routing decides which
+       attachment serves the path (the strictly-nearest satellite can be
+       on a grid-distant ascending/descending pass, which would send the
+       route half-way around the orbit). *)
+    let attach node gp =
+      let cands = ref [] in
+      for sat = 0 to n - 1 do
+        if Geo.visible ~min_elevation_deg ~ground:gp ~sat:pos.(sat) () then
+          cands := (Geo.distance gp pos.(sat), sat) :: !cands
+      done;
+      let sorted = List.sort compare !cands in
+      List.iteri
+        (fun i (d, sat) -> if i < 4 then Routing.add_edge g node sat d)
+        sorted
+    in
+    attach src_node gp1;
+    attach dst_node gp2);
+  match Routing.dijkstra g ~src:src_node ~dst:dst_node with
+  | None -> None
+  | Some (path, _) ->
+    let rec hops = function
+      | a :: (b :: _ as rest) ->
+        let d =
+          let p u = if u = src_node then gp1 else if u = dst_node then gp2 else pos.(u) in
+          Geo.distance (p a) (p b)
+        in
+        let kind = if a >= n || b >= n then Gsl else Isl in
+        { distance = d; kind } :: hops rest
+      | _ -> []
+    in
+    Some (hops path)
+
+let route_bent_pipe w ~src ~dst ~time ?(min_elevation_deg = 25.0) () =
+  let gp1 = ground_pos src ~time and gp2 = ground_pos dst ~time in
+  match Walker.common_visible w ~ground1:gp1 ~ground2:gp2 ~time ~min_elevation_deg () with
+  | None -> None
+  | Some sat ->
+    let pos = Walker.position w ~sat ~time in
+    Some
+      [
+        { distance = Geo.distance gp1 pos; kind = Gsl };
+        { distance = Geo.distance pos gp2; kind = Gsl };
+      ]
+
+let snapshots w ~src ~dst ~isls ~t_end ~step =
+  let rec go time acc =
+    if time > t_end then List.rev acc
+    else begin
+      let route =
+        if isls then route_with_isls w ~src ~dst ~time ()
+        else route_bent_pipe w ~src ~dst ~time ()
+      in
+      let acc =
+        match route with Some hops -> (time, hops) :: acc | None -> acc
+      in
+      go (time +. step) acc
+    end
+  in
+  go 0.0 []
+
+let total_delay hops =
+  List.fold_left (fun acc h -> acc +. Geo.propagation_delay h.distance) 0.0 hops
+
+let hop_count = List.length
+
+let mean_hop_count snaps =
+  match snaps with
+  | [] -> Float.nan
+  | _ ->
+    let total = List.fold_left (fun acc (_, h) -> acc + hop_count h) 0 snaps in
+    float_of_int total /. float_of_int (List.length snaps)

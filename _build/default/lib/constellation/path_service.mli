@@ -1,0 +1,53 @@
+(** Time-varying routes between ground stations over the constellation.
+
+    Produces hop lists (distance + link kind) that scenarios translate
+    into {!Leotp_net.Dynamic_path} snapshots with per-kind bandwidth and
+    loss (GSL vs ISL, paper §V-C). *)
+
+type link_kind = Gsl | Isl
+
+type hop = { distance : float; kind : link_kind }
+
+val route_with_isls :
+  Walker.t ->
+  src:Cities.t ->
+  dst:Cities.t ->
+  time:float ->
+  ?min_elevation_deg:float ->
+  ?gsl_policy:[ `Nearest | `All_visible ] ->
+  unit ->
+  hop list option
+(** Shortest path src-ground -> (GSL) -> satellites (+grid ISLs) ->
+    (GSL) -> dst-ground, by total distance.  [`Nearest] (default, the
+    HYPATIA model the paper uses) gives each ground station a single GSL
+    to its closest visible satellite; [`All_visible] lets routing pick
+    any visible satellite. *)
+
+val route_bent_pipe :
+  Walker.t ->
+  src:Cities.t ->
+  dst:Cities.t ->
+  time:float ->
+  ?min_elevation_deg:float ->
+  unit ->
+  hop list option
+(** The no-ISL network: up to a satellite visible from both cities and
+    straight back down (2 GSL hops); [None] when no common satellite is
+    in view. *)
+
+val snapshots :
+  Walker.t ->
+  src:Cities.t ->
+  dst:Cities.t ->
+  isls:bool ->
+  t_end:float ->
+  step:float ->
+  (float * hop list) list
+(** Route recomputed every [step] seconds from 0 to [t_end]; times with no
+    route are omitted. *)
+
+val total_delay : hop list -> float
+(** One-way propagation delay of the route, seconds. *)
+
+val hop_count : hop list -> int
+val mean_hop_count : (float * hop list) list -> float

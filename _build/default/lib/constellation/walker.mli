@@ -1,0 +1,53 @@
+(** Walker-delta constellation model.
+
+    Default parameters are the paper's Starlink core shell (§V-A):
+    1600 satellites evenly distributed on 32 orbital planes at 1150 km
+    with 53 degrees inclination.  Orbits are ideal circles; positions are
+    propagated analytically in the ECI frame. *)
+
+type params = {
+  planes : int;
+  sats_per_plane : int;
+  altitude : float;  (** meters above the surface *)
+  inclination_deg : float;
+  phasing_factor : int;  (** Walker F: inter-plane phase offset units *)
+}
+
+val starlink : params
+(** 32 x 50 at 1150 km, 53 deg, F = 1. *)
+
+type t
+
+val create : params -> t
+val params : t -> params
+val count : t -> int
+
+type sat = { plane : int; index : int }
+
+val sat_id : t -> sat -> int
+(** Dense id in [0, count). *)
+
+val sat_of_id : t -> int -> sat
+val orbital_period : t -> float  (** seconds *)
+
+val position : t -> sat:int -> time:float -> Geo.vec3
+(** ECI position of satellite [sat] (dense id) at [time]. *)
+
+val isl_neighbors : t -> sat:int -> int list
+(** +grid: the two intra-plane neighbours and the same-index satellites
+    of the two adjacent planes. *)
+
+val nearest_visible :
+  t -> ground:Geo.vec3 -> time:float -> ?min_elevation_deg:float -> unit -> int option
+(** Closest satellite above the elevation mask, if any. *)
+
+val common_visible :
+  t ->
+  ground1:Geo.vec3 ->
+  ground2:Geo.vec3 ->
+  time:float ->
+  ?min_elevation_deg:float ->
+  unit ->
+  int option
+(** Satellite visible from both points minimizing the total bent-pipe
+    distance (the no-ISL relay of §V-A's first network). *)

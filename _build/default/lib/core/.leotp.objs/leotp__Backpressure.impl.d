@@ -1,0 +1,1 @@
+lib/core/backpressure.ml: Config Float Hop_cc

@@ -1,0 +1,1 @@
+lib/core/cache.ml: Config Leotp_util List

@@ -1,0 +1,1 @@
+lib/core/consumer.ml: Config Float Hop_cc Int Leotp_net Leotp_sim Leotp_util List Map Seq Shr Wire

@@ -1,0 +1,1 @@
+lib/core/consumer.mli: Config Leotp_net Leotp_sim

@@ -1,0 +1,1 @@
+lib/core/hop_cc.ml: Config Float Leotp_util

@@ -1,0 +1,1 @@
+lib/core/midnode.ml: Backpressure Cache Config Float Hashtbl Hop_cc Leotp_net Leotp_sim List Pit Printf Send_buffer Shr Wire

@@ -1,0 +1,1 @@
+lib/core/midnode.mli: Cache Config Leotp_net Leotp_sim

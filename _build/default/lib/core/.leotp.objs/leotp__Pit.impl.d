@@ -1,0 +1,1 @@
+lib/core/pit.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/producer.ml: Config Float Int Leotp_net Leotp_sim List Map Send_buffer Wire

@@ -1,0 +1,1 @@
+lib/core/producer.mli: Config Leotp_net Leotp_sim

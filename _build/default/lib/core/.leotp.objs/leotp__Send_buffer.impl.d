@@ -1,0 +1,1 @@
+lib/core/send_buffer.ml: Config Float Hashtbl Leotp_net Leotp_sim Leotp_util Queue Wire

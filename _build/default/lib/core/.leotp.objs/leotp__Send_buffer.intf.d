@@ -1,0 +1,1 @@
+lib/core/send_buffer.mli: Config Leotp_net Leotp_sim

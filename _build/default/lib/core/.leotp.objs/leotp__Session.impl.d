@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Config Consumer Float Fun Leotp_net Leotp_util List Midnode Producer Wire

@@ -1,0 +1,1 @@
+lib/core/session.mli: Config Consumer Leotp_net Leotp_sim Leotp_util Midnode Producer

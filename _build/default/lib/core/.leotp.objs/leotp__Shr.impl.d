@@ -1,0 +1,1 @@
+lib/core/shr.ml: Config List

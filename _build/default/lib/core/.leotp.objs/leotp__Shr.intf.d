@@ -1,0 +1,1 @@
+lib/core/shr.mli: Config

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Config Format Leotp_net

@@ -1,0 +1,27 @@
+(** Inter-hop rate coordination (paper §III-C, eqs 9-10).
+
+    The Requester advertises to its upstream Responder the rate
+
+      rate_bp = rate_next_hop + (BL_tar - BL) / hopRTT          (9)
+      rate    = min (cwnd / hopRTT, rate_bp)                    (10)
+
+    i.e. the inflow that brings the sending buffer back to its target
+    length within one hopRTT on top of the current outflow.  (The paper
+    prints eq (9) with [BL - BLtar]; with that sign a growing backlog
+    would {i raise} the requested inflow, the opposite of backpressure —
+    we use the draining form, which also matches the paper's prose "if
+    the downstream sending rate is lower than the upstream, the upstream
+    will decrease its sending rate".) *)
+
+let rate_bp ~config ~buffer_len ~next_hop_rate ~hop_rtt =
+  let bl_tar = float_of_int config.Config.bl_target in
+  let rtt = Float.max hop_rtt 1e-4 in
+  Float.max 0.0 (next_hop_rate +. ((bl_tar -. float_of_int buffer_len) /. rtt))
+
+let advertised_rate ~config ~cc ~now ~buffer_len ~next_hop_rate =
+  let window_rate = Hop_cc.rate cc ~now in
+  let hop_rtt =
+    match Hop_cc.hop_rtt cc with Some r -> r | None -> 0.01
+  in
+  Float.min window_rate
+    (rate_bp ~config ~buffer_len ~next_hop_rate ~hop_rtt)

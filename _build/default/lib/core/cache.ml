@@ -1,0 +1,141 @@
+module Interval_set = Leotp_util.Interval_set
+
+type block = {
+  mutable present : Interval_set.t;  (** byte ranges present, block-relative *)
+  mutable meta : (int * float * bool) list;
+      (** (range_start_abs, first_sent, retx), newest first, pruned small *)
+  mutable bytes : int;
+}
+
+type key = int * int (* flow, block index *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+type t = {
+  config : Config.t;
+  blocks : (key, block) Leotp_util.Lru.t;
+  mutable used : int;
+  stats : stats;
+}
+
+let create ~config =
+  {
+    config;
+    blocks = Leotp_util.Lru.create ();
+    used = 0;
+    stats = { hits = 0; misses = 0; insertions = 0; evictions = 0 };
+  }
+
+let block_size t = t.config.Config.cache_block
+
+let evict_until_fits t =
+  while t.used > t.config.Config.cache_capacity do
+    match Leotp_util.Lru.evict_lru t.blocks with
+    | Some (_, blk) ->
+      t.used <- t.used - blk.bytes;
+      t.stats.evictions <- t.stats.evictions + 1
+    | None -> t.used <- 0
+  done
+
+(* Apply [f] to every (block_key, block_lo, block_hi) slice of [lo, hi). *)
+let iter_blocks t ~flow ~lo ~hi f =
+  let bs = block_size t in
+  let b0 = lo / bs and b1 = (hi - 1) / bs in
+  for b = b0 to b1 do
+    let blo = max lo (b * bs) and bhi = min hi ((b + 1) * bs) in
+    f (flow, b) blo bhi
+  done
+
+let insert t ~flow ~lo ~hi ~first_sent ~retx =
+  if hi > lo then begin
+    t.stats.insertions <- t.stats.insertions + 1;
+    iter_blocks t ~flow ~lo ~hi (fun key blo bhi ->
+        let blk =
+          match Leotp_util.Lru.find t.blocks key with
+          | Some blk -> blk
+          | None ->
+            let blk = { present = Interval_set.empty; meta = []; bytes = 0 } in
+            Leotp_util.Lru.put t.blocks key blk;
+            blk
+        in
+        let before = Interval_set.cardinal blk.present in
+        blk.present <- Interval_set.add ~lo:blo ~hi:bhi blk.present;
+        let added = Interval_set.cardinal blk.present - before in
+        blk.bytes <- blk.bytes + added;
+        t.used <- t.used + added;
+        blk.meta <- (blo, first_sent, retx) :: blk.meta;
+        (* The meta list only needs to resolve lookups for ranges still in
+           the block; a handful of recent entries suffices at MSS-grained
+           insertion. *)
+        if List.length blk.meta > 2 * (block_size t / t.config.Config.mss + 2)
+        then
+          blk.meta <-
+            List.filteri (fun i _ -> i < block_size t / t.config.Config.mss + 2) blk.meta);
+    evict_until_fits t
+  end
+
+(* Entry with the largest start <= lo (the insertion that covered [lo]);
+   falls back to the newest entry. *)
+let find_meta blk ~lo =
+  let best =
+    List.fold_left
+      (fun acc (s, fs, rx) ->
+        if s > lo then acc
+        else
+          match acc with
+          | Some (bs, _, _) when bs >= s -> acc
+          | _ -> Some (s, fs, rx))
+      None blk.meta
+  in
+  match (best, blk.meta) with
+  | Some (_, fs, rx), _ -> Some (fs, rx)
+  | None, (_, fs, rx) :: _ -> Some (fs, rx)
+  | None, [] -> None
+
+let lookup_inner t ~touch ~flow ~lo ~hi =
+  let ok = ref true in
+  let meta = ref None in
+  iter_blocks t ~flow ~lo ~hi (fun key blo bhi ->
+      if !ok then begin
+        let blk =
+          if touch then Leotp_util.Lru.find t.blocks key
+          else Leotp_util.Lru.peek t.blocks key
+        in
+        match blk with
+        | Some blk when Interval_set.covers ~lo:blo ~hi:bhi blk.present ->
+          if !meta = None then meta := find_meta blk ~lo:blo
+        | Some _ | None -> ok := false
+      end);
+  if !ok then Some (match !meta with Some m -> m | None -> (0.0, false))
+  else None
+
+let lookup t ~flow ~lo ~hi =
+  match lookup_inner t ~touch:true ~flow ~lo ~hi with
+  | Some m ->
+    t.stats.hits <- t.stats.hits + 1;
+    Some m
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    None
+
+let contains t ~flow ~lo ~hi =
+  lookup_inner t ~touch:false ~flow ~lo ~hi <> None
+
+let used_bytes t = t.used
+let stats t = t.stats
+
+let drop_flow t ~flow =
+  let keys = ref [] in
+  Leotp_util.Lru.iter
+    (fun ((f, _) as key) blk -> if f = flow then keys := (key, blk.bytes) :: !keys)
+    t.blocks;
+  List.iter
+    (fun (key, bytes) ->
+      Leotp_util.Lru.remove t.blocks key;
+      t.used <- t.used - bytes)
+    !keys

@@ -1,0 +1,35 @@
+(** Midnode block cache (paper §IV-A).
+
+    Data is grouped into fixed-size blocks per flow ("we gather every 4096
+    consequent bytes in the same data flow to one block"), indexed by
+    (flow, block) with LRU replacement over blocks.  A block tracks which
+    of its bytes are present plus the origin timestamp / retx metadata
+    needed to re-serve a range.
+
+    Capacity is in bytes of cached payload; eviction removes whole
+    blocks. *)
+
+type t
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+val create : config:Config.t -> t
+
+val insert :
+  t -> flow:int -> lo:int -> hi:int -> first_sent:float -> retx:bool -> unit
+
+val lookup : t -> flow:int -> lo:int -> hi:int -> (float * bool) option
+(** [Some (first_sent, retx)] iff every byte of [lo, hi) is cached.
+    Counts a hit or a miss. *)
+
+val contains : t -> flow:int -> lo:int -> hi:int -> bool
+(** Like {!lookup} but without touching LRU order or stats. *)
+
+val used_bytes : t -> int
+val stats : t -> stats
+val drop_flow : t -> flow:int -> unit

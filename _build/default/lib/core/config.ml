@@ -1,0 +1,60 @@
+(** LEOTP protocol parameters (paper §III-IV) and ablation switches
+    (Table II). *)
+
+(** Table II's four configurations:
+    A = full LEOTP; B = hop-by-hop congestion control but no cache (hence
+    no in-network retransmission); C = in-network retransmission but
+    end-to-end congestion control; D = no Midnodes at all. *)
+type ablation = Full | No_cache | E2e_cc | No_midnodes
+
+type t = {
+  mss : int;  (** payload bytes per Interest / Data packet *)
+  header_bytes : int;  (** wire header size (Table I) *)
+  hole_threshold : int;
+      (** N in Algorithm 1: packets that must skip a sequence hole before
+          it is declared a loss *)
+  queue_threshold : float;
+      (** M in eq (8): estimated queue bytes above which the hop is
+          congested *)
+  k : float;  (** eq (8) multiplicative decrease target, cwnd = k*BDP *)
+  bl_target : int;  (** BLtar in eq (9): target sending-buffer bytes *)
+  cache_capacity : int;  (** Midnode cache bytes *)
+  cache_block : int;  (** cache block granularity (§IV-A: 4096) *)
+  send_buffer_capacity : int;  (** Midnode sending-buffer cap, bytes *)
+  tr_backoff : float;  (** TR timeout growth factor (§III-B: 1.5) *)
+  tr_scan_interval : float;  (** period of the Consumer's timeout scan *)
+  min_rtt_window : float;  (** hopRTT_min window (§III-C: 5 s) *)
+  pit_expiry : float;
+      (** lifetime of pending-Interest entries (multicast, §VII) *)
+  ablation : ablation;
+}
+
+let default =
+  {
+    mss = 1400;
+    header_bytes = 15;
+    hole_threshold = 3;
+    queue_threshold = 25_000.0;
+    k = 0.8;
+    bl_target = 40_000;
+    cache_capacity = 64 * 1024 * 1024;
+    cache_block = 4096;
+    send_buffer_capacity = 4 * 1024 * 1024;
+    tr_backoff = 1.5;
+    tr_scan_interval = 0.01;
+    min_rtt_window = 5.0;
+    pit_expiry = 1.0;
+    ablation = Full;
+  }
+
+let with_ablation ablation t = { t with ablation }
+
+let caches_enabled t =
+  match t.ablation with
+  | Full | E2e_cc -> true
+  | No_cache | No_midnodes -> false
+
+let hop_cc_enabled t =
+  match t.ablation with
+  | Full | No_cache -> true
+  | E2e_cc | No_midnodes -> false

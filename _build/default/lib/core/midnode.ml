@@ -1,0 +1,294 @@
+module Engine = Leotp_sim.Engine
+module Packet = Leotp_net.Packet
+module Node = Leotp_net.Node
+
+type flow_stats = {
+  vph_sent : int;
+  shr_interests : int;
+  cache_hits : int;
+  buffer_len : int;
+}
+
+(* Multicast (paper par.VII): a second Consumer's Interest for a range
+   already pending upstream is blocked; the passing Data then fans out to
+   every waiter.  Retransmission Interests bypass the block so a lost
+   response cannot starve a consumer until the entry expires. *)
+
+type flow_state = {
+  flow : int;
+  mutable consumer : int;  (** learned from passing Interests *)
+  mutable producer : int;
+  shr : Shr.t;
+  cc : Hop_cc.t;  (** Requester side of the upstream hop *)
+  buffer : Send_buffer.t;  (** Responder side of the downstream hop *)
+  mutable ds_interest_owd : float;
+      (** latest Interest OWD measured on the downstream hop *)
+  mutable vph_sent : int;
+  mutable shr_interests : int;
+  mutable cache_hits : int;
+}
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  node : Node.t;
+  cache : Cache.t;
+  pit : Pit.t;
+  flows : (int, flow_state) Hashtbl.t;
+  mutable pit_blocked : int;
+}
+
+let get_flow t ~flow ~consumer ~producer =
+  match Hashtbl.find_opt t.flows flow with
+  | Some fs -> fs
+  | None ->
+    let now = Engine.now t.engine in
+    let fs_ref = ref None in
+    (* Data leaving the sending buffer gets this hop's fresh timestamp and
+       the latest downstream Interest OWD (paper Fig 9's bookkeeping). *)
+    let send pkt =
+      match (pkt.Packet.payload, !fs_ref) with
+      | Wire.Data { name; first_sent; retx; _ }, Some fs ->
+        let now = Engine.now t.engine in
+        let out =
+          Wire.data_packet ~config:t.config ~src:pkt.Packet.src
+            ~dst:pkt.Packet.dst ~name ~timestamp:now
+            ~req_owd:fs.ds_interest_owd ~first_sent ~retx
+        in
+        Node.send t.node out
+      | _ -> Node.send t.node pkt
+    in
+    let fs =
+      {
+        flow;
+        consumer;
+        producer;
+        shr = Shr.create ~config:t.config;
+        cc = Hop_cc.create ~config:t.config ~now ();
+        buffer = Send_buffer.create t.engine ~config:t.config ~send ();
+        ds_interest_owd = 0.0;
+        vph_sent = 0;
+        shr_interests = 0;
+        cache_hits = 0;
+      }
+    in
+    fs_ref := Some fs;
+    Hashtbl.replace t.flows flow fs;
+    fs
+
+(* Upstream advertised rate: eq (10) = min(cwnd/hopRTT, rate_bp). *)
+let upstream_rate t fs =
+  Backpressure.advertised_rate ~config:t.config ~cc:fs.cc
+    ~now:(Engine.now t.engine)
+    ~buffer_len:(Send_buffer.len fs.buffer)
+    ~next_hop_rate:(Send_buffer.rate fs.buffer)
+
+let send_vph t fs ~lo ~hi =
+  let now = Engine.now t.engine in
+  fs.vph_sent <- fs.vph_sent + 1;
+  (* Notifications bypass the rate limiter: they must outrun the data
+     stream to suppress duplicate detection downstream (§III-B). *)
+  Node.send t.node
+    (Wire.vph_packet ~config:t.config ~src:fs.producer ~dst:fs.consumer
+       ~name:{ Wire.flow = fs.flow; lo; hi }
+       ~timestamp:now)
+
+(* Retransmission requests are split at MSS so responses stay packet
+   sized. *)
+let send_shr_interest t fs ~lo ~hi =
+  let now = Engine.now t.engine in
+  let mss = t.config.Config.mss in
+  let p = ref lo in
+  while !p < hi do
+    let chunk_hi = min hi (!p + mss) in
+    fs.shr_interests <- fs.shr_interests + 1;
+    Node.send t.node
+      (Wire.interest_packet ~config:t.config ~src:fs.consumer ~dst:fs.producer
+         ~name:{ Wire.flow = fs.flow; lo = !p; hi = chunk_hi }
+         ~timestamp:now ~send_rate:(upstream_rate t fs) ~retx:true);
+    p := chunk_hi
+  done
+
+(* Serve a cached range as MSS-sized Data packets through [emit]. *)
+let respond_from_cache t ~(name : Wire.name) ~src ~dst ~timestamp ~req_owd
+    ~retx ~emit =
+  let mss = t.config.Config.mss in
+  let p = ref name.Wire.lo in
+  let all_served = ref true in
+  while !p < name.Wire.hi do
+    let chunk_hi = min name.Wire.hi (!p + mss) in
+    (match Cache.lookup t.cache ~flow:name.Wire.flow ~lo:!p ~hi:chunk_hi with
+    | Some (first_sent, cretx) ->
+      emit
+        (Wire.data_packet ~config:t.config ~src ~dst
+           ~name:{ name with Wire.lo = !p; hi = chunk_hi }
+           ~timestamp ~req_owd ~first_sent ~retx:(cretx || retx))
+    | None -> all_served := false);
+    p := chunk_hi
+  done;
+  !all_served
+
+let handle_interest t pkt (i : Wire.name) ~timestamp ~send_rate ~retx =
+  let fs =
+    get_flow t ~flow:i.Wire.flow ~consumer:pkt.Packet.src
+      ~producer:pkt.Packet.dst
+  in
+  fs.consumer <- pkt.Packet.src;
+  fs.producer <- pkt.Packet.dst;
+  let now = Engine.now t.engine in
+  if not (Config.hop_cc_enabled t.config) then begin
+    (* Ablation C: end-to-end control; pass the Interest through but still
+       try the cache. *)
+    let hit =
+      Config.caches_enabled t.config
+      && Cache.contains t.cache ~flow:i.Wire.flow ~lo:i.Wire.lo ~hi:i.Wire.hi
+    in
+    if hit then begin
+      fs.cache_hits <- fs.cache_hits + 1;
+      ignore
+        (respond_from_cache t ~name:i ~src:pkt.Packet.dst ~dst:pkt.Packet.src
+           ~timestamp
+           ~req_owd:(Float.max 0.0 (now -. timestamp))
+           ~retx ~emit:(Node.send t.node))
+    end
+    else Node.send t.node pkt
+  end
+  else begin
+    fs.ds_interest_owd <- Float.max 0.0 (now -. timestamp);
+    (* The downstream Requester's advertised rate drives my rate limiter. *)
+    Send_buffer.set_rate fs.buffer send_rate;
+    let hit =
+      Config.caches_enabled t.config
+      && Cache.contains t.cache ~flow:i.Wire.flow ~lo:i.Wire.lo ~hi:i.Wire.hi
+    in
+    if hit then begin
+      fs.cache_hits <- fs.cache_hits + 1;
+      ignore
+        (respond_from_cache t ~name:i ~src:pkt.Packet.dst ~dst:pkt.Packet.src
+           ~timestamp:now ~req_owd:fs.ds_interest_owd ~retx
+           ~emit:(fun data -> ignore (Send_buffer.push fs.buffer data)))
+    end
+    else begin
+      let forward =
+        Pit.register t.pit ~now ~flow:i.Wire.flow ~lo:i.Wire.lo ~hi:i.Wire.hi
+          ~consumer:pkt.Packet.src
+      in
+      if forward || retx then
+        (* Re-originate upstream with this hop's timestamp and rate. *)
+        Node.send t.node
+          (Wire.interest_packet ~config:t.config ~src:pkt.Packet.src
+             ~dst:pkt.Packet.dst ~name:i ~timestamp:now
+             ~send_rate:(upstream_rate t fs) ~retx)
+      else t.pit_blocked <- t.pit_blocked + 1
+    end
+  end
+
+let handle_data t pkt (d : Wire.name) ~length ~timestamp ~req_owd ~first_sent
+    ~retx =
+  let fs =
+    get_flow t ~flow:d.Wire.flow ~consumer:pkt.Packet.dst
+      ~producer:pkt.Packet.src
+  in
+  let now = Engine.now t.engine in
+  let is_vph = length = 0 in
+  (* Upstream hop congestion sample (not for VPHs: they carry no payload
+     and may be generated mid-path). *)
+  if Config.hop_cc_enabled t.config && not is_vph then
+    Hop_cc.on_data fs.cc ~now
+      ~interest_owd:(Float.max 0.0 req_owd)
+      ~data_owd:(Float.max 0.0 (now -. timestamp))
+      ~bytes:length;
+  (* In-network retransmission machinery (disabled without caches). *)
+  if Config.caches_enabled t.config then begin
+    if not is_vph then begin
+      Cache.insert t.cache ~flow:d.Wire.flow ~lo:d.Wire.lo ~hi:d.Wire.hi
+        ~first_sent ~retx;
+      (* Multicast fan-out: serve every other consumer waiting on this
+         range (the packet itself continues to [pkt.dst]). *)
+      List.iter
+        (fun consumer ->
+          if consumer <> pkt.Packet.dst then
+            Node.send t.node
+              (Wire.data_packet ~config:t.config ~src:pkt.Packet.src
+                 ~dst:consumer ~name:d ~timestamp:now
+                 ~req_owd:fs.ds_interest_owd ~first_sent ~retx))
+        (Pit.satisfy t.pit ~now ~flow:d.Wire.flow ~lo:d.Wire.lo ~hi:d.Wire.hi)
+    end;
+    let actions = Shr.on_packet fs.shr ~lo:d.Wire.lo ~hi:d.Wire.hi in
+    List.iter (fun (lo, hi) -> send_vph t fs ~lo ~hi) actions.Shr.new_holes;
+    List.iter
+      (fun (lo, hi) ->
+        (* Serve the retransmission locally if a later packet filled the
+           cache meanwhile; otherwise ask upstream. *)
+        match Cache.lookup t.cache ~flow:d.Wire.flow ~lo ~hi with
+        | Some _ -> ()
+        | None -> send_shr_interest t fs ~lo ~hi)
+      actions.Shr.expired_holes
+  end;
+  if is_vph then
+    (* Forward the notification immediately. *)
+    Node.send t.node pkt
+  else if Config.hop_cc_enabled t.config then
+    ignore (Send_buffer.push fs.buffer pkt)
+  else Node.send t.node pkt
+
+let handler t ~from:_ pkt =
+  match pkt.Packet.payload with
+  | Wire.Interest { name; timestamp; send_rate; retx } ->
+    handle_interest t pkt name ~timestamp ~send_rate ~retx
+  | Wire.Data { name; length; timestamp; req_owd; first_sent; retx } ->
+    handle_data t pkt name ~length ~timestamp ~req_owd ~first_sent ~retx
+  | _ -> Node.forward t.node ~from:0 pkt
+
+let create engine ~config ~node () =
+  let t =
+    {
+      engine;
+      config;
+      node;
+      cache = Cache.create ~config;
+      pit = Pit.create ~expiry:config.Config.pit_expiry;
+      flows = Hashtbl.create 8;
+      pit_blocked = 0;
+    }
+  in
+  Node.set_handler node (fun ~from pkt -> handler t ~from pkt);
+  t
+
+let flow_stats t ~flow =
+  match Hashtbl.find_opt t.flows flow with
+  | Some fs ->
+    Some
+      ({
+         vph_sent = fs.vph_sent;
+         shr_interests = fs.shr_interests;
+         cache_hits = fs.cache_hits;
+         buffer_len = Send_buffer.len fs.buffer;
+       }
+        : flow_stats)
+  | None -> None
+
+let debug_flow t ~flow =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> "<no flow>"
+  | Some fs ->
+    let now = Engine.now t.engine in
+    Printf.sprintf
+      "cwnd=%.0f rtt=%s rttmin=%s thr=%.0f q=%.0f ss=%b bl=%d myrate=%.0f adv=%.0f"
+      (Hop_cc.cwnd fs.cc)
+      (match Hop_cc.hop_rtt fs.cc with
+      | Some r -> Printf.sprintf "%.1fms" (r *. 1000.)
+      | None -> "-")
+      (match Hop_cc.hop_rtt_min fs.cc ~now with
+      | Some r -> Printf.sprintf "%.1fms" (r *. 1000.)
+      | None -> "-")
+      (Hop_cc.throughput fs.cc)
+      (Hop_cc.queue_len fs.cc ~now)
+      (Hop_cc.in_slow_start fs.cc)
+      (Send_buffer.len fs.buffer)
+      (Send_buffer.rate fs.buffer)
+      (upstream_rate t fs)
+
+let cache t = t.cache
+let flows t = Hashtbl.fold (fun k _ acc -> k :: acc) t.flows []
+let pit_blocked t = t.pit_blocked

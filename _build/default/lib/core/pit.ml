@@ -1,0 +1,37 @@
+type entry = { mutable consumers : int list; created : float }
+type key = int * int * int (* flow, lo, hi *)
+
+type t = { expiry : float; table : (key, entry) Hashtbl.t }
+
+let create ~expiry = { expiry; table = Hashtbl.create 64 }
+
+let fresh t ~now e = now -. e.created < t.expiry
+
+let register t ~now ~flow ~lo ~hi ~consumer =
+  let key = (flow, lo, hi) in
+  match Hashtbl.find_opt t.table key with
+  | Some e when fresh t ~now e ->
+    if not (List.mem consumer e.consumers) then
+      e.consumers <- consumer :: e.consumers;
+    false
+  | _ ->
+    Hashtbl.replace t.table key { consumers = [ consumer ]; created = now };
+    true
+
+let satisfy t ~now ~flow ~lo ~hi =
+  let key = (flow, lo, hi) in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    Hashtbl.remove t.table key;
+    if fresh t ~now e then e.consumers else []
+  | None -> []
+
+let pending t = Hashtbl.length t.table
+
+let expire_before t ~now =
+  let stale =
+    Hashtbl.fold
+      (fun k e acc -> if fresh t ~now e then acc else k :: acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) stale

@@ -1,0 +1,29 @@
+(** Pending Interest Table — the multicast support sketched in paper §VII.
+
+    "When several Consumers request the same data at the same time, the
+    cache in Midnodes could block the duplicate Interests and respond data
+    immediately ... if the Consumers share the same FlowID."
+
+    A Midnode records which consumers wait for an uncached range; a second
+    Interest for the same range is blocked (not forwarded upstream), and
+    when the Data passes through, every waiting consumer other than the
+    packet's own destination gets a copy from the cache path.  Entries
+    expire so a lost response does not pin state forever (the consumers'
+    TR re-requests will re-create them). *)
+
+type t
+
+val create : expiry:float -> t
+(** [expiry] in seconds (a few path RTTs). *)
+
+val register : t -> now:float -> flow:int -> lo:int -> hi:int -> consumer:int -> bool
+(** Record that [consumer] waits for the range.  Returns [true] when this
+    is a fresh entry (forward the Interest upstream) and [false] when the
+    range was already pending (block the duplicate). *)
+
+val satisfy : t -> now:float -> flow:int -> lo:int -> hi:int -> int list
+(** Data for the range arrived: return the waiting consumers and drop the
+    entry.  Expired entries are ignored. *)
+
+val pending : t -> int
+val expire_before : t -> now:float -> unit

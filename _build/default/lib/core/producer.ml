@@ -1,0 +1,135 @@
+module Engine = Leotp_sim.Engine
+module Packet = Leotp_net.Packet
+module Node = Leotp_net.Node
+module IntMap = Map.Make (Int)
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  node : Node.t;
+  flow : int;
+  total_bytes : int option;
+  available : (unit -> int) option;
+      (** gateway mode: only this prefix exists yet (paper §VII's
+          TCP-compatibility proxies feed a Producer incrementally) *)
+  metrics : Leotp_net.Flow_metrics.t;
+  buffer : Send_buffer.t;
+  mutable first_sent : float IntMap.t;  (** range start -> origin send time *)
+  mutable last_req_owd : float;  (** latest Interest OWD on the last hop *)
+  mutable pending : (int * int * int) list;
+      (** (lo, hi, consumer) requests beyond the available prefix *)
+  mutable interests_received : int;
+  mutable retransmissions : int;
+}
+
+let create engine ~config ~node ~flow ?total_bytes ?available ?metrics () =
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Leotp_net.Flow_metrics.create ~flow
+  in
+  let t_ref = ref None in
+  (* The wire timestamp is "when the packet is sent by the previous node"
+     (Table I), so it is stamped at drain time, not at enqueue: data can
+     wait in the sending buffer, and that wait must stay invisible to the
+     hopRTT measurement (§III-C). *)
+  let send pkt =
+    let restamped =
+      match (pkt.Packet.payload, !t_ref) with
+      | Wire.Data { name; first_sent; retx; _ }, Some t ->
+        Wire.data_packet ~config:t.config ~src:pkt.Packet.src
+          ~dst:pkt.Packet.dst ~name
+          ~timestamp:(Engine.now t.engine)
+          ~req_owd:t.last_req_owd ~first_sent ~retx
+      | _ -> pkt
+    in
+    Leotp_net.Flow_metrics.on_send metrics ~bytes:restamped.Packet.size;
+    Node.send node restamped
+  in
+  let buffer = Send_buffer.create engine ~config ~send () in
+  let t =
+    {
+      engine;
+      config;
+      node;
+      flow;
+      total_bytes;
+      available;
+      metrics;
+      buffer;
+      first_sent = IntMap.empty;
+      last_req_owd = 0.0;
+      pending = [];
+      interests_received = 0;
+      retransmissions = 0;
+    }
+  in
+  t_ref := Some t;
+  t
+
+let available_now t =
+  let base = match t.total_bytes with Some n -> n | None -> max_int in
+  match t.available with Some f -> min base (f ()) | None -> base
+
+(* Serve [range_lo, hi) in MSS-sized Data packets (a retransmission
+   Interest may cover a multi-packet hole); transparent addressing
+   (paper §IV-A): data carries the endpoints' addresses, midnodes
+   intercept it in flight. *)
+let serve_chunks t ~now ~consumer ~lo:range_lo ~hi =
+  let mss = t.config.Config.mss in
+  let lo = ref range_lo in
+  while !lo < hi do
+    let chunk_hi = min hi (!lo + mss) in
+    let first_sent, retx =
+      match IntMap.find_opt !lo t.first_sent with
+      | Some ts ->
+        t.retransmissions <- t.retransmissions + 1;
+        Leotp_net.Flow_metrics.on_retransmit t.metrics;
+        (ts, true)
+      | None ->
+        t.first_sent <- IntMap.add !lo now t.first_sent;
+        (now, false)
+    in
+    let data =
+      Wire.data_packet ~config:t.config ~src:(Node.id t.node) ~dst:consumer
+        ~name:{ Wire.flow = t.flow; lo = !lo; hi = chunk_hi }
+        ~timestamp:now ~req_owd:t.last_req_owd ~first_sent ~retx
+    in
+    ignore (Send_buffer.push t.buffer data);
+    lo := chunk_hi
+  done
+
+let serve t ~now ~consumer ~lo ~hi =
+  let avail = available_now t in
+  (* Bytes beyond the current prefix wait for the application to produce
+     them (incremental sources: the §VII TCP gateway). *)
+  if hi > avail && (t.available <> None || t.total_bytes = None) then begin
+    if t.available <> None then t.pending <- (max lo avail, hi, consumer) :: t.pending
+  end;
+  let hi = min hi avail in
+  if hi > lo then serve_chunks t ~now ~consumer ~lo ~hi
+
+let notify_data_available t =
+  let now = Engine.now t.engine in
+  let pending = t.pending in
+  t.pending <- [];
+  List.iter (fun (lo, hi, consumer) -> serve t ~now ~consumer ~lo ~hi) pending
+
+let handle_interest t pkt =
+  match pkt.Packet.payload with
+  | Wire.Interest { name; timestamp; send_rate; retx = _ }
+    when name.Wire.flow = t.flow ->
+    t.interests_received <- t.interests_received + 1;
+    let now = Engine.now t.engine in
+    let req_owd = Float.max 0.0 (now -. timestamp) in
+    t.last_req_owd <- req_owd;
+    Send_buffer.set_rate t.buffer send_rate;
+    serve t ~now ~consumer:pkt.Packet.src ~lo:name.Wire.lo ~hi:name.Wire.hi
+  | _ -> ()
+
+let buffer_len t = Send_buffer.len t.buffer
+let metrics t = t.metrics
+let interests_received t = t.interests_received
+let retransmissions t = t.retransmissions
+
+let buffer_rate t = Send_buffer.rate t.buffer

@@ -1,0 +1,102 @@
+module Engine = Leotp_sim.Engine
+module Packet = Leotp_net.Packet
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  send : Packet.t -> unit;
+  queue : Packet.t Queue.t;
+  bucket : Leotp_util.Token_bucket.t;
+  queued_names : (int * int * int, unit) Hashtbl.t;
+      (* Interest aggregation: a data range already waiting in the buffer
+         is not enqueued twice (re-requests would otherwise multiply
+         under timeout retransmission). *)
+  mutable queued_bytes : int;
+  mutable drops : int;
+  mutable drain_timer : Engine.timer option;
+}
+
+let name_key pkt =
+  match pkt.Packet.payload with
+  | Wire.Data { name; length; _ } when length > 0 ->
+    Some (name.Wire.flow, name.Wire.lo, name.Wire.hi)
+  | _ -> None
+
+let create engine ~config ~send () =
+  {
+    engine;
+    config;
+    send;
+    queue = Queue.create ();
+    queued_names = Hashtbl.create 64;
+    bucket =
+      Leotp_util.Token_bucket.create
+        ~rate:(10.0 *. float_of_int config.Config.mss)
+        ~burst:(2.0 *. float_of_int config.Config.mss)
+        ~now:(Engine.now engine);
+    queued_bytes = 0;
+    drops = 0;
+    drain_timer = None;
+  }
+
+let rec drain t =
+  match Queue.peek_opt t.queue with
+  | None -> ()
+  | Some pkt ->
+    let now = Engine.now t.engine in
+    if Leotp_util.Token_bucket.try_consume t.bucket ~now pkt.Packet.size then begin
+      ignore (Queue.pop t.queue);
+      t.queued_bytes <- t.queued_bytes - pkt.Packet.size;
+      (match name_key pkt with
+      | Some key -> Hashtbl.remove t.queued_names key
+      | None -> ());
+      t.send pkt;
+      drain t
+    end
+    else begin
+      let wait = Leotp_util.Token_bucket.time_until t.bucket ~now pkt.Packet.size in
+      if Float.is_finite wait then schedule t ~after:wait
+      (* A zero advertised rate pauses the buffer; a later set_rate
+         restarts it. *)
+    end
+
+and schedule t ~after =
+  match t.drain_timer with
+  | Some timer when Engine.is_pending timer -> ()
+  | _ ->
+    t.drain_timer <-
+      Some
+        (Engine.schedule t.engine ~after (fun () ->
+             t.drain_timer <- None;
+             drain t))
+
+let push t pkt =
+  match name_key pkt with
+  | Some key when Hashtbl.mem t.queued_names key ->
+    (* Already queued: absorb the duplicate. *)
+    true
+  | key_opt ->
+    if t.queued_bytes + pkt.Packet.size > t.config.Config.send_buffer_capacity
+    then begin
+      t.drops <- t.drops + 1;
+      false
+    end
+    else begin
+      Queue.add pkt t.queue;
+      (match key_opt with
+      | Some key -> Hashtbl.replace t.queued_names key ()
+      | None -> ());
+      t.queued_bytes <- t.queued_bytes + pkt.Packet.size;
+      drain t;
+      true
+    end
+
+let set_rate t r =
+  let now = Engine.now t.engine in
+  Leotp_util.Token_bucket.set_rate t.bucket ~now (Float.max 0.0 r);
+  if not (Queue.is_empty t.queue) then drain t
+
+let rate t = Leotp_util.Token_bucket.rate t.bucket
+let len t = t.queued_bytes
+let packets t = Queue.length t.queue
+let drops t = t.drops

@@ -1,0 +1,65 @@
+type hole = { lo : int; hi : int; mutable count : int }
+
+type t = {
+  config : Config.t;
+  mutable last_byte : int;
+  mutable holes : hole list;  (** sorted by lo, disjoint *)
+}
+
+type actions = {
+  new_holes : (int * int) list;
+  expired_holes : (int * int) list;
+}
+
+let create ~config = { config; last_byte = 0; holes = [] }
+
+let on_packet t ~lo ~hi =
+  let new_holes = ref [] in
+  (* (2) Beyond lastByte: the gap [last_byte, lo) becomes a hole. *)
+  if lo > t.last_byte then begin
+    new_holes := [ (t.last_byte, lo) ];
+    t.holes <- t.holes @ [ { lo = t.last_byte; hi = lo; count = 0 } ]
+  end
+  else if lo < t.last_byte then
+    (* (3) Retransmitted or reordered data: the covered holes are gone.
+       Partial overlap splits the hole (keeps its skip count). *)
+    t.holes <-
+      List.concat_map
+        (fun h ->
+          if hi <= h.lo || lo >= h.hi then [ h ]
+          else begin
+            let left =
+              if lo > h.lo then [ { lo = h.lo; hi = lo; count = h.count } ]
+              else []
+            in
+            let right =
+              if hi < h.hi then [ { lo = hi; hi = h.hi; count = h.count } ]
+              else []
+            in
+            left @ right
+          end)
+        t.holes;
+  (* Lines 10-18: this packet skips every hole that ends at or before its
+     start; holes skipped more than N times are declared lost. *)
+  let expired = ref [] in
+  t.holes <-
+    List.filter
+      (fun h ->
+        (* Strictly beyond the hole (Algorithm 1 line 11: rs > rangeEnd):
+           the packet whose arrival opened the hole does not count as
+           skipping it. *)
+        if lo > h.hi then begin
+          h.count <- h.count + 1;
+          if h.count > t.config.Config.hole_threshold then begin
+            expired := (h.lo, h.hi) :: !expired;
+            false
+          end
+          else true
+        end
+        else true)
+      t.holes;
+  t.last_byte <- max t.last_byte hi;
+  { new_holes = !new_holes; expired_holes = List.rev !expired }
+
+let last_byte t = t.last_byte
+let pending_holes t = List.map (fun h -> (h.lo, h.hi, h.count)) t.holes

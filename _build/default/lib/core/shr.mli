@@ -1,0 +1,28 @@
+(** Sequence Hole Retransmission loss detection — Algorithm 1 of the
+    paper, per flow and per node.
+
+    The node tracks [lastByte], the highest byte seen.  A packet starting
+    beyond [lastByte] opens a hole; holes skipped by more than
+    [hole_threshold] subsequent packets are declared lost.  The caller
+    turns the returned actions into VPH notifications (downstream) and
+    retransmission Interests (upstream).  A received VPH is fed through
+    {!on_packet} exactly like data — that is what makes downstream nodes
+    ignore holes an upstream node already owns (§III-B). *)
+
+type t
+
+type actions = {
+  new_holes : (int * int) list;
+      (** freshly detected holes, to be announced downstream as VPHs *)
+  expired_holes : (int * int) list;
+      (** holes past the threshold: request retransmission upstream *)
+}
+
+val create : config:Config.t -> t
+
+val on_packet : t -> lo:int -> hi:int -> actions
+(** Process a Data packet or VPH covering [lo, hi). *)
+
+val last_byte : t -> int
+val pending_holes : t -> (int * int * int) list
+(** (lo, hi, skip_count), for inspection/tests. *)

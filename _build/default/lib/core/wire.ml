@@ -1,0 +1,53 @@
+(** LEOTP wire format (paper Table I).
+
+    Two packet types: Interest (request) and Data (response).  A Data
+    packet with [length = 0] is a Void Packet Header (VPH), the
+    loss-notification of §III-B.  The header is 15 bytes (TYPE, FlowID,
+    rangeStart, rangeEnd, timestamp, sendRate/length).
+
+    Fields beyond Table I ([req_owd], [first_sent], [retx]) are simulation
+    metadata: [req_owd] stands in for the Responder-side Interest-OWD
+    bookkeeping a real node keeps locally (it rides the Data packet here
+    because simulated nodes don't share memory), and [first_sent]/[retx]
+    feed the measurement pipeline only.  None of them are charged wire
+    bytes. *)
+
+type name = { flow : int; lo : int; hi : int }
+
+type Leotp_net.Packet.payload +=
+  | Interest of {
+      name : name;
+      timestamp : float;  (** stamped by the Requester of this hop *)
+      send_rate : float;  (** advertised sending rate, bytes/s (eq 10) *)
+      retx : bool;  (** re-request (TR or SHR), for accounting *)
+    }
+  | Data of {
+      name : name;
+      length : int;  (** payload bytes; 0 = VPH *)
+      timestamp : float;  (** stamped by the Responder of this hop *)
+      req_owd : float;  (** Interest OWD measured at the Responder, s *)
+      first_sent : float;  (** origin first-transmission time of the range *)
+      retx : bool;  (** range was retransmitted somewhere on the path *)
+    }
+
+let range_len name = name.hi - name.lo
+
+let interest_packet ~config ~src ~dst ~name ~timestamp ~send_rate ~retx =
+  Leotp_net.Packet.make ~src ~dst ~flow:name.flow
+    ~size:config.Config.header_bytes
+    (Interest { name; timestamp; send_rate; retx })
+
+let data_packet ~config ~src ~dst ~name ~timestamp ~req_owd ~first_sent ~retx =
+  let length = range_len name in
+  Leotp_net.Packet.make ~src ~dst ~flow:name.flow
+    ~size:(config.Config.header_bytes + length)
+    (Data { name; length; timestamp; req_owd; first_sent; retx })
+
+let vph_packet ~config ~src ~dst ~name ~timestamp =
+  Leotp_net.Packet.make ~src ~dst ~flow:name.flow
+    ~size:config.Config.header_bytes
+    (Data { name; length = 0; timestamp; req_owd = 0.0; first_sent = 0.0; retx = false })
+
+let is_vph = function Data { length = 0; _ } -> true | _ -> false
+
+let pp_name ppf n = Format.fprintf ppf "%d:[%d,%d)" n.flow n.lo n.hi

@@ -1,0 +1,1 @@
+lib/gateway/bridge.ml: Leotp Leotp_net Leotp_tcp

@@ -1,0 +1,1 @@
+lib/gateway/bridge.mli: Leotp Leotp_net Leotp_sim Leotp_tcp

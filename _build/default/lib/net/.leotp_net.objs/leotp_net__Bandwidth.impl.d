@@ -1,0 +1,1 @@
+lib/net/bandwidth.ml: Array Float Leotp_util

@@ -1,0 +1,1 @@
+lib/net/dynamic_path.ml: Array Bandwidth Float Leotp_sim Link List Topology

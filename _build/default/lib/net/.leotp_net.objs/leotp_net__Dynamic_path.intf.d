@@ -1,0 +1,1 @@
+lib/net/dynamic_path.mli: Bandwidth Leotp_sim Leotp_util Topology

@@ -1,0 +1,1 @@
+lib/net/flow_metrics.ml: Leotp_util

@@ -1,0 +1,1 @@
+lib/net/link.ml: Bandwidth Float Leotp_sim Leotp_util Packet Queue

@@ -1,0 +1,1 @@
+lib/net/link.mli: Bandwidth Leotp_sim Leotp_util Packet

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Bandwidth Leotp_util Link Node Printf

@@ -1,0 +1,1 @@
+lib/net/topology.mli: Bandwidth Leotp_sim Leotp_util Link Node

@@ -1,0 +1,59 @@
+(** Time-varying link bandwidth models (bytes/second).
+
+    [Square] reproduces the paper's bottleneck fluctuation (a square wave
+    with fixed period and amplitude, §II-A and §V-B); [Steps] is used for
+    trace-driven rates such as the GSL handover "V" curve with random bias
+    (§V-C), precomputed by the scenario so that sampling stays pure. *)
+
+type t =
+  | Constant of float
+  | Square of { mean : float; amplitude : float; period : float }
+      (** [mean + amplitude] for the first half of each period, then
+          [mean - amplitude]. *)
+  | Steps of (float * float) array
+      (** [(start_time, rate)] pairs sorted by time; the rate before the
+          first step is the first step's rate. *)
+
+let constant_mbps mbps = Constant (Leotp_util.Units.mbps_to_bytes_per_sec mbps)
+
+let square_mbps ~mean ~amplitude ~period =
+  Square
+    {
+      mean = Leotp_util.Units.mbps_to_bytes_per_sec mean;
+      amplitude = Leotp_util.Units.mbps_to_bytes_per_sec amplitude;
+      period;
+    }
+
+let at t time =
+  match t with
+  | Constant r -> r
+  | Square { mean; amplitude; period } ->
+    let phase = Float.rem time period in
+    if phase < period /. 2.0 then mean +. amplitude else mean -. amplitude
+  | Steps steps ->
+    let n = Array.length steps in
+    if n = 0 then invalid_arg "Bandwidth.at: empty Steps"
+    else begin
+      (* Binary search for the last step with start_time <= time. *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      if time < fst steps.(0) then snd steps.(0)
+      else begin
+        while !lo < !hi do
+          let mid = (!lo + !hi + 1) / 2 in
+          if fst steps.(mid) <= time then lo := mid else hi := mid - 1
+        done;
+        snd steps.(!lo)
+      end
+    end
+
+let mean_over t ~t_end =
+  match t with
+  | Constant r -> r
+  | Square { mean; _ } -> mean
+  | Steps _ ->
+    let samples = 1000 in
+    let acc = ref 0.0 in
+    for i = 0 to samples - 1 do
+      acc := !acc +. at t (float_of_int i *. t_end /. float_of_int samples)
+    done;
+    !acc /. float_of_int samples

@@ -1,0 +1,85 @@
+type hop_state = { delay : float; bandwidth : Bandwidth.t; plr : float }
+type snapshot = hop_state array
+
+type t = {
+  engine : Leotp_sim.Engine.t;
+  chain : Topology.chain;
+  max_hops : int;
+  switch_epsilon : float;
+  mutable active_hops : int;
+  mutable switch_count : int;
+}
+
+(* Pass-through hops stand in for "this relay is not on the current route":
+   they add (almost) nothing to the path. *)
+let pass_through_delay = 20e-6
+let pass_through_bw = Bandwidth.constant_mbps 10_000.0
+
+let to_spec ?(buffer_bytes = 256 * 1024) (h : hop_state) =
+  Topology.hop ~plr:h.plr ~buffer_bytes ~bandwidth:h.bandwidth ~delay:h.delay
+    ()
+
+let create engine ~rng ~max_hops ~initial ?(buffer_bytes = 256 * 1024)
+    ?(switch_epsilon = 50e-6) () =
+  assert (Array.length initial <= max_hops);
+  let specs =
+    Array.init max_hops (fun i ->
+        if i < Array.length initial then to_spec ~buffer_bytes initial.(i)
+        else
+          Topology.hop ~buffer_bytes ~bandwidth:pass_through_bw
+            ~delay:pass_through_delay ())
+  in
+  let chain = Topology.chain engine ~rng specs in
+  {
+    engine;
+    chain;
+    max_hops;
+    switch_epsilon;
+    active_hops = Array.length initial;
+    switch_count = 0;
+  }
+
+let chain t = t.chain
+
+let update_link link ~delay ~bandwidth ~plr ~epsilon =
+  let changed = Float.abs (Link.delay link -. delay) > epsilon in
+  Link.set_delay link delay;
+  Link.set_bandwidth link bandwidth;
+  Link.set_plr link plr;
+  if changed then Link.flush link;
+  changed
+
+let apply t snapshot =
+  let n = Array.length snapshot in
+  assert (n <= t.max_hops);
+  let any_switch = ref false in
+  for i = 0 to t.max_hops - 1 do
+    let delay, bandwidth, plr =
+      if i < n then (snapshot.(i).delay, snapshot.(i).bandwidth, snapshot.(i).plr)
+      else (pass_through_delay, pass_through_bw, 0.0)
+    in
+    let d = t.chain.Topology.hops.(i) in
+    let c1 =
+      update_link d.Topology.fwd ~delay ~bandwidth ~plr
+        ~epsilon:t.switch_epsilon
+    in
+    (* The reverse direction keeps the same delay/plr; its bandwidth is the
+       forward one too (Interest/ACK traffic is tiny). *)
+    let c2 =
+      update_link d.Topology.rev ~delay ~bandwidth ~plr
+        ~epsilon:t.switch_epsilon
+    in
+    if c1 || c2 then any_switch := true
+  done;
+  t.active_hops <- n;
+  if !any_switch then t.switch_count <- t.switch_count + 1
+
+let schedule t items =
+  List.iter
+    (fun (time, snap) ->
+      ignore
+        (Leotp_sim.Engine.schedule_at t.engine ~time (fun () -> apply t snap)))
+    items
+
+let active_hops t = t.active_hops
+let switch_count t = t.switch_count

@@ -1,0 +1,43 @@
+(** Time-varying linear path (link switching and rerouting).
+
+    A chain is allocated with a fixed maximum hop count; reconfigurations
+    change per-hop delay / bandwidth / loss over time.  When the new route
+    has fewer hops than the chain, the surplus hops become "pass-through"
+    (negligible delay, high rate, no loss) so transport objects survive the
+    change — which is exactly the property LEOTP's connectionless design
+    exploits, while TCP endpoints simply observe a changed end-to-end path.
+
+    Any hop whose propagation delay changes by more than [switch_epsilon]
+    is flushed: queued and in-flight packets are dropped, reproducing the
+    paper's "link switching causes inevitable packet loss" (§V-B). *)
+
+type hop_state = {
+  delay : float;
+  bandwidth : Bandwidth.t;
+  plr : float;
+}
+
+type snapshot = hop_state array
+(** Active hops, source side first; length <= max hops of the chain. *)
+
+type t
+
+val create :
+  Leotp_sim.Engine.t ->
+  rng:Leotp_util.Rng.t ->
+  max_hops:int ->
+  initial:snapshot ->
+  ?buffer_bytes:int ->
+  ?switch_epsilon:float ->
+  unit ->
+  t
+(** Default [switch_epsilon] 50 microseconds; default buffer 256 KB. *)
+
+val chain : t -> Topology.chain
+val apply : t -> snapshot -> unit
+
+val schedule : t -> (float * snapshot) list -> unit
+(** Apply each snapshot at its absolute time. *)
+
+val active_hops : t -> int
+val switch_count : t -> int

@@ -1,0 +1,58 @@
+type t = {
+  flow : int;
+  mutable app_bytes : int;
+  mutable wire_bytes_sent : int;
+  mutable retransmissions : int;
+  owd : Leotp_util.Stats.t;
+  retx_owd : Leotp_util.Stats.t;
+  delivery : Leotp_util.Timeseries.t;
+  mutable started : float;
+  mutable finished : float option;
+}
+
+let create ~flow =
+  {
+    flow;
+    app_bytes = 0;
+    wire_bytes_sent = 0;
+    retransmissions = 0;
+    owd = Leotp_util.Stats.create ();
+    retx_owd = Leotp_util.Stats.create ();
+    delivery = Leotp_util.Timeseries.create ();
+    started = 0.0;
+    finished = None;
+  }
+
+let flow t = t.flow
+let on_send t ~bytes = t.wire_bytes_sent <- t.wire_bytes_sent + bytes
+let on_retransmit t = t.retransmissions <- t.retransmissions + 1
+
+let on_deliver t ~now ~bytes ~owd ~retx =
+  t.app_bytes <- t.app_bytes + bytes;
+  Leotp_util.Stats.add t.owd owd;
+  if retx then Leotp_util.Stats.add t.retx_owd owd;
+  Leotp_util.Timeseries.add t.delivery ~time:now (float_of_int bytes)
+
+let set_started t v = t.started <- v
+let set_finished t v = t.finished <- Some v
+let app_bytes t = t.app_bytes
+let wire_bytes_sent t = t.wire_bytes_sent
+let retransmissions t = t.retransmissions
+let owd t = t.owd
+let retx_owd t = t.retx_owd
+let delivery t = t.delivery
+let started t = t.started
+let finished t = t.finished
+
+let completion_time t =
+  match t.finished with Some f -> Some (f -. t.started) | None -> None
+
+let goodput t ~lo ~hi =
+  if hi <= lo then 0.0
+  else Leotp_util.Timeseries.window_sum t.delivery ~lo ~hi /. (hi -. lo)
+
+let mean_throughput_mbps t ~duration =
+  if duration <= 0.0 then 0.0
+  else
+    Leotp_util.Units.bytes_per_sec_to_mbps
+      (float_of_int t.app_bytes /. duration)

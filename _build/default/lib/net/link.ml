@@ -1,0 +1,126 @@
+type stats = {
+  mutable packets_in : int;
+  mutable packets_delivered : int;
+  mutable bytes_delivered : int;
+  mutable drops_tail : int;
+  mutable drops_error : int;
+  mutable drops_flush : int;
+  queue_delay : Leotp_util.Stats.t;
+}
+
+type t = {
+  engine : Leotp_sim.Engine.t;
+  name : string;
+  src : int;
+  dst : int;
+  mutable bandwidth : Bandwidth.t;
+  mutable delay : float;
+  mutable plr : float;
+  mutable buffer_bytes : int;
+  rng : Leotp_util.Rng.t;
+  queue : (Packet.t * float) Queue.t;
+  mutable queued_bytes : int;
+  mutable busy : bool;
+  mutable epoch : int;
+  mutable sink : Packet.t -> unit;
+  stats : stats;
+}
+
+let create engine ~name ~src ~dst ~bandwidth ~delay ?(plr = 0.0)
+    ?(buffer_bytes = 256 * 1024) ~rng () =
+  {
+    engine;
+    name;
+    src;
+    dst;
+    bandwidth;
+    delay;
+    plr;
+    buffer_bytes;
+    rng;
+    queue = Queue.create ();
+    queued_bytes = 0;
+    busy = false;
+    epoch = 0;
+    sink = (fun _ -> ());
+    stats =
+      {
+        packets_in = 0;
+        packets_delivered = 0;
+        bytes_delivered = 0;
+        drops_tail = 0;
+        drops_error = 0;
+        drops_flush = 0;
+        queue_delay = Leotp_util.Stats.create ();
+      };
+  }
+
+let set_sink t sink = t.sink <- sink
+let src t = t.src
+let dst t = t.dst
+let name t = t.name
+let delay t = t.delay
+let set_delay t d = t.delay <- d
+let plr t = t.plr
+let set_plr t p = t.plr <- p
+let bandwidth t = t.bandwidth
+let set_bandwidth t b = t.bandwidth <- b
+let current_rate t = Bandwidth.at t.bandwidth (Leotp_sim.Engine.now t.engine)
+let set_buffer_bytes t n = t.buffer_bytes <- n
+let queue_bytes t = t.queued_bytes
+let stats t = t.stats
+
+let rec start_transmission t =
+  if not t.busy then begin
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some (pkt, enqueued_at) ->
+      t.queued_bytes <- t.queued_bytes - pkt.Packet.size;
+      t.busy <- true;
+      let now = Leotp_sim.Engine.now t.engine in
+      Leotp_util.Stats.add t.stats.queue_delay (now -. enqueued_at);
+      let rate = Float.max 1.0 (Bandwidth.at t.bandwidth now) in
+      let tx_time = float_of_int pkt.Packet.size /. rate in
+      let epoch = t.epoch in
+      ignore
+        (Leotp_sim.Engine.schedule t.engine ~after:tx_time (fun () ->
+             complete_transmission t pkt epoch))
+  end
+
+and complete_transmission t pkt epoch =
+  t.busy <- false;
+  if epoch = t.epoch then begin
+    (* Corruption consumes the hop's bandwidth but the packet vanishes. *)
+    if Leotp_util.Rng.bernoulli t.rng t.plr then
+      t.stats.drops_error <- t.stats.drops_error + 1
+    else begin
+      let arrival_epoch = t.epoch in
+      ignore
+        (Leotp_sim.Engine.schedule t.engine ~after:t.delay (fun () ->
+             if arrival_epoch = t.epoch then begin
+               t.stats.packets_delivered <- t.stats.packets_delivered + 1;
+               t.stats.bytes_delivered <-
+                 t.stats.bytes_delivered + pkt.Packet.size;
+               t.sink pkt
+             end
+             else t.stats.drops_flush <- t.stats.drops_flush + 1))
+    end
+  end
+  else t.stats.drops_flush <- t.stats.drops_flush + 1;
+  start_transmission t
+
+let send t pkt =
+  t.stats.packets_in <- t.stats.packets_in + 1;
+  if t.queued_bytes + pkt.Packet.size > t.buffer_bytes then
+    t.stats.drops_tail <- t.stats.drops_tail + 1
+  else begin
+    Queue.add (pkt, Leotp_sim.Engine.now t.engine) t.queue;
+    t.queued_bytes <- t.queued_bytes + pkt.Packet.size;
+    start_transmission t
+  end
+
+let flush t =
+  t.epoch <- t.epoch + 1;
+  t.stats.drops_flush <- t.stats.drops_flush + Queue.length t.queue;
+  Queue.clear t.queue;
+  t.queued_bytes <- 0

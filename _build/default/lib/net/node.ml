@@ -1,0 +1,44 @@
+type t = {
+  id : int;
+  name : string;
+  routes : (int, Link.t) Hashtbl.t;
+  mutable handler : from:int -> Packet.t -> unit;
+  mutable no_route_drops : int;
+}
+
+let counter = ref 0
+
+let create ~name =
+  incr counter;
+  let rec t =
+    {
+      id = !counter;
+      name;
+      routes = Hashtbl.create 16;
+      handler = (fun ~from pkt -> forward_impl t ~from pkt);
+      no_route_drops = 0;
+    }
+  and forward_impl t ~from:_ pkt = send_impl t pkt
+  and send_impl t pkt =
+    match Hashtbl.find_opt t.routes pkt.Packet.dst with
+    | Some link -> Link.send link pkt
+    | None -> t.no_route_drops <- t.no_route_drops + 1
+  in
+  t
+
+let reset_ids () = counter := 0
+let id t = t.id
+let name t = t.name
+let add_route t ~dst link = Hashtbl.replace t.routes dst link
+let route_to t ~dst = Hashtbl.find_opt t.routes dst
+let clear_routes t = Hashtbl.reset t.routes
+let set_handler t h = t.handler <- h
+let receive t ~from pkt = t.handler ~from pkt
+
+let send t pkt =
+  match Hashtbl.find_opt t.routes pkt.Packet.dst with
+  | Some link -> Link.send link pkt
+  | None -> t.no_route_drops <- t.no_route_drops + 1
+
+let no_route_drops t = t.no_route_drops
+let forward t ~from:_ pkt = send t pkt

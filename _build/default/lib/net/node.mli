@@ -1,0 +1,36 @@
+(** Network nodes.
+
+    A node owns a routing table (destination node id -> egress link) and a
+    packet handler.  The default handler forwards toward the packet's
+    destination; transport protocols (TCP endpoints, LEOTP Consumer /
+    Midnode / Producer) replace the handler with their own logic and call
+    {!send} to hand packets back to the network. *)
+
+type t
+
+val create : name:string -> t
+(** Node ids are assigned from a global counter; {!reset_ids} restarts it
+    between experiments so ids stay small and deterministic. *)
+
+val reset_ids : unit -> unit
+val id : t -> int
+val name : t -> string
+
+val add_route : t -> dst:int -> Link.t -> unit
+val route_to : t -> dst:int -> Link.t option
+val clear_routes : t -> unit
+
+val set_handler : t -> (from:int -> Packet.t -> unit) -> unit
+(** [from] is the node id of the upstream end of the delivering link. *)
+
+val receive : t -> from:int -> Packet.t -> unit
+
+val send : t -> Packet.t -> unit
+(** Route by [pkt.dst] and transmit.  Packets with no route are counted in
+    {!no_route_drops} and dropped (happens transiently during rerouting). *)
+
+val no_route_drops : t -> int
+
+val forward : t -> from:int -> Packet.t -> unit
+(** The default handler: deliver locally is impossible for a plain node, so
+    everything is routed onward. *)

@@ -1,0 +1,23 @@
+type payload = ..
+type payload += Raw of string
+
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  flow : int;
+  size : int;
+  payload : payload;
+}
+
+let counter = ref 0
+
+let make ~src ~dst ~flow ~size payload =
+  assert (size > 0);
+  incr counter;
+  { id = !counter; src; dst; flow; size; payload }
+
+let reset_ids () = counter := 0
+
+let pp ppf t =
+  Format.fprintf ppf "#%d flow=%d %d->%d %dB" t.id t.flow t.src t.dst t.size

@@ -1,0 +1,26 @@
+(** Simulated network packets.
+
+    The payload is an extensible variant so each transport protocol extends
+    it with its own segment types without the network layer depending on
+    any protocol.  [size] is the total on-wire size in bytes and is what
+    links charge for serialization and queue occupancy. *)
+
+type payload = ..
+
+type payload += Raw of string  (** opaque payload for tests *)
+
+type t = {
+  id : int;  (** globally unique, for tracing *)
+  src : int;  (** origin node id *)
+  dst : int;  (** destination node id (used by forwarders) *)
+  flow : int;  (** flow identifier *)
+  size : int;  (** bytes on the wire *)
+  payload : payload;
+}
+
+val make : src:int -> dst:int -> flow:int -> size:int -> payload -> t
+
+val reset_ids : unit -> unit
+(** Reset the id counter (between independent experiments). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/scenario/common.ml: Array Float Leotp Leotp_net Leotp_sim Leotp_tcp Leotp_util List Printf

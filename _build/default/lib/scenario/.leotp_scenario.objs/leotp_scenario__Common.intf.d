@@ -1,0 +1,1 @@
+lib/scenario/common.mli: Leotp Leotp_net Leotp_tcp Leotp_util

@@ -1,0 +1,1 @@
+lib/scenario/experiments.ml: Array Common Float Leotp Leotp_net Leotp_sim Leotp_tcp Leotp_theory Leotp_util List Printf Report String

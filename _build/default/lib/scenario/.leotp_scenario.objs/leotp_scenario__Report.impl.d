@@ -1,0 +1,1 @@
+lib/scenario/report.ml: Common Leotp_util List Printf

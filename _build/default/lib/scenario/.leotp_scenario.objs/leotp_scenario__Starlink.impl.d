@@ -1,0 +1,1 @@
+lib/scenario/starlink.ml: Array Common Float Leotp Leotp_constellation Leotp_net Leotp_sim Leotp_tcp Leotp_util List Printf Report

@@ -1,0 +1,1 @@
+lib/scenario/starlink.mli: Common

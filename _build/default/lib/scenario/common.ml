@@ -1,0 +1,250 @@
+module Engine = Leotp_sim.Engine
+module Bandwidth = Leotp_net.Bandwidth
+module Topology = Leotp_net.Topology
+module Node = Leotp_net.Node
+module Flow_metrics = Leotp_net.Flow_metrics
+module Stats = Leotp_util.Stats
+
+let mbps = Leotp_util.Units.mbps_to_bytes_per_sec
+
+type protocol =
+  | Tcp of Leotp_tcp.Cc.algo
+  | Split_tcp of Leotp_tcp.Cc.algo
+  | Leotp of Leotp.Config.t
+  | Leotp_partial of Leotp.Config.t * float
+
+let protocol_name = function
+  | Tcp cc -> Leotp_tcp.Cc.algo_name cc
+  | Split_tcp cc -> "split-" ^ Leotp_tcp.Cc.algo_name cc
+  | Leotp cfg -> (
+    match cfg.Leotp.Config.ablation with
+    | Leotp.Config.Full -> "leotp"
+    | Leotp.Config.No_cache -> "leotp-B(no-cache)"
+    | Leotp.Config.E2e_cc -> "leotp-C(e2e-cc)"
+    | Leotp.Config.No_midnodes -> "leotp-D(e2e)")
+  | Leotp_partial (_, cov) -> Printf.sprintf "leotp-%.0f%%cov" (cov *. 100.0)
+
+type link_params = {
+  bandwidth_mbps : float;
+  delay : float;
+  plr : float;
+  buffer_bytes : int;
+}
+
+let link ?(plr = 0.0) ?(buffer_bytes = 256 * 1024) ~bw ~delay () =
+  { bandwidth_mbps = bw; delay; plr; buffer_bytes }
+
+type summary = {
+  protocol : string;
+  goodput_mbps : float;
+  owd : Stats.t;
+  retx_owd : Stats.t;
+  queuing_delay : Stats.t;
+  retransmissions : int;
+  wire_bytes : int;
+  app_bytes : int;
+  completion_time : float option;
+  delivery : Leotp_util.Timeseries.t;
+  duration : float;
+  congestion_drops : int;
+}
+
+let uniform_hops ~n p = List.init n (fun _ -> p)
+
+let to_spec p =
+  Topology.hop ~plr:p.plr ~buffer_bytes:p.buffer_bytes
+    ~bandwidth:(Bandwidth.Constant (mbps p.bandwidth_mbps))
+    ~delay:p.delay ()
+
+let summarize ?(congestion_drops = 0) ~protocol ~metrics ~floor ~warmup
+    ~duration () =
+  let owd = Flow_metrics.owd metrics in
+  let queuing = Stats.create () in
+  List.iter
+    (fun s -> Stats.add queuing (Float.max 0.0 (s -. floor)))
+    (Stats.to_list owd);
+  let goodput_window_bytes =
+    Leotp_util.Timeseries.window_sum (Flow_metrics.delivery metrics) ~lo:warmup
+      ~hi:duration
+  in
+  let goodput_mbps =
+    match Flow_metrics.completion_time metrics with
+    | Some ct when ct > 0.0 ->
+      Leotp_util.Units.bytes_per_sec_to_mbps
+        (float_of_int (Flow_metrics.app_bytes metrics) /. ct)
+    | _ ->
+      if duration > warmup then
+        Leotp_util.Units.bytes_per_sec_to_mbps
+          (goodput_window_bytes /. (duration -. warmup))
+      else 0.0
+  in
+  {
+    protocol;
+    goodput_mbps;
+    owd;
+    retx_owd = Flow_metrics.retx_owd metrics;
+    queuing_delay = queuing;
+    retransmissions = Flow_metrics.retransmissions metrics;
+    wire_bytes = Flow_metrics.wire_bytes_sent metrics;
+    app_bytes = Flow_metrics.app_bytes metrics;
+    completion_time = Flow_metrics.completion_time metrics;
+    delivery = Flow_metrics.delivery metrics;
+    duration;
+    congestion_drops;
+  }
+
+let run_chain ?(seed = 42) ?bytes ?(duration = 60.0) ?(warmup = 10.0)
+    ?bottleneck ?(bandwidth_schedule = []) ~hops protocol =
+  Leotp_net.Packet.reset_ids ();
+  Node.reset_ids ();
+  let engine = Engine.create () in
+  let rng = Leotp_util.Rng.create ~seed in
+  let hops =
+    match bottleneck with
+    | None -> hops
+    | Some (idx, p) -> List.mapi (fun i h -> if i = idx then p else h) hops
+  in
+  let floor = List.fold_left (fun acc h -> acc +. h.delay) 0.0 hops in
+  let specs = Array.of_list (List.map to_spec hops) in
+  let chain = Topology.chain engine ~rng specs in
+  List.iter
+    (fun (idx, bw) ->
+      let d = chain.Topology.hops.(idx) in
+      Leotp_net.Link.set_bandwidth d.Topology.fwd bw;
+      Leotp_net.Link.set_bandwidth d.Topology.rev bw)
+    bandwidth_schedule;
+  let n = Array.length chain.Topology.nodes - 1 in
+  let metrics =
+    match protocol with
+    | Tcp cc ->
+      let source =
+        match bytes with
+        | Some b -> Leotp_tcp.Sender.Fixed b
+        | None -> Leotp_tcp.Sender.Unlimited
+      in
+      let session =
+        Leotp_tcp.Session.connect engine ~src_node:chain.Topology.nodes.(0)
+          ~dst_node:chain.Topology.nodes.(n) ~flow:1 ~cc ~source ()
+      in
+      Leotp_tcp.Session.start session;
+      session.Leotp_tcp.Session.metrics
+    | Split_tcp cc ->
+      let source =
+        match bytes with
+        | Some b -> Leotp_tcp.Sender.Fixed b
+        | None -> Leotp_tcp.Sender.Unlimited
+      in
+      let split =
+        Leotp_tcp.Split.connect engine ~nodes:chain.Topology.nodes ~flow:1 ~cc
+          ~source ()
+      in
+      Leotp_tcp.Split.start split;
+      Leotp_tcp.Split.metrics split
+    | Leotp cfg ->
+      let session =
+        Leotp.Session.over_chain engine ~config:cfg ~chain ~flow:1
+          ?total_bytes:bytes ()
+      in
+      Leotp.Session.start session;
+      session.Leotp.Session.metrics
+    | Leotp_partial (cfg, coverage) ->
+      let session =
+        Leotp.Session.over_chain engine ~config:cfg ~chain ~flow:1
+          ?total_bytes:bytes ~coverage
+          ~coverage_rng:(Leotp_util.Rng.substream rng "coverage")
+          ()
+      in
+      Leotp.Session.start session;
+      session.Leotp.Session.metrics
+  in
+  Engine.run ~until:duration engine;
+  let congestion_drops =
+    Array.fold_left
+      (fun acc d ->
+        acc
+        + (Leotp_net.Link.stats d.Topology.fwd).Leotp_net.Link.drops_tail
+        + (Leotp_net.Link.stats d.Topology.rev).Leotp_net.Link.drops_tail)
+      0 chain.Topology.hops
+  in
+  summarize ~congestion_drops ~protocol:(protocol_name protocol) ~metrics
+    ~floor ~warmup ~duration ()
+
+let run_flows_dumbbell ?(seed = 42) ?(duration = 600.0) ~access_delays
+    ~bottleneck ~access ~starts protocol =
+  Leotp_net.Packet.reset_ids ();
+  Node.reset_ids ();
+  let engine = Engine.create () in
+  let rng = Leotp_util.Rng.create ~seed in
+  let n = List.length access_delays in
+  assert (List.length starts = n);
+  let access_specs =
+    Array.of_list
+      (List.map (fun d -> to_spec { access with delay = d }) access_delays)
+  in
+  let db =
+    Topology.dumbbell engine ~rng ~access:access_specs
+      ~bottleneck:(to_spec bottleneck)
+  in
+  let floor i = (2.0 *. List.nth access_delays i) +. bottleneck.delay in
+  let all_metrics =
+    match protocol with
+    | Tcp cc ->
+      List.init n (fun i ->
+          let session =
+            Leotp_tcp.Session.connect engine
+              ~src_node:db.Topology.senders.(i)
+              ~dst_node:db.Topology.receivers.(i)
+              ~flow:(i + 1) ~cc ~source:Leotp_tcp.Sender.Unlimited ()
+          in
+          ignore
+            (Engine.schedule_at engine ~time:(List.nth starts i) (fun () ->
+                 Leotp_tcp.Session.start session));
+          session.Leotp_tcp.Session.metrics)
+    | Leotp cfg ->
+      (* Shared Midnodes on the two routers. *)
+      let midnodes =
+        match cfg.Leotp.Config.ablation with
+        | Leotp.Config.No_midnodes -> []
+        | _ ->
+          [
+            Leotp.Midnode.create engine ~config:cfg ~node:db.Topology.left ();
+            Leotp.Midnode.create engine ~config:cfg ~node:db.Topology.right ();
+          ]
+      in
+      List.init n (fun i ->
+          (* Data flows sender -> receiver: the sender node is the
+             Producer, the receiver node the Consumer. *)
+          let session =
+            Leotp.Session.attach engine ~config:cfg
+              ~consumer_node:db.Topology.receivers.(i)
+              ~producer_node:db.Topology.senders.(i)
+              ~midnodes ~flow:(i + 1) ()
+          in
+          ignore
+            (Engine.schedule_at engine ~time:(List.nth starts i) (fun () ->
+                 Leotp.Session.start session));
+          session.Leotp.Session.metrics)
+    | Split_tcp _ | Leotp_partial _ ->
+      invalid_arg "run_flows_dumbbell: unsupported protocol"
+  in
+  Engine.run ~until:duration engine;
+  let summaries =
+    List.mapi
+      (fun i m ->
+        summarize
+          ~protocol:(protocol_name protocol)
+          ~metrics:m ~floor:(floor i)
+          ~warmup:(List.nth starts i +. 20.0)
+          ~duration ())
+      all_metrics
+  in
+  let series =
+    List.map
+      (fun m ->
+        List.map
+          (fun (t, bps) -> (t, Leotp_util.Units.bytes_per_sec_to_mbps bps))
+          (Leotp_util.Timeseries.rate_series (Flow_metrics.delivery m)
+             ~width:5.0 ~t_end:duration))
+      all_metrics
+  in
+  (summaries, series)

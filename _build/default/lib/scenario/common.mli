@@ -1,0 +1,78 @@
+(** Shared experiment plumbing: build a path, run one protocol over it,
+    return a uniform summary.  Every figure/table module builds on this. *)
+
+type protocol =
+  | Tcp of Leotp_tcp.Cc.algo
+  | Split_tcp of Leotp_tcp.Cc.algo
+  | Leotp of Leotp.Config.t
+  | Leotp_partial of Leotp.Config.t * float  (** coverage fraction *)
+
+val protocol_name : protocol -> string
+
+type link_params = {
+  bandwidth_mbps : float;
+  delay : float;  (** one-way propagation per hop, seconds *)
+  plr : float;
+  buffer_bytes : int;
+}
+
+val link : ?plr:float -> ?buffer_bytes:int -> bw:float -> delay:float -> unit -> link_params
+
+type summary = {
+  protocol : string;
+  goodput_mbps : float;  (** application goodput over the measure window *)
+  owd : Leotp_util.Stats.t;  (** data-retrieval OWD, seconds *)
+  retx_owd : Leotp_util.Stats.t;
+  queuing_delay : Leotp_util.Stats.t;  (** OWD minus propagation floor *)
+  retransmissions : int;
+  wire_bytes : int;  (** bytes the origin sender put on the wire *)
+  app_bytes : int;
+  completion_time : float option;
+  delivery : Leotp_util.Timeseries.t;
+  duration : float;
+  congestion_drops : int;  (** droptail losses across the path's links *)
+}
+
+val run_chain :
+  ?seed:int ->
+  ?bytes:int ->
+  ?duration:float ->
+  ?warmup:float ->
+  ?bottleneck:int * link_params ->
+  ?bandwidth_schedule:(int * Leotp_net.Bandwidth.t) list ->
+  hops:link_params list ->
+  protocol ->
+  summary
+(** Run one flow over a chain of [hops].  [bytes] = fixed transfer (the
+    run ends at completion or [duration]); omitted = bulk flow measured
+    over [warmup, duration).  [bottleneck] replaces hop [i]'s parameters;
+    [bandwidth_schedule] overrides the bandwidth model of selected hops
+    (e.g. square-wave bottlenecks).  Propagation floor for the queuing
+    statistic is the sum of hop delays. *)
+
+val uniform_hops : n:int -> link_params -> link_params list
+
+val summarize :
+  ?congestion_drops:int ->
+  protocol:string ->
+  metrics:Leotp_net.Flow_metrics.t ->
+  floor:float ->
+  warmup:float ->
+  duration:float ->
+  unit ->
+  summary
+(** Build a summary from raw flow metrics (used by scenario runners that
+    assemble their own topologies, e.g. the Starlink emulation). *)
+
+val run_flows_dumbbell :
+  ?seed:int ->
+  ?duration:float ->
+  access_delays:float list ->
+  bottleneck:link_params ->
+  access:link_params ->
+  starts:float list ->
+  protocol ->
+  summary list * (float * float) list list
+(** Fairness topology (Fig 15): one flow per access delay, flow [i]
+    starting at [starts.(i)].  Returns per-flow summaries and per-flow
+    throughput time series (1 s buckets, Mbps). *)

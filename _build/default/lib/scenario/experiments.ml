@@ -1,0 +1,436 @@
+module Cc = Leotp_tcp.Cc
+module Stats = Leotp_util.Stats
+module Bandwidth = Leotp_net.Bandwidth
+
+let mbps = Leotp_util.Units.mbps_to_bytes_per_sec
+let leotp_default = Common.Leotp Leotp.Config.default
+
+(* ------------------------------------------------------------------ *)
+(* Fig 2: TCP throughput collapse vs hop count (0.5% loss per hop).     *)
+
+let fig02 ?(quick = false) () =
+  Report.header "Fig 2: TCP throughput vs hop count (20 Mbps, 10 ms hopRTT, 0.5%/hop)";
+  let duration = if quick then 15.0 else 60.0 in
+  let hop_counts = if quick then [ 1; 5; 10 ] else [ 1; 2; 4; 6; 8; 10 ] in
+  let algos = [ Cc.Cubic; Cc.Hybla; Cc.Bbr; Cc.Pcc ] in
+  let results =
+    List.map
+      (fun cc ->
+        let rows =
+          List.map
+            (fun n ->
+              let s =
+                Common.run_chain ~duration
+                  ~hops:
+                    (Common.uniform_hops ~n
+                       (Common.link ~plr:0.005 ~bw:20.0 ~delay:0.005 ()))
+                  (Common.Tcp cc)
+              in
+              (n, s.Common.goodput_mbps))
+            hop_counts
+        in
+        (Cc.algo_name cc, rows))
+      algos
+  in
+  List.iter
+    (fun (name, rows) ->
+      Printf.printf "  %-10s" name;
+      List.iter (fun (n, t) -> Printf.printf "  %2d hops: %5.2f" n t) rows;
+      print_newline ())
+    results;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Fig 3: theoretical OWD distributions (10 hops, 0.5%, 10 ms).        *)
+
+let fig03 () =
+  Report.header "Fig 3: theoretical per-packet OWD, e2e vs hop-by-hop retransmission";
+  let p = 0.005 and hops = 10 and d = 0.01 in
+  let stats_of dist =
+    let q pct = Leotp_theory.Retrans.Owd_dist.percentile dist pct in
+    [
+      ("mean", Leotp_theory.Retrans.Owd_dist.mean dist);
+      ("p50", q 50.0);
+      ("p90", q 90.0);
+      ("p99", q 99.0);
+      ("p99.999", q 99.999);
+    ]
+  in
+  let e2e = Leotp_theory.Retrans.Owd_dist.e2e ~p ~hops ~d in
+  let hbh = Leotp_theory.Retrans.Owd_dist.hbh ~p ~hops ~d in
+  let results = [ ("end-to-end", stats_of e2e); ("hop-by-hop", stats_of hbh) ] in
+  List.iter
+    (fun (name, stats) ->
+      Printf.printf "  %-12s" name;
+      List.iter (fun (k, v) -> Printf.printf "  %s=%5.0fms" k (v *. 1000.0)) stats;
+      print_newline ())
+    results;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Fig 4: Split TCP vs TCP trade-off (10 hops, 20 Mbps, 0.5%/hop).      *)
+
+let fig04 ?(quick = false) () =
+  Report.header "Fig 4: throughput-OWD trade-off, Split TCP vs TCP (10 hops, 0.5%/hop)";
+  let duration = if quick then 15.0 else 60.0 in
+  let hops =
+    Common.uniform_hops ~n:10 (Common.link ~plr:0.005 ~bw:20.0 ~delay:0.005 ())
+  in
+  let algos = [ Cc.Cubic; Cc.Hybla; Cc.Bbr; Cc.Pcc ] in
+  let run proto =
+    let s = Common.run_chain ~duration ~hops proto in
+    (s.Common.protocol, (s.Common.goodput_mbps, Stats.mean s.Common.owd))
+  in
+  let results =
+    List.concat_map
+      (fun cc -> [ run (Common.Tcp cc); run (Common.Split_tcp cc) ])
+      algos
+  in
+  List.iter
+    (fun (name, (tput, owd)) ->
+      Printf.printf "  %-16s tput=%5.2f Mbps  mean OWD=%6.1f ms\n" name tput
+        (owd *. 1000.0))
+    results;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Fig 5: queuing delay and congestion loss vs propagation delay under  *)
+(* a fluctuating bottleneck (10 +/- 1 Mbps square wave, 2 s period).    *)
+
+let fig05 ?(quick = false) () =
+  Report.header
+    "Fig 5: queuing delay / congestion loss vs propagation delay (fluctuating bottleneck)";
+  let duration = if quick then 15.0 else 60.0 in
+  let delays = if quick then [ 0.02; 0.1 ] else [ 0.02; 0.04; 0.06; 0.08; 0.1 ] in
+  let algos = [ Cc.Cubic; Cc.Hybla; Cc.Bbr ] in
+  let results =
+    List.map
+      (fun cc ->
+        let rows =
+          List.map
+            (fun prop ->
+              (* 5 hops; hop 2 is the fluctuating bottleneck. *)
+              let hop_delay = prop /. 5.0 in
+              let hops =
+                Common.uniform_hops ~n:5
+                  (Common.link ~bw:20.0 ~delay:hop_delay ())
+              in
+              let s =
+                Common.run_chain ~duration ~hops
+                  ~bandwidth_schedule:
+                    [ (2, Bandwidth.square_mbps ~mean:10.0 ~amplitude:1.0 ~period:2.0) ]
+                  (Common.Tcp cc)
+              in
+              (prop, Stats.mean s.Common.queuing_delay, s.Common.congestion_drops))
+            delays
+        in
+        (Cc.algo_name cc, rows))
+      algos
+  in
+  List.iter
+    (fun (name, rows) ->
+      Printf.printf "  %-8s" name;
+      List.iter
+        (fun (p, q, drops) ->
+          Printf.printf "  %3.0fms: q=%5.1fms loss=%d" (p *. 1000.0) (q *. 1000.0) drops)
+        rows;
+      print_newline ())
+    results;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Fig 10: OWD of retransmitted packets (5 hops, 20 Mbps, 20 ms hopRTT) *)
+
+let fig10 ?(quick = false) () =
+  Report.header "Fig 10: OWD of retransmitted packets, LEOTP vs BBR (5 hops)";
+  let duration = if quick then 20.0 else 80.0 in
+  let plrs = if quick then [ 0.01 ] else [ 0.005; 0.01; 0.02 ] in
+  let protos = [ leotp_default; Common.Tcp Cc.Bbr ] in
+  let results =
+    List.map
+      (fun proto ->
+        let rows =
+          List.map
+            (fun plr ->
+              let s =
+                Common.run_chain ~duration
+                  ~hops:
+                    (Common.uniform_hops ~n:5
+                       (Common.link ~plr ~bw:20.0 ~delay:0.01 ()))
+                  proto
+              in
+              let r = s.Common.retx_owd in
+              if Stats.is_empty r then (plr, Float.nan, Float.nan)
+              else (plr, Stats.mean r, Stats.percentile r 99.0))
+            plrs
+        in
+        (Common.protocol_name proto, rows))
+      protos
+  in
+  List.iter
+    (fun (name, rows) ->
+      Printf.printf "  %-8s" name;
+      List.iter
+        (fun (plr, mean, p99) ->
+          Printf.printf "  plr=%.3f: mean=%5.1fms p99=%5.1fms" plr
+            (mean *. 1000.0) (p99 *. 1000.0))
+        rows;
+      print_newline ())
+    results;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Fig 11: origin traffic for a fixed file vs loss rate.                *)
+
+let fig11 ?(quick = false) () =
+  let file = if quick then 5_000_000 else 100_000_000 in
+  Report.header
+    (Printf.sprintf "Fig 11: origin traffic for a %d MB file vs per-hop loss"
+       (file / 1_000_000));
+  let plrs = if quick then [ 0.0; 0.01 ] else [ 0.0; 0.005; 0.01; 0.015; 0.02 ] in
+  let protos = [ leotp_default; Common.Tcp Cc.Bbr ] in
+  let results =
+    List.map
+      (fun proto ->
+        let rows =
+          List.map
+            (fun plr ->
+              let s =
+                Common.run_chain ~bytes:file ~duration:2000.0
+                  ~hops:
+                    (Common.uniform_hops ~n:5
+                       (Common.link ~plr ~bw:20.0 ~delay:0.01 ()))
+                  proto
+              in
+              (plr, float_of_int s.Common.wire_bytes /. 1e6))
+            plrs
+        in
+        (Common.protocol_name proto, rows))
+      protos
+  in
+  List.iter
+    (fun (name, rows) ->
+      Printf.printf "  %-8s" name;
+      List.iter (fun (plr, mb) -> Printf.printf "  plr=%.3f: %.1f MB" plr mb) rows;
+      print_newline ())
+    results;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Fig 12: throughput vs per-hop PLR (5 hops).                          *)
+
+let fig12 ?(quick = false) () =
+  Report.header "Fig 12: throughput vs per-hop loss rate (5 hops, 20 Mbps)";
+  let duration = if quick then 15.0 else 60.0 in
+  let plrs = if quick then [ 0.0; 0.01 ] else [ 0.0; 0.001; 0.0025; 0.005; 0.01 ] in
+  let protos =
+    leotp_default
+    :: List.map (fun cc -> Common.Tcp cc)
+         [ Cc.Cubic; Cc.Hybla; Cc.Westwood; Cc.Vegas; Cc.Bbr; Cc.Pcc ]
+  in
+  let results =
+    List.map
+      (fun proto ->
+        let rows =
+          List.map
+            (fun plr ->
+              let s =
+                Common.run_chain ~duration
+                  ~hops:
+                    (Common.uniform_hops ~n:5
+                       (Common.link ~plr ~bw:20.0 ~delay:0.01 ()))
+                  proto
+              in
+              (plr, s.Common.goodput_mbps))
+            plrs
+        in
+        (Common.protocol_name proto, rows))
+      protos
+  in
+  List.iter
+    (fun (name, rows) ->
+      Printf.printf "  %-10s" name;
+      List.iter (fun (plr, t) -> Printf.printf "  %.2f%%: %5.2f" (plr *. 100.0) t) rows;
+      print_newline ())
+    results;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Fig 13: throughput vs path-switching interval.                      *)
+
+let fig13 ?(quick = false) () =
+  Report.header "Fig 13: throughput vs path switching interval (80/90 ms RTT alternation)";
+  let duration = if quick then 20.0 else 80.0 in
+  let intervals = if quick then [ 1.0; 8.0 ] else [ 1.0; 2.0; 4.0; 8.0; 16.0 ] in
+  let protos =
+    [
+      leotp_default;
+      Common.Tcp Cc.Bbr;
+      Common.Tcp Cc.Pcc;
+      Common.Tcp Cc.Cubic;
+      Common.Tcp Cc.Vegas;
+    ]
+  in
+  (* 4 hops at 20 Mbps; alternating total one-way delay 40 ms <-> 45 ms
+     (RTT 80 <-> 90 ms); each switch flushes in-flight packets. *)
+  let run proto interval =
+    Leotp_net.Packet.reset_ids ();
+    Leotp_net.Node.reset_ids ();
+    let engine = Leotp_sim.Engine.create () in
+    let rng = Leotp_util.Rng.create ~seed:42 in
+    let hop d =
+      {
+        Leotp_net.Dynamic_path.delay = d;
+        bandwidth = Bandwidth.Constant (mbps 20.0);
+        plr = 0.0;
+      }
+    in
+    let snapshot d = Array.make 4 (hop d) in
+    let dp =
+      Leotp_net.Dynamic_path.create engine ~rng ~max_hops:4
+        ~initial:(snapshot 0.01) ()
+    in
+    let rec schedule i =
+      let time = interval *. float_of_int i in
+      if time < duration then begin
+        let d = if i mod 2 = 0 then 0.01 else 0.01125 in
+        ignore
+          (Leotp_sim.Engine.schedule_at engine ~time (fun () ->
+               Leotp_net.Dynamic_path.apply dp (snapshot d)));
+        schedule (i + 1)
+      end
+    in
+    schedule 1;
+    let chain = Leotp_net.Dynamic_path.chain dp in
+    let metrics =
+      match proto with
+      | Common.Tcp cc ->
+        let n = Array.length chain.Leotp_net.Topology.nodes - 1 in
+        let session =
+          Leotp_tcp.Session.connect engine
+            ~src_node:chain.Leotp_net.Topology.nodes.(0)
+            ~dst_node:chain.Leotp_net.Topology.nodes.(n)
+            ~flow:1 ~cc ~source:Leotp_tcp.Sender.Unlimited ()
+        in
+        Leotp_tcp.Session.start session;
+        session.Leotp_tcp.Session.metrics
+      | Common.Leotp cfg ->
+        let session =
+          Leotp.Session.over_chain engine ~config:cfg ~chain ~flow:1 ()
+        in
+        Leotp.Session.start session;
+        session.Leotp.Session.metrics
+      | _ -> invalid_arg "fig13"
+    in
+    Leotp_sim.Engine.run ~until:duration engine;
+    Leotp_util.Units.bytes_per_sec_to_mbps
+      (Leotp_util.Timeseries.window_sum
+         (Leotp_net.Flow_metrics.delivery metrics)
+         ~lo:10.0 ~hi:duration
+      /. (duration -. 10.0))
+  in
+  let results =
+    List.map
+      (fun proto ->
+        ( Common.protocol_name proto,
+          List.map (fun i -> (i, run proto i)) intervals ))
+      protos
+  in
+  List.iter
+    (fun (name, rows) ->
+      Printf.printf "  %-8s" name;
+      List.iter (fun (i, t) -> Printf.printf "  %4.0fs: %5.2f" i t) rows;
+      print_newline ())
+    results;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Fig 14: throughput-delay trade-off under bandwidth fluctuation.     *)
+
+let fig14 ?(quick = false) () =
+  Report.header
+    "Fig 14: throughput-OWD trade-off under a fluctuating bottleneck (10 hops)";
+  let duration = if quick then 20.0 else 80.0 in
+  let hops =
+    Common.uniform_hops ~n:10 (Common.link ~bw:20.0 ~delay:0.01 ())
+  in
+  let schedule =
+    [ (1, Bandwidth.square_mbps ~mean:10.0 ~amplitude:1.0 ~period:2.0) ]
+  in
+  let run label proto =
+    let s =
+      Common.run_chain ~duration ~hops ~bandwidth_schedule:schedule proto
+    in
+    (label, (s.Common.goodput_mbps, Stats.mean s.Common.queuing_delay))
+  in
+  let bl_targets = if quick then [ 20_000; 80_000 ] else [ 10_000; 20_000; 40_000; 80_000; 160_000 ] in
+  let leotp_points =
+    List.map
+      (fun bl ->
+        run
+          (Printf.sprintf "leotp-bl%dk" (bl / 1000))
+          (Common.Leotp { Leotp.Config.default with Leotp.Config.bl_target = bl }))
+      bl_targets
+  in
+  let e2e_leotp =
+    run "leotp-e2e(D)"
+      (Common.Leotp
+         (Leotp.Config.with_ablation Leotp.Config.No_midnodes
+            Leotp.Config.default))
+  in
+  let tcp_points =
+    List.map
+      (fun cc -> run (Cc.algo_name cc) (Common.Tcp cc))
+      [ Cc.Cubic; Cc.Hybla; Cc.Bbr; Cc.Pcc ]
+  in
+  let results = leotp_points @ [ e2e_leotp ] @ tcp_points in
+  List.iter
+    (fun (name, (tput, q)) ->
+      Printf.printf "  %-14s tput=%5.2f Mbps  queuing=%6.1f ms\n" name tput
+        (q *. 1000.0))
+    results;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Fig 15: intra-protocol fairness.                                    *)
+
+let fig15 ?(quick = false) () =
+  Report.header "Fig 15: fairness of 3 staggered flows sharing a 5 Mbps bottleneck";
+  let duration = if quick then 90.0 else 600.0 in
+  let starts = if quick then [ 0.0; 25.0; 50.0 ] else [ 0.0; 200.0; 400.0 ] in
+  let measure label proto access_delays =
+    let summaries, _series =
+      Common.run_flows_dumbbell ~duration ~access_delays
+        ~bottleneck:(Common.link ~bw:5.0 ~delay:0.015 ())
+        ~access:(Common.link ~bw:100.0 ~delay:0.0075 ())
+        ~starts proto
+    in
+    (* Fair-share window: all three flows active. *)
+    let lo = List.nth starts 2 +. 20.0 and hi = duration in
+    let rates =
+      List.map
+        (fun s ->
+          Leotp_util.Units.bytes_per_sec_to_mbps
+            (Leotp_util.Timeseries.window_sum s.Common.delivery ~lo ~hi
+            /. (hi -. lo)))
+        summaries
+    in
+    (label, Stats.jain_index rates, rates)
+  in
+  let same = [ 0.0075; 0.0075; 0.0075 ] in
+  (* One-way floors 45/60/75 ms -> RTTs 90/120/150 ms. *)
+  let diff = [ 0.015; 0.0225; 0.03 ] in
+  let results =
+    [
+      measure "leotp same-RTT" leotp_default same;
+      measure "bbr   same-RTT" (Common.Tcp Cc.Bbr) same;
+      measure "leotp diff-RTT" leotp_default diff;
+      measure "bbr   diff-RTT" (Common.Tcp Cc.Bbr) diff;
+    ]
+  in
+  List.iter
+    (fun (label, jain, rates) ->
+      Printf.printf "  %-16s jain=%.3f  rates=[%s] Mbps\n" label jain
+        (String.concat "; " (List.map (Printf.sprintf "%.2f") rates)))
+    results;
+  results

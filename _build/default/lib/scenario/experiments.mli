@@ -1,0 +1,40 @@
+(** One function per paper figure/table in the controlled-environment
+    evaluation (§II and §V-B).  Each prints its rows and returns the raw
+    results for programmatic checks.  [quick] shrinks run lengths for CI;
+    the defaults match the paper's setups. *)
+
+val fig02 : ?quick:bool -> unit -> (string * (int * float) list) list
+(** TCP throughput (Mbps) vs hop count under 0.5%/hop loss. *)
+
+val fig03 : unit -> (string * (string * float) list) list
+(** Theoretical OWD distribution, end-to-end vs hop-by-hop retransmission:
+    (scheme, [(statistic, seconds)]). *)
+
+val fig04 : ?quick:bool -> unit -> (string * (float * float)) list
+(** Split TCP vs end-to-end TCP: (protocol, (throughput Mbps, mean OWD s))
+    on a lossy 10-hop path. *)
+
+val fig05 : ?quick:bool -> unit -> (string * (float * float * int) list) list
+(** Queuing delay and congestion loss vs propagation delay under a
+    fluctuating bottleneck: (protocol, [(prop_delay, queuing_s, drops)]). *)
+
+val fig10 : ?quick:bool -> unit -> (string * (float * float * float) list) list
+(** OWD of retransmitted packets: (protocol, [(plr, mean_retx_owd,
+    p99_retx_owd)]). *)
+
+val fig11 : ?quick:bool -> unit -> (string * (float * float) list) list
+(** Origin traffic sent (MB) for a fixed file vs per-hop loss rate. *)
+
+val fig12 : ?quick:bool -> unit -> (string * (float * float) list) list
+(** Throughput (Mbps) vs per-hop PLR for LEOTP and all TCP baselines. *)
+
+val fig13 : ?quick:bool -> unit -> (string * (float * float) list) list
+(** Throughput vs path-switching interval (seconds). *)
+
+val fig14 : ?quick:bool -> unit -> (string * (float * float)) list
+(** Throughput-delay trade-off under bandwidth fluctuation:
+    (label, (throughput Mbps, mean queuing s)); LEOTP swept over BLtar. *)
+
+val fig15 : ?quick:bool -> unit -> (string * float * float list) list
+(** Intra-protocol fairness: (scenario label, Jain index, per-flow Mbps)
+    for same-RTT and different-RTT flow sets, LEOTP vs BBR. *)

@@ -1,0 +1,292 @@
+module Engine = Leotp_sim.Engine
+module Bandwidth = Leotp_net.Bandwidth
+module Dynamic_path = Leotp_net.Dynamic_path
+module Path_service = Leotp_constellation.Path_service
+module Walker = Leotp_constellation.Walker
+module Cities = Leotp_constellation.Cities
+module Stats = Leotp_util.Stats
+module Cc = Leotp_tcp.Cc
+
+let mbps = Leotp_util.Units.mbps_to_bytes_per_sec
+
+type pair_result = {
+  summary : Common.summary;
+  mean_hops : float;
+  min_propagation : float;
+  switches : int;
+}
+
+let gsl_plr = 0.01
+let isl_plr = 0.001
+let other_bw = 20.0
+let uplink_mean_bw = 10.0
+
+(* GSL uplink bandwidth trace: 10 Mbps mean, a "V" dip of up to 3 Mbps
+   within +/-2 s of each handover, and a +/-0.5 Mbps bias resampled each
+   second (paper §V-C (ii) and (iv)). *)
+let uplink_trace ~rng ~handovers ~t_end =
+  let step = 0.25 in
+  let n = int_of_float (t_end /. step) + 2 in
+  let steps =
+    Array.init n (fun i ->
+        let t = float_of_int i *. step in
+        let v_dip =
+          List.fold_left
+            (fun acc h ->
+              let x = Float.abs (t -. h) in
+              if x < 2.0 then Float.max acc (3.0 *. (1.0 -. (x /. 2.0))) else acc)
+            0.0 handovers
+        in
+        (t, v_dip))
+  in
+  (* Bias: one draw per second, shared across the 0.25 s grid. *)
+  let bias = Array.init (int_of_float t_end + 2) (fun _ -> Leotp_util.Rng.uniform rng (-0.5) 0.5) in
+  Bandwidth.Steps
+    (Array.map
+       (fun (t, dip) ->
+         let b = bias.(int_of_float t) in
+         (t, mbps (Float.max 1.0 (uplink_mean_bw -. dip +. b))))
+       steps)
+
+(* Convert a route (Producer side first) into a Dynamic_path snapshot
+   (Consumer side first). *)
+let to_snapshot ~uplink_bw hops =
+  let mapped =
+    List.mapi
+      (fun i (h : Path_service.hop) ->
+        let delay = Leotp_constellation.Geo.propagation_delay h.Path_service.distance in
+        match h.Path_service.kind with
+        | Path_service.Gsl when i = 0 ->
+          (* Uplink out of the Producer's ground station: the bottleneck. *)
+          { Dynamic_path.delay; bandwidth = uplink_bw; plr = gsl_plr }
+        | Path_service.Gsl ->
+          { Dynamic_path.delay; bandwidth = Bandwidth.Constant (mbps other_bw); plr = gsl_plr }
+        | Path_service.Isl ->
+          { Dynamic_path.delay; bandwidth = Bandwidth.Constant (mbps other_bw); plr = isl_plr })
+      hops
+  in
+  Array.of_list (List.rev mapped)
+
+let run_pair ?(quick = false) ?(seed = 42) ~src ~dst ~isls protocol =
+  Leotp_net.Packet.reset_ids ();
+  Leotp_net.Node.reset_ids ();
+  let duration = if quick then 25.0 else 100.0 in
+  let warmup = if quick then 6.0 else 15.0 in
+  let recompute = 5.0 in
+  let w = Walker.create Walker.starlink in
+  let c_src = Cities.find_exn src and c_dst = Cities.find_exn dst in
+  let snaps =
+    Path_service.snapshots w ~src:c_src ~dst:c_dst ~isls ~t_end:duration
+      ~step:recompute
+  in
+  if snaps = [] then
+    invalid_arg (Printf.sprintf "no route between %s and %s" src dst);
+  let mean_hops = Path_service.mean_hop_count snaps in
+  let min_propagation =
+    List.fold_left
+      (fun acc (_, h) -> Float.min acc (Path_service.total_delay h))
+      Float.infinity snaps
+  in
+  (* Handover times: route (hop-count or first-hop distance) changes. *)
+  let handovers =
+    let rec go prev = function
+      | [] -> []
+      | (t, h) :: rest ->
+        let sig_ = List.map (fun (x : Path_service.hop) -> Float.round (x.Path_service.distance /. 1000.0)) h in
+        if prev <> Some sig_ && prev <> None then t :: go (Some sig_) rest
+        else go (Some sig_) rest
+    in
+    go None snaps
+  in
+  let engine = Engine.create () in
+  let rng = Leotp_util.Rng.create ~seed in
+  let uplink_bw = uplink_trace ~rng:(Leotp_util.Rng.substream rng "uplink") ~handovers ~t_end:duration in
+  let max_hops =
+    min 24 (List.fold_left (fun acc (_, h) -> max acc (Path_service.hop_count h)) 2 snaps)
+  in
+  let initial = to_snapshot ~uplink_bw (snd (List.hd snaps)) in
+  let initial =
+    if Array.length initial > max_hops then Array.sub initial 0 max_hops
+    else initial
+  in
+  let dp = Dynamic_path.create engine ~rng ~max_hops ~initial () in
+  Dynamic_path.schedule dp
+    (List.filter_map
+       (fun (t, h) ->
+         if t = 0.0 then None
+         else begin
+           let s = to_snapshot ~uplink_bw h in
+           let s = if Array.length s > max_hops then Array.sub s 0 max_hops else s in
+           Some (t, s)
+         end)
+       snaps);
+  let chain = Dynamic_path.chain dp in
+  let n = Array.length chain.Leotp_net.Topology.nodes - 1 in
+  let metrics =
+    match protocol with
+    | Common.Tcp cc ->
+      (* Data flows producer (node n) -> consumer (node 0) to match the
+         LEOTP orientation, so the same snapshot bottleneck applies. *)
+      let session =
+        Leotp_tcp.Session.connect engine
+          ~src_node:chain.Leotp_net.Topology.nodes.(n)
+          ~dst_node:chain.Leotp_net.Topology.nodes.(0)
+          ~flow:1 ~cc ~source:Leotp_tcp.Sender.Unlimited ()
+      in
+      Leotp_tcp.Session.start session;
+      session.Leotp_tcp.Session.metrics
+    | Common.Leotp cfg ->
+      let session =
+        Leotp.Session.over_chain engine ~config:cfg ~chain ~flow:1 ()
+      in
+      Leotp.Session.start session;
+      session.Leotp.Session.metrics
+    | Common.Leotp_partial (cfg, coverage) ->
+      let session =
+        Leotp.Session.over_chain engine ~config:cfg ~chain ~flow:1 ~coverage
+          ~coverage_rng:(Leotp_util.Rng.substream rng "coverage")
+          ()
+      in
+      Leotp.Session.start session;
+      session.Leotp.Session.metrics
+    | Common.Split_tcp _ -> invalid_arg "run_pair: split tcp not used here"
+  in
+  Engine.run ~until:duration engine;
+  let summary =
+    Common.summarize
+      ~protocol:(Common.protocol_name protocol)
+      ~metrics ~floor:min_propagation ~warmup ~duration ()
+  in
+  {
+    summary;
+    mean_hops;
+    min_propagation;
+    switches = Dynamic_path.switch_count dp;
+  }
+
+let protos_161718 =
+  [
+    (Common.Leotp Leotp.Config.default : Common.protocol);
+    Common.Tcp Cc.Bbr;
+    Common.Tcp Cc.Pcc;
+    Common.Tcp Cc.Hybla;
+  ]
+
+let fig16 ?(quick = false) () =
+  Report.header "Fig 16: Beijing-Shanghai (no ISLs): OWD / throughput";
+  let results =
+    List.map
+      (fun proto ->
+        let r =
+          run_pair ~quick ~src:"Beijing" ~dst:"Shanghai" ~isls:false proto
+        in
+        (Common.protocol_name proto, r))
+      protos_161718
+  in
+  List.iter
+    (fun (name, r) ->
+      Printf.printf
+        "  %-8s tput=%5.2f Mbps  owd(avg)=%6.1fms  queuing(avg)=%6.1fms  p99=%6.1fms\n"
+        name r.summary.Common.goodput_mbps
+        (Stats.mean r.summary.Common.owd *. 1000.0)
+        (Stats.mean r.summary.Common.queuing_delay *. 1000.0)
+        (Stats.percentile r.summary.Common.owd 99.0 *. 1000.0);
+      Report.cdf_rows ~points:8 (name ^ " OWD") r.summary.Common.owd)
+    results;
+  results
+
+let fig17 ?(quick = false) () =
+  Report.header "Fig 17: Beijing-New York (with ISLs): OWD / throughput";
+  let results =
+    List.map
+      (fun proto ->
+        let r = run_pair ~quick ~src:"Beijing" ~dst:"New York" ~isls:true proto in
+        (Common.protocol_name proto, r))
+      protos_161718
+  in
+  List.iter
+    (fun (name, r) ->
+      Printf.printf
+        "  %-8s tput=%5.2f Mbps  owd(avg)=%6.1fms  queuing(avg)=%6.1fms  p99=%6.1fms (hops~%.1f)\n"
+        name r.summary.Common.goodput_mbps
+        (Stats.mean r.summary.Common.owd *. 1000.0)
+        (Stats.mean r.summary.Common.queuing_delay *. 1000.0)
+        (Stats.percentile r.summary.Common.owd 99.0 *. 1000.0)
+        r.mean_hops;
+      Report.cdf_rows ~points:8 (name ^ " OWD") r.summary.Common.owd)
+    results;
+  results
+
+let pairs_18 = [ ("Beijing", "Hong Kong"); ("Beijing", "Paris"); ("Beijing", "New York") ]
+
+let fig18 ?(quick = false) () =
+  Report.header "Fig 18: average OWD / throughput vs distance (with ISLs)";
+  let protos =
+    if quick then
+      [
+        (Common.Leotp Leotp.Config.default : Common.protocol);
+        Common.Leotp_partial (Leotp.Config.default, 0.25);
+        Common.Tcp Cc.Bbr;
+        Common.Tcp Cc.Pcc;
+      ]
+    else
+      [
+        (Common.Leotp Leotp.Config.default : Common.protocol);
+        Common.Leotp_partial (Leotp.Config.default, 0.25);
+        Common.Tcp Cc.Bbr;
+        Common.Tcp Cc.Pcc;
+        Common.Tcp Cc.Cubic;
+        Common.Tcp Cc.Hybla;
+      ]
+  in
+  let results =
+    List.concat_map
+      (fun (src, dst) ->
+        List.map
+          (fun proto ->
+            let r = run_pair ~quick ~src ~dst ~isls:true proto in
+            ( Printf.sprintf "%s-%s" src dst,
+              Common.protocol_name proto,
+              Stats.mean r.summary.Common.owd,
+              r.summary.Common.goodput_mbps ))
+          protos)
+      pairs_18
+  in
+  List.iter
+    (fun (pair, proto, owd, tput) ->
+      Printf.printf "  %-20s %-16s owd=%6.1fms  tput=%5.2f Mbps\n" pair proto
+        (owd *. 1000.0) tput)
+    results;
+  results
+
+let table2 ?(quick = false) () =
+  Report.header "Table II: ablation (A full, B no-cache, C e2e-cc, D no midnodes)";
+  let pairs = if quick then [ ("Beijing", "Hong Kong"); ("Beijing", "New York") ] else pairs_18 in
+  let configs =
+    [
+      ("A", Leotp.Config.Full);
+      ("B", Leotp.Config.No_cache);
+      ("C", Leotp.Config.E2e_cc);
+      ("D", Leotp.Config.No_midnodes);
+    ]
+  in
+  let results =
+    List.concat_map
+      (fun (src, dst) ->
+        List.map
+          (fun (label, ablation) ->
+            let cfg = Leotp.Config.with_ablation ablation Leotp.Config.default in
+            let r = run_pair ~quick ~src ~dst ~isls:true (Common.Leotp cfg) in
+            ( Printf.sprintf "%s-%s" src dst,
+              label,
+              r.summary.Common.goodput_mbps,
+              Stats.mean r.summary.Common.owd *. 1000.0 ))
+          configs)
+      pairs
+  in
+  List.iter
+    (fun (pair, label, tput, owd) ->
+      Printf.printf "  %-20s %s  tput=%5.2f Mbps  owd=%6.1f ms\n" pair label
+        tput owd)
+    results;
+  results

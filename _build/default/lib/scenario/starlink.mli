@@ -1,0 +1,41 @@
+(** Emulated-Starlink experiments (paper §V-C).
+
+    Environment per the paper: Starlink core constellation routes
+    recomputed over time (HYPATIA-style, here Dijkstra over the Walker
+    shell); GSL uplink is the 10 Mbps bottleneck with a handover "V"
+    curve and +/-0.5 Mbps random bias; other hops 20 Mbps; PLR 1% on
+    GSLs and 0.1% on ISLs; hop delays are distance over the speed of
+    light and change with the orbits (link switching drops in-flight
+    packets). *)
+
+type pair_result = {
+  summary : Common.summary;
+  mean_hops : float;
+  min_propagation : float;  (** seconds, best route over the run *)
+  switches : int;
+}
+
+val run_pair :
+  ?quick:bool ->
+  ?seed:int ->
+  src:string ->
+  dst:string ->
+  isls:bool ->
+  Common.protocol ->
+  pair_result
+(** One bulk flow from [src] (Producer) to [dst] (Consumer). *)
+
+val fig16 : ?quick:bool -> unit -> (string * pair_result) list
+(** Beijing-Shanghai without ISLs: LEOTP vs BBR / PCC / Hybla; prints
+    OWD and throughput CDuFs. *)
+
+val fig17 : ?quick:bool -> unit -> (string * pair_result) list
+(** Beijing-New York with ISLs. *)
+
+val fig18 : ?quick:bool -> unit -> (string * string * float * float) list
+(** (pair, protocol, mean OWD s, throughput Mbps) for Beijing-Hong Kong /
+    Paris / New York, including 25% Midnode coverage. *)
+
+val table2 : ?quick:bool -> unit -> (string * string * float * float) list
+(** Ablation A/B/C/D on the three city pairs: (pair, config, throughput
+    Mbps, mean OWD ms). *)

@@ -1,0 +1,85 @@
+type timer = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+  mutable fired : bool;
+}
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  queue : timer Leotp_util.Pqueue.t;
+}
+
+let compare_timer a b =
+  match Float.compare a.time b.time with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let create () =
+  { clock = 0.0; next_seq = 0; queue = Leotp_util.Pqueue.create ~cmp:compare_timer }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  let time = Float.max time t.clock in
+  let timer =
+    { time; seq = t.next_seq; action; cancelled = false; fired = false }
+  in
+  t.next_seq <- t.next_seq + 1;
+  Leotp_util.Pqueue.push t.queue timer;
+  timer
+
+let schedule t ~after action =
+  schedule_at t ~time:(t.clock +. Float.max 0.0 after) action
+
+let cancel timer = timer.cancelled <- true
+let is_pending timer = (not timer.cancelled) && not timer.fired
+
+let step t =
+  let rec next () =
+    match Leotp_util.Pqueue.pop t.queue with
+    | None -> false
+    | Some timer when timer.cancelled -> next ()
+    | Some timer ->
+      t.clock <- Float.max t.clock timer.time;
+      timer.fired <- true;
+      timer.action ();
+      true
+  in
+  next ()
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+    let continue = ref true in
+    while !continue do
+      match Leotp_util.Pqueue.peek t.queue with
+      | Some timer when timer.cancelled ->
+        ignore (Leotp_util.Pqueue.pop t.queue)
+      | Some timer when timer.time <= limit -> ignore (step t)
+      | Some _ | None ->
+        t.clock <- Float.max t.clock limit;
+        continue := false
+    done
+
+let pending_events t = Leotp_util.Pqueue.length t.queue
+
+let every t ~period ?start action =
+  assert (period > 0.0);
+  let start = match start with Some s -> s | None -> period in
+  (* The recurrence is controlled through a proxy handle whose [cancelled]
+     flag is inherited by each rescheduling. *)
+  let handle =
+    { time = t.clock; seq = -1; action = ignore; cancelled = false; fired = false }
+  in
+  let rec fire () =
+    if not handle.cancelled then begin
+      action ();
+      if not handle.cancelled then ignore (schedule t ~after:period fire)
+    end
+  in
+  ignore (schedule t ~after:start fire);
+  handle

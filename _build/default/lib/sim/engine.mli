@@ -1,0 +1,41 @@
+(** Deterministic discrete-event simulation engine.
+
+    Events at equal times fire in scheduling order (a monotonically
+    increasing sequence number breaks ties), so runs are fully reproducible.
+    Timers are cancellable; cancellation is O(1) (lazily discarded when
+    popped). *)
+
+type t
+
+type timer
+(** Handle for a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time, seconds. *)
+
+val schedule : t -> after:float -> (unit -> unit) -> timer
+(** [schedule t ~after f] runs [f] at [now t +. after].  [after] is clamped
+    to be non-negative. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> timer
+(** Absolute-time variant; [time] in the past fires immediately (at [now]). *)
+
+val cancel : timer -> unit
+(** Idempotent.  A fired timer is also safe to cancel. *)
+
+val is_pending : timer -> bool
+
+val run : ?until:float -> t -> unit
+(** Process events in order until the queue drains or the clock would pass
+    [until] (the clock is left at [until] in that case). *)
+
+val step : t -> bool
+(** Process one event; [false] if the queue was empty. *)
+
+val pending_events : t -> int
+
+val every : t -> period:float -> ?start:float -> (unit -> unit) -> timer
+(** Recurring event; the returned handle cancels the whole recurrence.
+    First firing at [now + start] (default: [now + period]). *)

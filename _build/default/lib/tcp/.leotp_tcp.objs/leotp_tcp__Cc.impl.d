@@ -1,0 +1,1 @@
+lib/tcp/cc.ml: Bbr Cc_intf Cubic Hybla Newreno Pcc_vivace Vegas Westwood

@@ -1,0 +1,1 @@
+lib/tcp/cubic.ml: Cc_intf Float Hystart Option

@@ -1,0 +1,1 @@
+lib/tcp/hybla.ml: Cc_intf Float Hystart

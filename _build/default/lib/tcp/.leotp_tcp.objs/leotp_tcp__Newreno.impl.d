@@ -1,0 +1,1 @@
+lib/tcp/newreno.ml: Cc_intf Float Hystart

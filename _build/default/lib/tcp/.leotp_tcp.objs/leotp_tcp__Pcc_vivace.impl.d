@@ -1,0 +1,1 @@
+lib/tcp/pcc_vivace.ml: Cc_intf Float Leotp_util

@@ -1,0 +1,1 @@
+lib/tcp/receiver.ml: Leotp_net Leotp_sim Leotp_util Wire

@@ -1,0 +1,1 @@
+lib/tcp/receiver.mli: Leotp_net Leotp_sim

@@ -1,0 +1,1 @@
+lib/tcp/sender.ml: Cc Float Int Leotp_net Leotp_sim Leotp_util List Map Printf Seq Wire

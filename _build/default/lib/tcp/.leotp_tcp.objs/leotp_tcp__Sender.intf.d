@@ -1,0 +1,1 @@
+lib/tcp/sender.mli: Cc Leotp_net Leotp_sim

@@ -1,0 +1,1 @@
+lib/tcp/session.ml: Leotp_net Receiver Sender Wire

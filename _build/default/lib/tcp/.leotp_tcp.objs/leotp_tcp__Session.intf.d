@@ -1,0 +1,1 @@
+lib/tcp/session.mli: Cc Leotp_net Leotp_sim Receiver Sender

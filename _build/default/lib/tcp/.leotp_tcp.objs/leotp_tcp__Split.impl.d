@@ -1,0 +1,1 @@
+lib/tcp/split.ml: Array Int Leotp_net Leotp_sim Map Option Receiver Sender Wire

@@ -1,0 +1,1 @@
+lib/tcp/split.mli: Cc Leotp_net Leotp_sim Sender

@@ -1,0 +1,49 @@
+type ack_info = Cc_intf.ack_info = {
+  now : float;
+  acked_bytes : int;
+  rtt_sample : float option;
+  bw_sample : float option;
+  inflight : int;
+}
+
+type t = Cc_intf.t = {
+  name : string;
+  on_ack : ack_info -> unit;
+  on_loss : now:float -> inflight:int -> unit;
+  on_rto : now:float -> unit;
+  cwnd : unit -> float;
+  pacing_rate : unit -> float option;
+}
+
+type algo = Newreno | Cubic | Hybla | Westwood | Vegas | Bbr | Pcc
+
+let all = [ Newreno; Cubic; Hybla; Westwood; Vegas; Bbr; Pcc ]
+
+let algo_name = function
+  | Newreno -> "newreno"
+  | Cubic -> "cubic"
+  | Hybla -> "hybla"
+  | Westwood -> "westwood"
+  | Vegas -> "vegas"
+  | Bbr -> "bbr"
+  | Pcc -> "pcc"
+
+let algo_of_name = function
+  | "newreno" -> Some Newreno
+  | "cubic" -> Some Cubic
+  | "hybla" -> Some Hybla
+  | "westwood" -> Some Westwood
+  | "vegas" -> Some Vegas
+  | "bbr" -> Some Bbr
+  | "pcc" -> Some Pcc
+  | _ -> None
+
+let create algo ~mss ~now =
+  match algo with
+  | Newreno -> Newreno.create ~mss ~now
+  | Cubic -> Cubic.create ~mss ~now
+  | Hybla -> Hybla.create ~mss ~now
+  | Westwood -> Westwood.create ~mss ~now
+  | Vegas -> Vegas.create ~mss ~now
+  | Bbr -> Bbr.create ~mss ~now
+  | Pcc -> Pcc_vivace.create ~mss ~now

@@ -1,0 +1,40 @@
+(** Pluggable congestion control for the TCP engine.
+
+    A controller is a record of callbacks driven by the sender's ACK
+    processing.  Window-based algorithms expose [cwnd] (bytes) and return
+    [None] from [pacing_rate]; rate-based algorithms (BBR, PCC) return
+    [Some rate] and use [cwnd] only as an inflight cap. *)
+
+type ack_info = {
+  now : float;
+  acked_bytes : int;  (** bytes newly acknowledged (cumulative or SACK) *)
+  rtt_sample : float option;  (** seconds, from the timestamp echo *)
+  bw_sample : float option;  (** delivery-rate sample, bytes/second *)
+  inflight : int;  (** bytes in flight after processing this ack *)
+}
+
+type t = {
+  name : string;
+  on_ack : ack_info -> unit;
+  on_loss : now:float -> inflight:int -> unit;
+      (** One call per loss {i episode} (at most once per RTT). *)
+  on_rto : now:float -> unit;
+  cwnd : unit -> float;  (** bytes *)
+  pacing_rate : unit -> float option;  (** bytes/second *)
+}
+
+type algo =
+  | Newreno
+  | Cubic
+  | Hybla
+  | Westwood
+  | Vegas
+  | Bbr
+  | Pcc
+
+val all : algo list
+val algo_name : algo -> string
+val algo_of_name : string -> algo option
+
+val create : algo -> mss:int -> now:float -> t
+(** Fresh controller state; [now] is the flow start time. *)

@@ -1,0 +1,27 @@
+(** Shared controller record (see {!Cc} for the public face).  Kept in its
+    own module so each algorithm implementation can depend on it without a
+    cycle through [Cc]. *)
+
+type ack_info = {
+  now : float;
+  acked_bytes : int;
+  rtt_sample : float option;
+  bw_sample : float option;
+  inflight : int;
+}
+
+type t = {
+  name : string;
+  on_ack : ack_info -> unit;
+  on_loss : now:float -> inflight:int -> unit;
+  on_rto : now:float -> unit;
+  cwnd : unit -> float;
+  pacing_rate : unit -> float option;
+}
+
+let fmss mss = float_of_int mss
+
+(** Initial window: 10 segments (RFC 6928). *)
+let initial_window mss = 10.0 *. fmss mss
+
+let min_window mss = 2.0 *. fmss mss

@@ -1,0 +1,88 @@
+module Engine = Leotp_sim.Engine
+module Packet = Leotp_net.Packet
+module Node = Leotp_net.Node
+module Flow_metrics = Leotp_net.Flow_metrics
+module Interval_set = Leotp_util.Interval_set
+
+type t = {
+  engine : Engine.t;
+  node : Node.t;
+  src : int;
+  flow : int;
+  metrics : Flow_metrics.t;
+  expected_bytes : int option;
+  on_deliver : pos:int -> len:int -> first_sent:float -> retx:bool -> unit;
+  on_complete : unit -> unit;
+  mutable received : Interval_set.t;
+  mutable delivered : int;  (** in-order prefix length *)
+  mutable completed : bool;
+}
+
+let create engine ~node ~src ~flow ?metrics ?expected_bytes
+    ?(on_deliver = fun ~pos:_ ~len:_ ~first_sent:_ ~retx:_ -> ())
+    ?(on_complete = fun () -> ()) () =
+  let metrics =
+    match metrics with Some m -> m | None -> Flow_metrics.create ~flow
+  in
+  {
+    engine;
+    node;
+    src;
+    flow;
+    metrics;
+    expected_bytes;
+    on_deliver;
+    on_complete;
+    received = Interval_set.empty;
+    delivered = 0;
+    completed = false;
+  }
+
+let sack_blocks t ~cum =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (lo, hi) :: rest ->
+      if hi <= cum then take n rest else (max lo cum, hi) :: take (n - 1) rest
+  in
+  take 3 (Interval_set.intervals t.received)
+
+let handle_data t pkt =
+  match pkt.Packet.payload with
+  | Wire.Data_seg { seq; len; sent_at; first_sent; retx; fin = _ }
+    when pkt.Packet.flow = t.flow ->
+    let now = Engine.now t.engine in
+    let fresh = not (Interval_set.covers ~lo:seq ~hi:(seq + len) t.received) in
+    let before = Interval_set.cardinal t.received in
+    t.received <- Interval_set.add ~lo:seq ~hi:(seq + len) t.received;
+    let new_bytes = Interval_set.cardinal t.received - before in
+    if new_bytes > 0 then
+      Flow_metrics.on_deliver t.metrics ~now ~bytes:new_bytes
+        ~owd:(now -. first_sent) ~retx;
+    (* Advance the in-order prefix and hand it to the application. *)
+    let prefix = Interval_set.first_missing ~lo:0 t.received in
+    if prefix > t.delivered then begin
+      (* Update state before the callback: consumers (Split proxies) read
+         [delivered_bytes] from inside it. *)
+      let pos = t.delivered in
+      t.delivered <- prefix;
+      t.on_deliver ~pos ~len:(prefix - pos) ~first_sent ~retx
+    end;
+    ignore fresh;
+    (* Per-packet ACK with timestamp echo. *)
+    let cum = t.delivered in
+    Node.send t.node
+      (Wire.ack_packet ~src:(Node.id t.node) ~dst:t.src ~flow:t.flow
+         ~cum_ack:cum ~sacks:(sack_blocks t ~cum) ~ts_echo:sent_at);
+    (match t.expected_bytes with
+    | Some n when t.delivered >= n && not t.completed ->
+      t.completed <- true;
+      Flow_metrics.set_finished t.metrics now;
+      t.on_complete ()
+    | _ -> ())
+  | _ -> ()
+
+let delivered_bytes t = t.delivered
+let received_bytes t = Interval_set.cardinal t.received
+let complete t = t.completed
+let metrics t = t.metrics

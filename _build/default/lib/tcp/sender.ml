@@ -1,0 +1,410 @@
+module Engine = Leotp_sim.Engine
+module Packet = Leotp_net.Packet
+module Node = Leotp_net.Node
+module Flow_metrics = Leotp_net.Flow_metrics
+module IntMap = Map.Make (Int)
+
+type source = Fixed of int | Unlimited | Dynamic of (unit -> int)
+
+type segment = {
+  seq : int;
+  len : int;
+  mutable first_sent : float;
+  mutable last_sent : float;
+  mutable retx_count : int;
+  mutable sacked : bool;
+  mutable lost : bool;  (** declared lost, waiting for retransmission *)
+}
+
+type t = {
+  engine : Engine.t;
+  node : Node.t;
+  dst : int;
+  flow : int;
+  mss : int;
+  cc : Cc.t;
+  rto : Leotp_util.Rto.t;
+  source : source;
+  metrics : Flow_metrics.t;
+  on_complete : unit -> unit;
+  mutable first_sent_of : pos:int -> len:int -> float * bool;
+  mutable segments : segment IntMap.t;  (** keyed by seq; unacked only *)
+  mutable snd_nxt : int;
+  mutable snd_una : int;
+  mutable inflight : int;
+  mutable lost_pending : int;  (** segments marked lost, not yet resent *)
+  mutable high_sacked : int;
+  mutable recovery_point : int;
+  mutable delivered : int;
+  mutable bw_clock : float;
+  mutable bw_delivered : int;
+  mutable rto_timer : Engine.timer option;
+  mutable pump_timer : Engine.timer option;
+  mutable next_send_time : float;
+  mutable finished : bool;
+  mutable started : bool;
+}
+
+let dupthresh_bytes t = 3 * t.mss
+
+let create engine ~node ~dst ~flow ~cc ?(mss = Wire.default_mss)
+    ?(source = Unlimited) ?metrics ?(on_complete = fun () -> ())
+    ?first_sent_of () =
+  let metrics =
+    match metrics with Some m -> m | None -> Flow_metrics.create ~flow
+  in
+  let now = Engine.now engine in
+  let t =
+    {
+      engine;
+      node;
+      dst;
+      flow;
+      mss;
+      cc = Cc.create cc ~mss ~now;
+      rto = Leotp_util.Rto.create ~min_rto:0.2 ();
+      source;
+      metrics;
+      on_complete;
+      first_sent_of = (fun ~pos:_ ~len:_ -> (now, false));
+      segments = IntMap.empty;
+      snd_nxt = 0;
+      snd_una = 0;
+      inflight = 0;
+      lost_pending = 0;
+      high_sacked = 0;
+      recovery_point = 0;
+      delivered = 0;
+      bw_clock = now;
+      bw_delivered = 0;
+      rto_timer = None;
+      pump_timer = None;
+      next_send_time = now;
+      finished = false;
+      started = false;
+    }
+  in
+  (match first_sent_of with
+  | Some f -> t.first_sent_of <- f
+  | None ->
+    t.first_sent_of <-
+      (fun ~pos ~len ->
+        match IntMap.find_opt pos t.segments with
+        | Some seg when seg.len = len -> (seg.first_sent, seg.retx_count > 0)
+        | _ -> (Engine.now engine, false)));
+  t
+
+let available_bytes t =
+  match t.source with
+  | Fixed n -> n
+  | Unlimited -> max_int
+  | Dynamic f -> f ()
+
+let total_bytes t = match t.source with Fixed n -> Some n | _ -> None
+
+let mark_lost t seg =
+  if (not seg.lost) && not seg.sacked then begin
+    seg.lost <- true;
+    t.lost_pending <- t.lost_pending + 1;
+    t.inflight <- max 0 (t.inflight - seg.len)
+  end
+
+(* Ordered scan with early exit. *)
+let seq_iter_while m ~from f =
+  let rec go s =
+    match s () with
+    | Seq.Nil -> ()
+    | Seq.Cons ((_, seg), rest) -> if f seg then go rest
+  in
+  go (IntMap.to_seq_from from m)
+
+let cancel_rto t =
+  match t.rto_timer with
+  | Some timer ->
+    Engine.cancel timer;
+    t.rto_timer <- None
+  | None -> ()
+
+let rec arm_rto t =
+  cancel_rto t;
+  if not t.finished then
+    t.rto_timer <-
+      Some
+        (Engine.schedule t.engine ~after:(Leotp_util.Rto.rto t.rto) (fun () ->
+             on_rto_fire t))
+
+and on_rto_fire t =
+  t.rto_timer <- None;
+  if (not t.finished) && not (IntMap.is_empty t.segments) then begin
+    Leotp_util.Rto.backoff t.rto;
+    t.cc.Cc.on_rto ~now:(Engine.now t.engine);
+    (* Everything outstanding and un-SACKed is presumed lost (Linux
+       behaviour); retransmissions then proceed window-limited from the
+       collapsed cwnd.  Without this, tail losses leave segments counted
+       as in-flight forever and the connection stalls. *)
+    IntMap.iter (fun _ seg -> if not seg.sacked then mark_lost t seg) t.segments;
+    (* Retransmit the first unacknowledged segment immediately. *)
+    (match IntMap.min_binding_opt t.segments with
+    | Some (_, seg) when not seg.sacked -> send_segment t seg ~retx:true
+    | Some _ | None -> ());
+    arm_rto t;
+    pump t
+  end
+
+and send_segment t seg ~retx =
+  let now = Engine.now t.engine in
+  if retx then begin
+    seg.retx_count <- seg.retx_count + 1;
+    if seg.lost then begin
+      seg.lost <- false;
+      t.lost_pending <- max 0 (t.lost_pending - 1)
+    end;
+    Flow_metrics.on_retransmit t.metrics
+  end
+  else seg.first_sent <- now;
+  seg.last_sent <- now;
+  t.inflight <- t.inflight + seg.len;
+  let first_sent, upstream_retx = t.first_sent_of ~pos:seg.seq ~len:seg.len in
+  let fin =
+    match total_bytes t with Some n -> seg.seq + seg.len >= n | None -> false
+  in
+  let pkt =
+    Wire.data_packet ~src:(Node.id t.node) ~dst:t.dst ~flow:t.flow ~seq:seg.seq
+      ~len:seg.len ~sent_at:now ~first_sent
+      ~retx:(retx || seg.retx_count > 0 || upstream_retx)
+      ~fin
+  in
+  Flow_metrics.on_send t.metrics ~bytes:pkt.Packet.size;
+  Node.send t.node pkt;
+  if t.rto_timer = None then arm_rto t
+
+(* One segment the window currently allows, if any: lost segments first,
+   then new data. *)
+and next_sendable t =
+  let retx = ref None in
+  if t.lost_pending > 0 then
+    seq_iter_while t.segments ~from:t.snd_una (fun seg ->
+        if seg.lost && not seg.sacked then begin
+          retx := Some seg;
+          false
+        end
+        else true);
+  match !retx with
+  | Some seg -> Some (seg, true)
+  | None ->
+    let avail = available_bytes t in
+    if t.snd_nxt >= avail then None
+    else begin
+      let len = min t.mss (avail - t.snd_nxt) in
+      let seg =
+        {
+          seq = t.snd_nxt;
+          len;
+          first_sent = 0.0;
+          last_sent = 0.0;
+          retx_count = 0;
+          sacked = false;
+          lost = false;
+        }
+      in
+      Some (seg, false)
+    end
+
+and pump t =
+  if not t.finished then begin
+    let now = Engine.now t.engine in
+    let continue = ref true in
+    while !continue do
+      let cwnd = t.cc.Cc.cwnd () in
+      match next_sendable t with
+      | None -> continue := false
+      | Some (seg, is_retx) ->
+        if float_of_int (t.inflight + seg.len) > cwnd then continue := false
+        else begin
+          match t.cc.Cc.pacing_rate () with
+          | Some rate when rate > 0.0 ->
+            if now < t.next_send_time then begin
+              schedule_pump t ~at:t.next_send_time;
+              continue := false
+            end
+            else begin
+              t.next_send_time <-
+                Float.max now t.next_send_time
+                +. (float_of_int (seg.len + Wire.header_bytes) /. rate);
+              dispatch t seg is_retx
+            end
+          | Some _ | None -> dispatch t seg is_retx
+        end
+    done
+  end
+
+and dispatch t seg is_retx =
+  if not is_retx then begin
+    t.segments <- IntMap.add seg.seq seg t.segments;
+    t.snd_nxt <- max t.snd_nxt (seg.seq + seg.len)
+  end;
+  send_segment t seg ~retx:is_retx
+
+and schedule_pump t ~at =
+  match t.pump_timer with
+  | Some timer when Engine.is_pending timer -> ()
+  | _ ->
+    t.pump_timer <-
+      Some
+        (Engine.schedule_at t.engine ~time:at (fun () ->
+             t.pump_timer <- None;
+             pump t))
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    Flow_metrics.set_finished t.metrics (Engine.now t.engine);
+    cancel_rto t;
+    (match t.pump_timer with Some timer -> Engine.cancel timer | None -> ());
+    t.on_complete ()
+  end
+
+let handle_ack t pkt =
+  match pkt.Packet.payload with
+  | Wire.Ack_seg { cum_ack; sacks; ts_echo } when not t.finished ->
+    let now = Engine.now t.engine in
+    let rtt_sample =
+      if ts_echo > 0.0 && now > ts_echo then Some (now -. ts_echo) else None
+    in
+    (match rtt_sample with
+    | Some r -> Leotp_util.Rto.observe t.rto r
+    | None -> ());
+    let acked_bytes = ref 0 in
+    (* Cumulative progress: drop every segment entirely below cum_ack. *)
+    if cum_ack > t.snd_una then begin
+      let below, at, above = IntMap.split cum_ack t.segments in
+      IntMap.iter
+        (fun _ seg ->
+          if not seg.sacked then acked_bytes := !acked_bytes + seg.len;
+          if seg.lost then t.lost_pending <- max 0 (t.lost_pending - 1)
+          else if not seg.sacked then
+            t.inflight <- max 0 (t.inflight - seg.len))
+        below;
+      t.segments <-
+        (match at with
+        | Some seg -> IntMap.add cum_ack seg above
+        | None -> above);
+      t.snd_una <- cum_ack;
+      Leotp_util.Rto.reset_backoff t.rto;
+      arm_rto t
+    end;
+    (* Selective acknowledgements: only scan the covered range. *)
+    List.iter
+      (fun (lo, hi) ->
+        seq_iter_while t.segments ~from:lo (fun seg ->
+            if seg.seq + seg.len > hi then false
+            else begin
+              if not seg.sacked then begin
+                seg.sacked <- true;
+                acked_bytes := !acked_bytes + seg.len;
+                if seg.lost then t.lost_pending <- max 0 (t.lost_pending - 1)
+                else t.inflight <- max 0 (t.inflight - seg.len);
+                seg.lost <- false
+              end;
+              true
+            end);
+        t.high_sacked <- max t.high_sacked hi)
+      sacks;
+    t.high_sacked <- max t.high_sacked cum_ack;
+    t.delivered <- t.delivered + !acked_bytes;
+    (* FACK loss detection: everything sufficiently below the highest
+       selective ack is lost.  The scan stops at the first segment that is
+       too recent (sequence order = send order here). *)
+    let newly_lost = ref false in
+    let srtt =
+      match Leotp_util.Rto.srtt t.rto with Some r -> r | None -> 0.1
+    in
+    seq_iter_while t.segments ~from:t.snd_una (fun seg ->
+        if seg.seq + seg.len + dupthresh_bytes t <= t.high_sacked then begin
+          (* A segment already retransmitted is only declared lost again
+             once a full SRTT has passed since that retransmission —
+             otherwise every ACK re-marks it and the sender spins on
+             duplicate retransmissions. *)
+          if
+            (not seg.sacked)
+            && (not seg.lost)
+            && (seg.retx_count = 0 || now -. seg.last_sent > srtt)
+          then begin
+            mark_lost t seg;
+            newly_lost := true
+          end;
+          true
+        end
+        else false);
+    if !newly_lost && t.snd_una >= t.recovery_point then begin
+      t.recovery_point <- t.snd_nxt;
+      t.cc.Cc.on_loss ~now ~inflight:t.inflight
+    end;
+    (* Delivery-rate sample for model-based controllers.  Sampled over a
+       minimum interval: ack compression can deliver a window's worth of
+       acks microseconds apart, and a delta-based estimate over such a
+       span poisons BBR's max-bandwidth filter with absurd rates. *)
+    let bw_sample =
+      let min_interval =
+        match Leotp_util.Rto.srtt t.rto with
+        | Some s -> Float.max 0.001 (s /. 8.0)
+        | None -> 0.001
+      in
+      if now -. t.bw_clock >= min_interval && t.delivered > t.bw_delivered
+      then begin
+        let sample =
+          float_of_int (t.delivered - t.bw_delivered) /. (now -. t.bw_clock)
+        in
+        t.bw_clock <- now;
+        t.bw_delivered <- t.delivered;
+        Some sample
+      end
+      else None
+    in
+    if !acked_bytes > 0 || rtt_sample <> None then
+      t.cc.Cc.on_ack
+        {
+          Cc.now;
+          acked_bytes = !acked_bytes;
+          rtt_sample;
+          bw_sample;
+          inflight = t.inflight;
+        };
+    (match total_bytes t with
+    | Some n when t.snd_una >= n -> finish t
+    | _ -> if IntMap.is_empty t.segments then cancel_rto t);
+    pump t
+  | _ -> ()
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Flow_metrics.set_started t.metrics (Engine.now t.engine);
+    pump t
+  end
+
+let notify_data_available t = if t.started && not t.finished then pump t
+let finished t = t.finished
+let snd_una t = t.snd_una
+let inflight t = t.inflight
+let cwnd t = t.cc.Cc.cwnd ()
+let metrics t = t.metrics
+let cc_name t = t.cc.Cc.name
+
+let stop t =
+  cancel_rto t;
+  match t.pump_timer with Some timer -> Engine.cancel timer | None -> ()
+
+let debug_state t =
+  Printf.sprintf
+    "una=%d nxt=%d infl=%d lost_pend=%d segs=%d rto_armed=%b pump_armed=%b avail=%d fin=%b"
+    t.snd_una t.snd_nxt t.inflight t.lost_pending (IntMap.cardinal t.segments)
+    (match t.rto_timer with
+    | Some tm -> Engine.is_pending tm
+    | None -> false)
+    (match t.pump_timer with
+    | Some tm -> Engine.is_pending tm
+    | None -> false)
+    (let a = available_bytes t in
+     if a = max_int then -1 else a)
+    t.finished

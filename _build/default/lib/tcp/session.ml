@@ -1,0 +1,36 @@
+module Node = Leotp_net.Node
+module Packet = Leotp_net.Packet
+
+type t = {
+  sender : Sender.t;
+  receiver : Receiver.t;
+  metrics : Leotp_net.Flow_metrics.t;
+}
+
+let connect engine ~src_node ~dst_node ~flow ~cc ?mss ?source ?on_complete ()
+    =
+  let metrics = Leotp_net.Flow_metrics.create ~flow in
+  let expected_bytes =
+    match source with Some (Sender.Fixed n) -> Some n | _ -> None
+  in
+  let sender =
+    Sender.create engine ~node:src_node ~dst:(Node.id dst_node) ~flow ~cc ?mss
+      ?source ~metrics ?on_complete ()
+  in
+  let receiver =
+    Receiver.create engine ~node:dst_node ~src:(Node.id src_node) ~flow
+      ~metrics ?expected_bytes ()
+  in
+  Node.set_handler src_node (fun ~from:_ pkt ->
+      match pkt.Packet.payload with
+      | Wire.Ack_seg _ when pkt.Packet.flow = flow -> Sender.handle_ack sender pkt
+      | _ -> Node.forward src_node ~from:0 pkt);
+  Node.set_handler dst_node (fun ~from:_ pkt ->
+      match pkt.Packet.payload with
+      | Wire.Data_seg _ when pkt.Packet.flow = flow ->
+        Receiver.handle_data receiver pkt
+      | _ -> Node.forward dst_node ~from:0 pkt);
+  { sender; receiver; metrics }
+
+let start t = Sender.start t.sender
+let stop t = Sender.stop t.sender

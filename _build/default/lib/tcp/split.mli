@@ -1,0 +1,42 @@
+(** Split TCP: independent TCP connections per hop through store-and-
+    forward proxies (the PEP baseline of paper §II-C and Fig 4).
+
+    Each proxy terminates the upstream connection, buffers the in-order
+    byte stream, and re-originates it on a downstream connection running
+    its own congestion controller.  Origin first-transmission timestamps
+    are carried through so the end receiver's OWD includes proxy queuing
+    delay — the backlog effect the paper demonstrates. *)
+
+type t
+
+val connect :
+  Leotp_sim.Engine.t ->
+  nodes:Leotp_net.Node.t array ->
+  flow:int ->
+  cc:Cc.algo ->
+  ?mss:int ->
+  ?source:Sender.source ->
+  ?on_complete:(unit -> unit) ->
+  unit ->
+  t
+(** [nodes.(0)] is the origin sender, the last node the end receiver, and
+    every interior node a proxy.  Handlers are installed on all of them. *)
+
+val start : t -> unit
+val stop : t -> unit
+
+val metrics : t -> Leotp_net.Flow_metrics.t
+(** End-to-end metrics: origin wire bytes, end-receiver delivery/OWD. *)
+
+val proxy_backlogs : t -> int array
+(** Bytes buffered at each proxy (received in-order upstream but not yet
+    acknowledged downstream). *)
+
+val complete : t -> bool
+
+(**/**)
+
+val debug_proxy_tx : t -> (int * int * float * bool) array
+(** (snd_una, inflight, cwnd, finished) per proxy — for tests/diagnosis. *)
+
+val debug_proxy_str : t -> string array

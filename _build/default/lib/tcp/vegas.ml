@@ -1,0 +1,76 @@
+(** TCP Vegas (Brakmo & Peterson 1995): RTT-based congestion avoidance.
+    Keeps between [alpha] and [beta] segments queued in the network,
+    estimated as (expected - actual) * baseRTT. *)
+
+open Cc_intf
+
+let alpha = 2.0
+let beta = 4.0
+let gamma = 1.0
+
+type state = {
+  mss : float;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable base_rtt : float;
+  mutable srtt : float;
+  mutable next_update : float;  (** adjust once per RTT *)
+  mutable in_slow_start : bool;
+}
+
+let create ~mss ~now =
+  let s =
+    {
+      mss = fmss mss;
+      cwnd = initial_window mss;
+      ssthresh = Float.infinity;
+      base_rtt = Float.infinity;
+      srtt = Float.nan;
+      next_update = now;
+      in_slow_start = true;
+    }
+  in
+  let diff_segments () =
+    (* (expected - actual) * baseRTT, in segments. *)
+    if Float.is_nan s.srtt || not (Float.is_finite s.base_rtt) then 0.0
+    else begin
+      let expected = s.cwnd /. s.base_rtt in
+      let actual = s.cwnd /. s.srtt in
+      (expected -. actual) *. s.base_rtt /. s.mss
+    end
+  in
+  {
+    name = "vegas";
+    on_ack =
+      (fun info ->
+        (match info.rtt_sample with
+        | Some r ->
+          s.base_rtt <- Float.min s.base_rtt r;
+          s.srtt <-
+            (if Float.is_nan s.srtt then r else (0.875 *. s.srtt) +. (0.125 *. r))
+        | None -> ());
+        if info.now >= s.next_update then begin
+          s.next_update <-
+            info.now +. (if Float.is_nan s.srtt then 0.1 else s.srtt);
+          let diff = diff_segments () in
+          if s.in_slow_start then begin
+            if diff > gamma || s.cwnd >= s.ssthresh then s.in_slow_start <- false
+            else s.cwnd <- s.cwnd *. 2.0
+          end
+          else if diff < alpha then s.cwnd <- s.cwnd +. s.mss
+          else if diff > beta then
+            s.cwnd <- Float.max (s.cwnd -. s.mss) (min_window (int_of_float s.mss))
+        end);
+    on_loss =
+      (fun ~now:_ ~inflight:_ ->
+        s.in_slow_start <- false;
+        s.cwnd <- Float.max (s.cwnd *. 0.75) (min_window (int_of_float s.mss));
+        s.ssthresh <- s.cwnd);
+    on_rto =
+      (fun ~now:_ ->
+        s.in_slow_start <- false;
+        s.ssthresh <- Float.max (s.cwnd /. 2.0) (2.0 *. s.mss);
+        s.cwnd <- s.mss);
+    cwnd = (fun () -> s.cwnd);
+    pacing_rate = (fun () -> None);
+  }

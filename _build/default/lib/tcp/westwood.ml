@@ -1,0 +1,60 @@
+(** TCP Westwood+ (Mascolo et al. 2001): Reno-style growth, but on loss the
+    window is set from an end-to-end bandwidth estimate (ACK rate) times
+    the minimum RTT, instead of blind halving — designed for lossy
+    wireless links. *)
+
+open Cc_intf
+
+type state = {
+  mss : float;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable bwe : float;  (** bytes/s, EWMA of delivery-rate samples *)
+  mutable rtt_min : float;
+}
+
+let create ~mss ~now:_ =
+  let s =
+    {
+      mss = fmss mss;
+      cwnd = initial_window mss;
+      ssthresh = Float.infinity;
+      bwe = 0.0;
+      rtt_min = Float.infinity;
+    }
+  in
+  let hystart = Hystart.create () in
+  {
+    name = "westwood";
+    on_ack =
+      (fun info ->
+        (match info.rtt_sample with
+        | Some r -> s.rtt_min <- Float.min s.rtt_min r
+        | None -> ());
+        if s.cwnd < s.ssthresh && Hystart.should_exit hystart ~rtt_sample:info.rtt_sample
+        then s.ssthresh <- s.cwnd;
+        (match info.bw_sample with
+        | Some b -> s.bwe <- if s.bwe = 0.0 then b else (0.9 *. s.bwe) +. (0.1 *. b)
+        | None -> ());
+        let acked = float_of_int info.acked_bytes in
+        if s.cwnd < s.ssthresh then s.cwnd <- s.cwnd +. acked
+        else s.cwnd <- s.cwnd +. (s.mss *. acked /. s.cwnd));
+    on_loss =
+      (fun ~now:_ ~inflight:_ ->
+        let target =
+          if s.bwe > 0.0 && Float.is_finite s.rtt_min then s.bwe *. s.rtt_min
+          else s.cwnd /. 2.0
+        in
+        s.ssthresh <- Float.max target (2.0 *. s.mss);
+        s.cwnd <- Float.min s.cwnd s.ssthresh);
+    on_rto =
+      (fun ~now:_ ->
+        let target =
+          if s.bwe > 0.0 && Float.is_finite s.rtt_min then s.bwe *. s.rtt_min
+          else s.cwnd /. 2.0
+        in
+        s.ssthresh <- Float.max target (2.0 *. s.mss);
+        s.cwnd <- s.mss);
+    cwnd = (fun () -> s.cwnd);
+    pacing_rate = (fun () -> None);
+  }

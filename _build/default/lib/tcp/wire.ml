@@ -1,0 +1,32 @@
+(** TCP-like wire format carried in simulator packets.
+
+    [Data_seg] also carries [first_sent], the time the byte range was first
+    transmitted by the {i origin} sender: the receiver uses it to measure
+    application-level data-retrieval delay (including retransmission and,
+    for Split TCP, proxy queuing), which is the paper's OWD metric. *)
+
+type Leotp_net.Packet.payload +=
+  | Data_seg of {
+      seq : int;  (** first byte of the range *)
+      len : int;  (** payload bytes *)
+      sent_at : float;  (** this transmission's time (RTT timestamp) *)
+      first_sent : float;  (** origin first-transmission time of the range *)
+      retx : bool;  (** retransmitted at least once somewhere on the path *)
+      fin : bool;  (** last segment of the flow *)
+    }
+  | Ack_seg of {
+      cum_ack : int;  (** next byte expected *)
+      sacks : (int * int) list;  (** up to 3 selectively acked ranges *)
+      ts_echo : float;  (** [sent_at] of the segment that triggered this ack *)
+    }
+
+let header_bytes = 40
+let default_mss = 1400
+
+let data_packet ~src ~dst ~flow ~seq ~len ~sent_at ~first_sent ~retx ~fin =
+  Leotp_net.Packet.make ~src ~dst ~flow ~size:(header_bytes + len)
+    (Data_seg { seq; len; sent_at; first_sent; retx; fin })
+
+let ack_packet ~src ~dst ~flow ~cum_ack ~sacks ~ts_echo =
+  Leotp_net.Packet.make ~src ~dst ~flow ~size:header_bytes
+    (Ack_seg { cum_ack; sacks; ts_echo })

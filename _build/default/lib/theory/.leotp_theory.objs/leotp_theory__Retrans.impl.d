@@ -1,0 +1,1 @@
+lib/theory/retrans.ml: Array Float Leotp_util List

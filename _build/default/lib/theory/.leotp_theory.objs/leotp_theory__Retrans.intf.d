@@ -1,0 +1,1 @@
+lib/theory/retrans.mli: Leotp_util

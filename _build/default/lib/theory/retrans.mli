@@ -1,0 +1,67 @@
+(** Closed forms of the paper's retransmission model (§II-B, eqs 1-5).
+
+    A path of [hops] hops, each with packet loss rate [p], per-hop one-way
+    propagation delay [d] seconds and bandwidth [b] bytes/second.
+    "e2e" = end-to-end retransmission (TCP-style: only the sender repairs),
+    "hbh" = hop-by-hop retransmission (LEOTP-style: each hop repairs). *)
+
+val e2e_plr : p:float -> hops:int -> float
+(** Eq (1) exact: [1 - (1-p)^N]. *)
+
+val e2e_plr_approx : p:float -> hops:int -> float
+(** Eq (1) approximation [N*p] used by the paper in eqs (2) and (4). *)
+
+val owd_e2e : p:float -> hops:int -> d:float -> float
+(** Eq (2): mean one-way delay under end-to-end retransmission,
+    [N*d*(1+P)/(1-P)] with [P = N*p]. *)
+
+val owd_hbh : p:float -> hops:int -> d:float -> float
+(** Eq (3): [N*d*(1+p)/(1-p)]. *)
+
+val throughput_e2e : p:float -> hops:int -> b:float -> float
+(** Eq (4): [b*(1-N*p)]. *)
+
+val throughput_hbh : p:float -> b:float -> float
+(** Eq (5): [b*(1-p)]. *)
+
+val throughput_gain : p:float -> hops:int -> float
+(** hbh/e2e throughput ratio [(1-p)/(1-Np)]; e.g. 1.047 for N=10, p=0.5%. *)
+
+val owd_ratio : p:float -> hops:int -> float
+(** hbh/e2e mean-OWD ratio [(1+p)(1-Np)/((1-p)(1+Np))]; e.g. 0.913 for
+    N=10, p=0.5%. *)
+
+(** Per-packet OWD distributions behind Fig 3.  Delays are on the lattice
+    [k*d]; distributions are given as [(delay_seconds, probability)] with
+    probabilities summing to ~1 (truncated at negligible tail mass). *)
+module Owd_dist : sig
+  type t = (float * float) list
+
+  val e2e : p:float -> hops:int -> d:float -> t
+  (** OWD = [(1+2k)*N*d] with probability [(1-P)*P^k], [P] exact. *)
+
+  val hbh : p:float -> hops:int -> d:float -> t
+  (** Sum over hops of independent per-hop delays [(1+2k)*d]; computed by
+      exact convolution. *)
+
+  val percentile : t -> float -> float
+  (** [percentile dist 99.0] = smallest delay with CDF >= 0.99. *)
+
+  val mean : t -> float
+
+  val sample : t -> Leotp_util.Rng.t -> float
+  (** Draw one OWD (inverse-CDF), for Monte-Carlo cross-checks. *)
+
+  val monte_carlo :
+    scheme:[ `E2e | `Hbh ] ->
+    p:float ->
+    hops:int ->
+    d:float ->
+    packets:int ->
+    seed:int ->
+    Leotp_util.Stats.t
+  (** Simulate per-packet retransmission directly (geometric retry count
+      per packet or per hop) rather than sampling the analytic
+      distribution — an independent check of the closed forms, matching
+      the paper's "100000 packets we simulate". *)
+end

@@ -1,0 +1,1 @@
+lib/util/rto.ml: Float

@@ -1,0 +1,1 @@
+lib/util/windowed_min.ml: List

@@ -1,0 +1,107 @@
+(* Intervals keyed by their lower bound; invariant: values are > key,
+   intervals are disjoint and non-adjacent (adjacent runs are merged). *)
+
+module M = Map.Make (Int)
+
+type t = int M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+
+(* The interval containing or preceding [x], if any. *)
+let find_before x t =
+  match M.find_last_opt (fun lo -> lo <= x) t with
+  | Some (lo, hi) -> Some (lo, hi)
+  | None -> None
+
+let add ~lo ~hi t =
+  if lo >= hi then t
+  else begin
+    (* Extend [lo, hi) to absorb an overlapping-or-adjacent predecessor
+       (which may entirely contain the new range). *)
+    let lo, hi, t =
+      match find_before lo t with
+      | Some (plo, phi) when phi >= lo -> (min plo lo, max hi phi, M.remove plo t)
+      | _ -> (lo, hi, t)
+    in
+    (* Absorb all successors starting within or adjacent to [lo, hi). *)
+    let rec absorb hi t =
+      match M.find_first_opt (fun l -> l >= lo) t with
+      | Some (slo, shi) when slo <= hi -> absorb (max hi shi) (M.remove slo t)
+      | _ -> (hi, t)
+    in
+    let hi, t = absorb hi t in
+    M.add lo hi t
+  end
+
+let remove ~lo ~hi t =
+  if lo >= hi then t
+  else begin
+    let t =
+      match find_before lo t with
+      | Some (plo, phi) when phi > lo ->
+        let t = M.remove plo t in
+        let t = if plo < lo then M.add plo lo t else t in
+        if phi > hi then M.add hi phi t else t
+      | _ -> t
+    in
+    let rec strip t =
+      match M.find_first_opt (fun l -> l >= lo) t with
+      | Some (slo, shi) when slo < hi ->
+        let t = M.remove slo t in
+        let t = if shi > hi then M.add hi shi t else t in
+        strip t
+      | _ -> t
+    in
+    strip t
+  end
+
+let mem x t =
+  match find_before x t with Some (_, hi) -> x < hi | None -> false
+
+let covers ~lo ~hi t =
+  lo >= hi
+  || (match find_before lo t with Some (_, phi) -> phi >= hi | None -> false)
+
+let intersects ~lo ~hi t =
+  if lo >= hi then false
+  else
+    (match find_before lo t with Some (_, phi) -> phi > lo | None -> false)
+    ||
+    (match M.find_first_opt (fun l -> l >= lo) t with
+    | Some (slo, _) -> slo < hi
+    | None -> false)
+
+let fold f t init = M.fold f t init
+let cardinal t = fold (fun lo hi acc -> acc + (hi - lo)) t 0
+let intervals t = List.rev (fold (fun lo hi acc -> (lo, hi) :: acc) t [])
+let count_intervals t = M.cardinal t
+
+let gaps ~lo ~hi t =
+  if lo >= hi then []
+  else begin
+    let cursor = ref lo and acc = ref [] in
+    let visit ilo ihi =
+      if ihi > lo && ilo < hi then begin
+        if ilo > !cursor then acc := (!cursor, min ilo hi) :: !acc;
+        cursor := max !cursor ihi
+      end
+    in
+    M.iter visit t;
+    if !cursor < hi then acc := (!cursor, hi) :: !acc;
+    List.rev !acc
+  end
+
+let first_missing ~lo t =
+  match find_before lo t with
+  | Some (_, hi) when hi > lo -> hi
+  | _ -> lo
+
+let union a b = fold (fun lo hi acc -> add ~lo ~hi acc) a b
+let equal = M.equal Int.equal
+
+let pp ppf t =
+  let pp_iv ppf (lo, hi) = Format.fprintf ppf "[%d,%d)" lo hi in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp_iv)
+    (intervals t)

@@ -1,0 +1,74 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (** most recently used *)
+  mutable tail : ('k, 'v) node option;  (** least recently used *)
+}
+
+let create () = { table = Hashtbl.create 64; head = None; tail = None }
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  unlink t node;
+  push_front t node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    touch t node;
+    Some node.value
+  | None -> None
+
+let peek t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node -> Some node.value
+  | None -> None
+
+let put t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    node.value <- v;
+    touch t node
+  | None ->
+    let node = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.replace t.table k node;
+    push_front t node
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table k
+  | None -> ()
+
+let evict_lru t =
+  match t.tail with
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key;
+    Some (node.key, node.value)
+  | None -> None
+
+let iter f t = Hashtbl.iter (fun k node -> f k node.value) t.table

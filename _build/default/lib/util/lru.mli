@@ -1,0 +1,23 @@
+(** Generic LRU index with O(1) touch/evict (hash table + doubly linked
+    recency list).  The LEOTP block cache builds on this. *)
+
+type ('k, 'v) t
+
+val create : unit -> ('k, 'v) t
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Marks the entry most-recently-used. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** No recency update. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace; entry becomes most-recently-used. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+
+val evict_lru : ('k, 'v) t -> ('k * 'v) option
+(** Remove and return the least-recently-used entry. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit

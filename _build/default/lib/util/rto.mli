@@ -1,0 +1,34 @@
+(** RFC 6298 retransmission-timeout estimator.
+
+    Shared by the TCP engine and LEOTP's Consumer-driven Timeout
+    Retransmission (paper §III-B): SRTT/RTTVAR smoothing, the classic
+    [srtt + 4 * rttvar] timeout, and exponential backoff.  LEOTP backs off
+    by a factor of 1.5 per timeout (paper) while TCP doubles; the factor is
+    a parameter. *)
+
+type t
+
+val create :
+  ?initial_rto:float ->
+  ?min_rto:float ->
+  ?max_rto:float ->
+  ?backoff_factor:float ->
+  unit ->
+  t
+(** Defaults: initial 1 s, min 0.2 s, max 60 s, backoff factor 2.0. *)
+
+val observe : t -> float -> unit
+(** Feed an RTT sample (seconds); resets any backoff. *)
+
+val rto : t -> float
+(** Current timeout including backoff. *)
+
+val base_rto : t -> float
+(** Timeout without backoff. *)
+
+val backoff : t -> unit
+(** Multiply the timeout by the backoff factor (capped at [max_rto]). *)
+
+val reset_backoff : t -> unit
+val srtt : t -> float option
+val rttvar : t -> float option

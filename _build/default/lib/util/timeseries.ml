@@ -1,0 +1,58 @@
+type t = {
+  mutable times : float array;
+  mutable values : float array;
+  mutable size : int;
+}
+
+let create () = { times = [||]; values = [||]; size = 0 }
+
+let add t ~time v =
+  let cap = Array.length t.times in
+  if t.size = cap then begin
+    let ncap = max 64 (2 * cap) in
+    let nt = Array.make ncap 0.0 and nv = Array.make ncap 0.0 in
+    Array.blit t.times 0 nt 0 t.size;
+    Array.blit t.values 0 nv 0 t.size;
+    t.times <- nt;
+    t.values <- nv
+  end;
+  (* Timestamps from a discrete-event simulation are non-decreasing. *)
+  assert (t.size = 0 || time >= t.times.(t.size - 1));
+  t.times.(t.size) <- time;
+  t.values.(t.size) <- v;
+  t.size <- t.size + 1
+
+let length t = t.size
+
+let to_list t =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((t.times.(i), t.values.(i)) :: acc)
+  in
+  go (t.size - 1) []
+
+let window_fold f init t ~lo ~hi =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    if t.times.(i) >= lo && t.times.(i) < hi then acc := f !acc t.values.(i)
+  done;
+  !acc
+
+let window_sum t ~lo ~hi = window_fold ( +. ) 0.0 t ~lo ~hi
+
+let window_mean t ~lo ~hi =
+  let sum, n =
+    window_fold (fun (s, n) v -> (s +. v, n + 1)) (0.0, 0) t ~lo ~hi
+  in
+  if n = 0 then Float.nan else sum /. float_of_int n
+
+let bucketize t ~width ~t_end =
+  let nbuckets = int_of_float (Float.ceil (t_end /. width)) in
+  let sums = Array.make (max nbuckets 0) 0.0 in
+  for i = 0 to t.size - 1 do
+    let b = int_of_float (t.times.(i) /. width) in
+    if b >= 0 && b < nbuckets then sums.(b) <- sums.(b) +. t.values.(i)
+  done;
+  List.mapi (fun b s -> (float_of_int b *. width, s)) (Array.to_list sums)
+
+let rate_series t ~width ~t_end =
+  List.map (fun (ts, s) -> (ts, s /. width)) (bucketize t ~width ~t_end)

@@ -1,0 +1,23 @@
+(** Token-bucket rate limiter.
+
+    Paper §III-C: the Responder's Rate Limiter "uses this rate to control
+    the data sending process by the token bucket algorithm".  Tokens are
+    bytes; the bucket refills continuously at [rate] bytes/second up to
+    [burst] bytes. *)
+
+type t
+
+val create : rate:float -> burst:float -> now:float -> t
+
+val set_rate : t -> now:float -> float -> unit
+(** Update the refill rate (tokens accrued so far at the old rate are kept). *)
+
+val rate : t -> float
+
+val try_consume : t -> now:float -> int -> bool
+(** Take [n] tokens if available; returns whether it succeeded. *)
+
+val time_until : t -> now:float -> int -> float
+(** Seconds from [now] until [n] tokens will be available (0 if already). *)
+
+val available : t -> now:float -> float

@@ -1,0 +1,23 @@
+(** Unit conversions used throughout the simulator.
+
+    Internal conventions: time in seconds, sizes in bytes, rates in
+    bytes/second, distances in meters.  The paper quotes link rates in
+    Mbps (decimal megabits) and delays in milliseconds. *)
+
+let bits_per_byte = 8.0
+
+(** Speed of light in vacuum, m/s (used for ISL propagation delays). *)
+let speed_of_light = 299_792_458.0
+
+let mbps_to_bytes_per_sec mbps = mbps *. 1_000_000.0 /. bits_per_byte
+let bytes_per_sec_to_mbps bps = bps *. bits_per_byte /. 1_000_000.0
+let ms_to_sec ms = ms /. 1_000.0
+let sec_to_ms s = s *. 1_000.0
+let km_to_m km = km *. 1_000.0
+let mb_to_bytes mb = mb * 1_000_000
+
+(** Earth's mean radius, meters. *)
+let earth_radius = 6_371_000.0
+
+(** Standard gravitational parameter of Earth, m^3/s^2. *)
+let earth_mu = 3.986_004_418e14

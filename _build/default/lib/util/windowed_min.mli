@@ -1,0 +1,22 @@
+(** Sliding-window minimum / maximum over timestamped samples.
+
+    Used for [hopRTT_min] ("the minimal hopRTT in the recent 5 seconds",
+    paper §III-C) and for BBR's windowed max-bandwidth / min-RTT filters.
+    Amortized O(1) per sample (monotonic wedge). *)
+
+type t
+
+val create_min : window:float -> t
+(** Tracks the minimum of samples whose timestamp is within [window] of the
+    most recent query/insert time. *)
+
+val create_max : window:float -> t
+
+val set_window : t -> float -> unit
+(** Adjust the window length (e.g. BBR's 10-round-trip bandwidth filter,
+    whose span follows the measured RTT). *)
+
+val add : t -> now:float -> float -> unit
+val get : t -> now:float -> float option
+val get_or : t -> now:float -> default:float -> float
+val clear : t -> unit

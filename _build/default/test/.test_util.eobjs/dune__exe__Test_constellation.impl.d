@@ -1,0 +1,1 @@
+test/test_constellation.ml: Alcotest Array Cities Float Gen Geo Leotp_constellation Leotp_util List Path_service Printf QCheck2 QCheck_alcotest Routing Test Walker

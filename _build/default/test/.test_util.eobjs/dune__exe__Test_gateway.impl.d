@@ -1,0 +1,1 @@
+test/test_gateway.ml: Alcotest Array Leotp Leotp_gateway Leotp_net Leotp_sim Leotp_tcp Leotp_util Printf

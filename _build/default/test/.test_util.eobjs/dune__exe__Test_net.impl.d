@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Bandwidth Dynamic_path Float Flow_metrics Leotp_net Leotp_sim Leotp_util Link List Node Packet Printf Topology

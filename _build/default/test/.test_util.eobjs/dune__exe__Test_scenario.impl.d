@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Leotp Leotp_net Leotp_scenario Leotp_tcp Leotp_util List Printf

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Float Leotp_sim Leotp_util List

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Cc Gen Leotp_net Leotp_sim Leotp_tcp Leotp_util List Printf QCheck2 QCheck_alcotest Receiver Sender Session Split Test Wire

@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Float Gen Leotp_theory Leotp_util List QCheck2 QCheck_alcotest Retrans Test

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen Int Interval_set Leotp_util List Lru Pqueue QCheck2 QCheck_alcotest Rng Rto Stats Test Timeseries Token_bucket Windowed_min

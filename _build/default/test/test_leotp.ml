@@ -1,0 +1,695 @@
+(* Tests for the LEOTP core: wire format, cache, SHR (Algorithm 1 and the
+   paper's Fig 8b example), hop congestion control, backpressure,
+   send buffer, and full-protocol behaviour over simulated paths —
+   including the end-to-end reliability property under random loss and
+   link switching, and the ablation orderings of Table II. *)
+
+module Engine = Leotp_sim.Engine
+module Node = Leotp_net.Node
+module Bandwidth = Leotp_net.Bandwidth
+module Topology = Leotp_net.Topology
+module Flow_metrics = Leotp_net.Flow_metrics
+open Leotp
+
+let mbps = Leotp_util.Units.mbps_to_bytes_per_sec
+let config = Config.default
+
+let setup () =
+  Leotp_net.Packet.reset_ids ();
+  Node.reset_ids ();
+  (Engine.create (), Leotp_util.Rng.create ~seed:11)
+
+(* ------------------------------------------------------------------ *)
+(* Wire *)
+
+let test_wire_sizes () =
+  let name = { Wire.flow = 1; lo = 0; hi = 1400 } in
+  let i =
+    Wire.interest_packet ~config ~src:1 ~dst:2 ~name ~timestamp:0.0
+      ~send_rate:1e6 ~retx:false
+  in
+  Alcotest.(check int) "interest = header" 15 i.Leotp_net.Packet.size;
+  let d =
+    Wire.data_packet ~config ~src:2 ~dst:1 ~name ~timestamp:0.0 ~req_owd:0.0
+      ~first_sent:0.0 ~retx:false
+  in
+  Alcotest.(check int) "data = header+payload" 1415 d.Leotp_net.Packet.size;
+  let v = Wire.vph_packet ~config ~src:2 ~dst:1 ~name ~timestamp:0.0 in
+  Alcotest.(check int) "vph = header" 15 v.Leotp_net.Packet.size;
+  Alcotest.(check bool) "vph flag" true (Wire.is_vph v.Leotp_net.Packet.payload);
+  Alcotest.(check bool) "data not vph" false (Wire.is_vph d.Leotp_net.Packet.payload)
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_roundtrip () =
+  let c = Cache.create ~config in
+  Cache.insert c ~flow:1 ~lo:0 ~hi:1400 ~first_sent:1.0 ~retx:false;
+  (match Cache.lookup c ~flow:1 ~lo:0 ~hi:1400 with
+  | Some (fs, retx) ->
+    Alcotest.(check (float 1e-9)) "first_sent kept" 1.0 fs;
+    Alcotest.(check bool) "retx kept" false retx
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check bool)
+    "miss on different flow" true
+    (Cache.lookup c ~flow:2 ~lo:0 ~hi:1400 = None);
+  Alcotest.(check bool)
+    "miss on uncovered range" true
+    (Cache.lookup c ~flow:1 ~lo:1400 ~hi:2800 = None);
+  let st = Cache.stats c in
+  Alcotest.(check int) "hits" 1 st.Cache.hits;
+  Alcotest.(check int) "misses" 2 st.Cache.misses
+
+let test_cache_cross_block () =
+  let c = Cache.create ~config in
+  (* 4096-byte blocks: [3000, 6000) spans blocks 0 and 1. *)
+  Cache.insert c ~flow:1 ~lo:3000 ~hi:6000 ~first_sent:2.0 ~retx:true;
+  (match Cache.lookup c ~flow:1 ~lo:3000 ~hi:6000 with
+  | Some (_, retx) -> Alcotest.(check bool) "retx carried" true retx
+  | None -> Alcotest.fail "cross-block hit expected");
+  Alcotest.(check bool)
+    "sub-range hit" true
+    (Cache.lookup c ~flow:1 ~lo:4000 ~hi:4200 <> None);
+  Alcotest.(check bool)
+    "partially covered misses" true
+    (Cache.lookup c ~flow:1 ~lo:2999 ~hi:3001 = None)
+
+let test_cache_eviction () =
+  let small = { config with Config.cache_capacity = 10_000 } in
+  let c = Cache.create ~config:small in
+  for i = 0 to 9 do
+    Cache.insert c ~flow:1 ~lo:(i * 4096) ~hi:((i + 1) * 4096) ~first_sent:0.0
+      ~retx:false
+  done;
+  Alcotest.(check bool)
+    "capacity respected" true
+    (Cache.used_bytes c <= 10_000);
+  Alcotest.(check bool) "evictions counted" true ((Cache.stats c).Cache.evictions > 0);
+  (* Oldest blocks evicted, newest survive. *)
+  Alcotest.(check bool)
+    "LRU keeps newest" true
+    (Cache.lookup c ~flow:1 ~lo:(9 * 4096) ~hi:(10 * 4096) <> None);
+  Alcotest.(check bool)
+    "LRU evicts oldest" true
+    (Cache.lookup c ~flow:1 ~lo:0 ~hi:4096 = None)
+
+let test_cache_drop_flow () =
+  let c = Cache.create ~config in
+  Cache.insert c ~flow:1 ~lo:0 ~hi:1400 ~first_sent:0.0 ~retx:false;
+  Cache.insert c ~flow:2 ~lo:0 ~hi:1400 ~first_sent:0.0 ~retx:false;
+  Cache.drop_flow c ~flow:1;
+  Alcotest.(check bool) "flow 1 gone" true (Cache.lookup c ~flow:1 ~lo:0 ~hi:1400 = None);
+  Alcotest.(check bool) "flow 2 kept" true (Cache.lookup c ~flow:2 ~lo:0 ~hi:1400 <> None)
+
+let cache_model_prop =
+  let open QCheck2 in
+  Test.make ~name:"cache lookup consistent with inserted ranges" ~count:100
+    Gen.(list_size (int_range 1 30) (pair (int_range 0 20) (int_range 1 8)))
+    (fun inserts ->
+      let c = Cache.create ~config in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (block, len) ->
+          let lo = block * 1000 and hi = (block * 1000) + (len * 100) in
+          Cache.insert c ~flow:1 ~lo ~hi ~first_sent:0.0 ~retx:false;
+          for b = lo to hi - 1 do
+            Hashtbl.replace model b ()
+          done)
+        inserts;
+      (* No eviction at this size: containment must match the model. *)
+      List.for_all
+        (fun (block, len) ->
+          let lo = block * 1000 and hi = (block * 1000) + (len * 100) in
+          Cache.contains c ~flow:1 ~lo ~hi
+          &&
+          let missing = lo = hi in
+          not missing)
+        inserts)
+
+(* ------------------------------------------------------------------ *)
+(* SHR: Algorithm 1 *)
+
+let mss = config.Config.mss
+
+let test_shr_in_sequence () =
+  let shr = Shr.create ~config in
+  let a1 = Shr.on_packet shr ~lo:0 ~hi:mss in
+  Alcotest.(check bool) "no holes" true (a1.Shr.new_holes = [] && a1.Shr.expired_holes = []);
+  let a2 = Shr.on_packet shr ~lo:mss ~hi:(2 * mss) in
+  Alcotest.(check bool) "still none" true (a2.Shr.new_holes = []);
+  Alcotest.(check int) "lastByte" (2 * mss) (Shr.last_byte shr)
+
+let test_shr_fig8b () =
+  (* The paper's Fig 8b walk-through: packets 1..5, packet 2 lost.
+     N = 3 (default): receipt of 3 detects the hole; packets 4, 5 and one
+     more skip it; after count > N an Interest is issued. *)
+  let shr = Shr.create ~config in
+  let p n = (n * mss, (n + 1) * mss) in
+  ignore (Shr.on_packet shr ~lo:(fst (p 0)) ~hi:(snd (p 0)));
+  (* packet 2 (index 1) lost; packet 3 (index 2) arrives. *)
+  let a3 = Shr.on_packet shr ~lo:(fst (p 2)) ~hi:(snd (p 2)) in
+  Alcotest.(check (list (pair int int)))
+    "hole detected -> VPH range"
+    [ (mss, 2 * mss) ]
+    a3.Shr.new_holes;
+  Alcotest.(check bool) "not yet expired" true (a3.Shr.expired_holes = []);
+  let a4 = Shr.on_packet shr ~lo:(fst (p 3)) ~hi:(snd (p 3)) in
+  Alcotest.(check bool) "count 1" true (a4.Shr.expired_holes = []);
+  let a5 = Shr.on_packet shr ~lo:(fst (p 4)) ~hi:(snd (p 4)) in
+  Alcotest.(check bool) "count 2" true (a5.Shr.expired_holes = []);
+  let a6 = Shr.on_packet shr ~lo:(fst (p 5)) ~hi:(snd (p 5)) in
+  Alcotest.(check bool) "count 3" true (a6.Shr.expired_holes = []);
+  let a7 = Shr.on_packet shr ~lo:(fst (p 6)) ~hi:(snd (p 6)) in
+  Alcotest.(check (list (pair int int)))
+    "count > N: retransmission Interest"
+    [ (mss, 2 * mss) ]
+    a7.Shr.expired_holes;
+  Alcotest.(check bool) "hole dropped after request" true (Shr.pending_holes shr = [])
+
+let test_shr_retransmission_fills_hole () =
+  let shr = Shr.create ~config in
+  ignore (Shr.on_packet shr ~lo:0 ~hi:mss);
+  ignore (Shr.on_packet shr ~lo:(2 * mss) ~hi:(3 * mss));
+  Alcotest.(check int) "one hole" 1 (List.length (Shr.pending_holes shr));
+  (* The lost packet arrives late (case 3: rs < lastByte). *)
+  let a = Shr.on_packet shr ~lo:mss ~hi:(2 * mss) in
+  Alcotest.(check bool) "no new holes" true (a.Shr.new_holes = []);
+  Alcotest.(check bool) "hole deleted" true (Shr.pending_holes shr = [])
+
+let test_shr_partial_fill_splits () =
+  let shr = Shr.create ~config in
+  ignore (Shr.on_packet shr ~lo:0 ~hi:100);
+  ignore (Shr.on_packet shr ~lo:400 ~hi:500);
+  (* hole [100,400); fill [200,300) -> holes [100,200) and [300,400). *)
+  ignore (Shr.on_packet shr ~lo:200 ~hi:300);
+  Alcotest.(check (list (pair int int)))
+    "split"
+    [ (100, 200); (300, 400) ]
+    (List.map (fun (lo, hi, _) -> (lo, hi)) (Shr.pending_holes shr))
+
+let test_shr_vph_suppression () =
+  (* A downstream node that processes a VPH for the hole range must not
+     detect the hole itself: feeding the VPH through on_packet covers the
+     sequence space. *)
+  let shr = Shr.create ~config in
+  ignore (Shr.on_packet shr ~lo:0 ~hi:mss);
+  (* VPH for [mss, 2*mss) arrives before packet 3. *)
+  ignore (Shr.on_packet shr ~lo:mss ~hi:(2 * mss));
+  let a = Shr.on_packet shr ~lo:(2 * mss) ~hi:(3 * mss) in
+  Alcotest.(check bool) "no hole seen downstream" true (a.Shr.new_holes = []);
+  Alcotest.(check bool) "no pending holes" true (Shr.pending_holes shr = [])
+
+let shr_no_false_loss_prop =
+  let open QCheck2 in
+  Test.make ~name:"SHR never requests data that arrived" ~count:200
+    Gen.(list_size (int_range 1 40) (int_range 0 19))
+    (fun order ->
+      (* Deliver packets in an arbitrary order (with duplicates); collect
+         every retransmission request; each requested range must be one
+         that had genuinely not arrived before its request. *)
+      let shr = Shr.create ~config in
+      let arrived = Array.make 20 false in
+      List.for_all
+        (fun idx ->
+          let lo = idx * mss and hi = (idx + 1) * mss in
+          let acts = Shr.on_packet shr ~lo ~hi in
+          arrived.(idx) <- true;
+          List.for_all
+            (fun (rlo, rhi) ->
+              (* every mss-slot in the requested hole is un-arrived *)
+              let ok = ref true in
+              let s = ref rlo in
+              while !s < rhi do
+                if arrived.(!s / mss) then ok := false;
+                s := !s + mss
+              done;
+              !ok)
+            acts.Shr.expired_holes)
+        order)
+
+(* ------------------------------------------------------------------ *)
+(* Hop CC and backpressure *)
+
+let feed_cc cc ~n ~rtt ~bytes ~start =
+  for i = 1 to n do
+    Hop_cc.on_data cc
+      ~now:(start +. (rtt *. float_of_int i))
+      ~interest_owd:(rtt /. 2.0) ~data_owd:(rtt /. 2.0) ~bytes
+  done
+
+let test_hop_cc_slow_start_growth () =
+  let cc = Hop_cc.create ~config ~now:0.0 () in
+  let w0 = Hop_cc.cwnd cc in
+  feed_cc cc ~n:5 ~rtt:0.02 ~bytes:14000 ~start:0.0;
+  Alcotest.(check bool) "doubling" true (Hop_cc.cwnd cc > 4.0 *. w0)
+
+let test_hop_cc_congestion_cut () =
+  let cc = Hop_cc.create ~config ~now:0.0 () in
+  (* Converge at 1 MB/s, 20 ms. *)
+  feed_cc cc ~n:100 ~rtt:0.02 ~bytes:20_000 ~start:0.0;
+  let w = Hop_cc.cwnd cc in
+  (* Now inflate the RTT: queue estimate exceeds M and cwnd drops to
+     k*BDP. *)
+  for i = 1 to 60 do
+    Hop_cc.on_data cc
+      ~now:(2.0 +. (0.08 *. float_of_int i))
+      ~interest_owd:0.04 ~data_owd:0.04 ~bytes:60_000
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "cut (%.0f -> %.0f)" w (Hop_cc.cwnd cc))
+    true
+    (Hop_cc.cwnd cc < w);
+  Alcotest.(check bool) "left slow start" true (not (Hop_cc.in_slow_start cc))
+
+let test_hop_cc_queue_estimate () =
+  let cc = Hop_cc.create ~config ~now:0.0 () in
+  feed_cc cc ~n:50 ~rtt:0.02 ~bytes:20_000 ~start:0.0;
+  (* ~1 MB/s at baseline 20 ms: no queue. *)
+  Alcotest.(check bool) "no queue at baseline" true (Hop_cc.queue_len cc ~now:1.0 < 10_000.0);
+  ignore (Hop_cc.hop_rtt cc)
+
+let test_backpressure_signs () =
+  let cc = Hop_cc.create ~config ~now:0.0 () in
+  feed_cc cc ~n:50 ~rtt:0.02 ~bytes:20_000 ~start:0.0;
+  let empty =
+    Backpressure.advertised_rate ~config ~cc ~now:1.0 ~buffer_len:0
+      ~next_hop_rate:1_000_000.0
+  in
+  let full =
+    Backpressure.advertised_rate ~config ~cc ~now:1.0
+      ~buffer_len:(10 * config.Config.bl_target)
+      ~next_hop_rate:1_000_000.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "backlog lowers the advertised rate (%.0f < %.0f)" full empty)
+    true (full < empty);
+  Alcotest.(check bool) "never negative" true (full >= 0.0)
+
+let test_backpressure_formula () =
+  (* Direct check of eq (9) with the draining sign. *)
+  let r =
+    Backpressure.rate_bp ~config ~buffer_len:config.Config.bl_target
+      ~next_hop_rate:500_000.0 ~hop_rtt:0.02
+  in
+  Alcotest.(check (float 1e-6)) "at target: rate = next hop rate" 500_000.0 r;
+  let low =
+    Backpressure.rate_bp ~config ~buffer_len:(2 * config.Config.bl_target)
+      ~next_hop_rate:500_000.0 ~hop_rtt:0.02
+  in
+  (* 500 KB/s - 40 KB / 20 ms would be negative: clamped to a full stop. *)
+  Alcotest.(check (float 1e-6)) "above target: clamped drain" 0.0 low;
+  let mild =
+    Backpressure.rate_bp ~config
+      ~buffer_len:(config.Config.bl_target + 4_000)
+      ~next_hop_rate:500_000.0 ~hop_rtt:0.02
+  in
+  Alcotest.(check (float 1e-6))
+    "slightly above target: drain the excess"
+    (500_000.0 -. (4_000.0 /. 0.02))
+    mild
+
+(* ------------------------------------------------------------------ *)
+(* Send buffer *)
+
+let test_send_buffer_rate_limit () =
+  let engine = Engine.create () in
+  let sent = ref [] in
+  let sb =
+    Send_buffer.create engine ~config
+      ~send:(fun pkt -> sent := (Engine.now engine, pkt) :: !sent)
+      ()
+  in
+  Send_buffer.set_rate sb 14_150.0;
+  (* 10 packets of 1415 B at 14150 B/s: ~1 per 100 ms after the burst. *)
+  let name = { Wire.flow = 1; lo = 0; hi = 1400 } in
+  for i = 0 to 9 do
+    let name = { name with Wire.lo = i * 1400; hi = (i + 1) * 1400 } in
+    ignore
+      (Send_buffer.push sb
+         (Wire.data_packet ~config ~src:1 ~dst:2 ~name ~timestamp:0.0
+            ~req_owd:0.0 ~first_sent:0.0 ~retx:false))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all sent" 10 (List.length !sent);
+  let t_last = match !sent with (ts, _) :: _ -> ts | [] -> 0.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "paced over ~0.8s+ (%.2f)" t_last)
+    true (t_last > 0.7)
+
+let test_send_buffer_dedup () =
+  let engine = Engine.create () in
+  let sent = ref 0 in
+  let sb = Send_buffer.create engine ~config ~send:(fun _ -> incr sent) () in
+  let name = { Wire.flow = 1; lo = 0; hi = 1400 } in
+  let pkt lo =
+    Wire.data_packet ~config ~src:1 ~dst:2
+      ~name:{ name with Wire.lo; hi = lo + 1400 }
+      ~timestamp:0.0 ~req_owd:0.0 ~first_sent:0.0 ~retx:false
+  in
+  (* Drain the initial token burst so subsequent pushes stay queued. *)
+  ignore (Send_buffer.push sb (pkt 100_000));
+  Send_buffer.set_rate sb 1_000.0;
+  Alcotest.(check bool) "first accepted" true (Send_buffer.push sb (pkt 0));
+  Alcotest.(check bool) "dup absorbed" true (Send_buffer.push sb (pkt 0));
+  Engine.run ~until:5.0 engine;
+  Alcotest.(check int) "sent once (plus the flushing packet)" 2 !sent
+
+let test_send_buffer_overflow () =
+  let engine = Engine.create () in
+  let small = { config with Config.send_buffer_capacity = 3000 } in
+  let sb = Send_buffer.create engine ~config:small ~send:(fun _ -> ()) () in
+  Send_buffer.set_rate sb 1.0;
+  let push i =
+    let name = { Wire.flow = 1; lo = i * 1400; hi = (i + 1) * 1400 } in
+    Send_buffer.push sb
+      (Wire.data_packet ~config:small ~src:1 ~dst:2 ~name ~timestamp:0.0
+         ~req_owd:0.0 ~first_sent:0.0 ~retx:false)
+  in
+  (* The initial token burst lets the first packet leave immediately;
+     after that the queue holds two packets (2830 <= 3000) and the next
+     push overflows. *)
+  ignore (push 0);
+  ignore (push 1);
+  ignore (push 2);
+  Alcotest.(check bool) "fourth dropped" false (push 3);
+  Alcotest.(check int) "drop counted" 1 (Send_buffer.drops sb)
+
+(* ------------------------------------------------------------------ *)
+(* Full protocol over a chain *)
+
+let run_leotp ?(hops = 5) ?(bw_mbps = 20.0) ?(delay = 0.01) ?(plr = 0.0)
+    ?(bytes = 1_000_000) ?(cfg = config) ?(coverage = 1.0) ?(until = 120.0) ()
+    =
+  let engine, rng = setup () in
+  let spec =
+    Topology.hop ~plr ~bandwidth:(Bandwidth.Constant (mbps bw_mbps)) ~delay ()
+  in
+  let chain = Topology.chain engine ~rng (Array.make hops spec) in
+  let session =
+    Session.over_chain engine ~config:cfg ~chain ~flow:1 ~total_bytes:bytes
+      ~coverage ()
+  in
+  Session.start session;
+  Engine.run ~until engine;
+  (session, chain, engine)
+
+let test_transfer_completes () =
+  let session, _, _ = run_leotp () in
+  Alcotest.(check bool) "complete" true (Consumer.complete session.Session.consumer);
+  Alcotest.(check int)
+    "delivered" 1_000_000
+    (Flow_metrics.app_bytes session.Session.metrics)
+
+let test_transfer_under_loss () =
+  let session, _, _ = run_leotp ~plr:0.01 () in
+  Alcotest.(check bool) "complete with 1%/hop" true
+    (Consumer.complete session.Session.consumer);
+  Alcotest.(check int)
+    "every byte exactly once" 1_000_000
+    (Flow_metrics.app_bytes session.Session.metrics)
+
+let test_in_network_retransmission_active () =
+  let session, _, _ = run_leotp ~plr:0.02 ~bytes:2_000_000 () in
+  let shr_total =
+    List.fold_left
+      (fun acc m ->
+        match Midnode.flow_stats m ~flow:1 with
+        | Some fs -> acc + fs.Midnode.shr_interests
+        | None -> acc)
+      0 session.Session.midnodes
+  in
+  let vph_total =
+    List.fold_left
+      (fun acc m ->
+        match Midnode.flow_stats m ~flow:1 with
+        | Some fs -> acc + fs.Midnode.vph_sent
+        | None -> acc)
+      0 session.Session.midnodes
+  in
+  let hits =
+    List.fold_left
+      (fun acc m -> acc + (Cache.stats (Midnode.cache m)).Cache.hits)
+      0 session.Session.midnodes
+  in
+  Alcotest.(check bool) "SHR interests issued" true (shr_total > 0);
+  Alcotest.(check bool) "VPH notifications sent" true (vph_total > 0);
+  Alcotest.(check bool) "cache hits served repairs" true (hits > 0)
+
+let test_owd_floor () =
+  let session, _, _ = run_leotp ~bytes:500_000 () in
+  (* 5 hops x 10 ms propagation. *)
+  Alcotest.(check bool)
+    "OWD >= one-way propagation" true
+    (Leotp_util.Stats.min (Flow_metrics.owd session.Session.metrics) >= 0.05)
+
+let test_e2e_mode_no_midnodes () =
+  let cfg = Config.with_ablation Config.No_midnodes config in
+  let session, _, _ = run_leotp ~cfg ~bytes:500_000 ~plr:0.01 () in
+  Alcotest.(check bool) "TR alone still reliable" true
+    (Consumer.complete session.Session.consumer);
+  Alcotest.(check (list int))
+    "no midnodes" []
+    (List.map (fun _ -> 0) session.Session.midnodes)
+
+let test_ablation_throughput_order () =
+  (* Table II: A (full) should beat D (no midnodes) in throughput under
+     loss on a long path. *)
+  let time cfg =
+    let session, _, _ =
+      run_leotp ~cfg ~hops:6 ~plr:0.01 ~bytes:2_000_000 ~until:300.0 ()
+    in
+    match Flow_metrics.completion_time session.Session.metrics with
+    | Some ct -> ct
+    | None -> 300.0
+  in
+  let t_full = time config in
+  let t_none = time (Config.with_ablation Config.No_midnodes config) in
+  Alcotest.(check bool)
+    (Printf.sprintf "full %.1fs faster than none %.1fs" t_full t_none)
+    true (t_full < t_none)
+
+let test_partial_coverage_still_works () =
+  let session, _, _ =
+    run_leotp ~hops:8 ~coverage:0.25 ~plr:0.01 ~bytes:1_000_000 ~until:300.0 ()
+  in
+  Alcotest.(check bool) "complete at 25% coverage" true
+    (Consumer.complete session.Session.consumer);
+  Alcotest.(check int) "two midnodes placed" 2
+    (List.length session.Session.midnodes)
+
+let test_dedup_no_duplicate_delivery () =
+  (* Aggressive loss forces many retransmissions; the application must
+     still see each byte exactly once. *)
+  let session, _, _ =
+    run_leotp ~hops:3 ~plr:0.05 ~bytes:300_000 ~until:300.0 ()
+  in
+  Alcotest.(check bool) "complete" true (Consumer.complete session.Session.consumer);
+  Alcotest.(check int) "exact bytes" 300_000
+    (Flow_metrics.app_bytes session.Session.metrics)
+
+(* End-to-end reliability property: random loss rates, hop counts,
+   coverage and ablations — the transfer must complete exactly. *)
+let reliability_prop =
+  let open QCheck2 in
+  Test.make ~name:"LEOTP delivers the exact byte stream" ~count:12
+    Gen.(
+      quad (int_range 1 5) (float_range 0.0 0.03)
+        (oneofl [ 1.0; 0.5 ])
+        (oneofl [ Config.Full; Config.No_cache; Config.E2e_cc; Config.No_midnodes ]))
+    (fun (hops, plr, coverage, ablation) ->
+      let cfg = Config.with_ablation ablation config in
+      let bytes = 200_000 in
+      let session, _, _ =
+        run_leotp ~hops ~plr ~coverage ~cfg ~bytes ~until:600.0 ()
+      in
+      Consumer.complete session.Session.consumer
+      && Flow_metrics.app_bytes session.Session.metrics = bytes)
+
+let test_reliability_under_link_switching () =
+  let engine, rng = setup () in
+  let mk d = { Leotp_net.Dynamic_path.delay = d; bandwidth = Bandwidth.Constant (mbps 20.0); plr = 0.005 } in
+  let dp =
+    Leotp_net.Dynamic_path.create engine ~rng ~max_hops:4
+      ~initial:[| mk 0.01; mk 0.01; mk 0.01; mk 0.01 |]
+      ()
+  in
+  (* Alternate hop delays every second: in-flight packets drop. *)
+  let rec reconfig i =
+    if i < 60 then begin
+      let d = if i mod 2 = 0 then 0.012 else 0.01 in
+      ignore
+        (Engine.schedule_at engine ~time:(float_of_int i) (fun () ->
+             Leotp_net.Dynamic_path.apply dp [| mk d; mk d; mk d; mk d |]));
+      reconfig (i + 1)
+    end
+  in
+  reconfig 1;
+  let session =
+    Session.over_chain engine ~config
+      ~chain:(Leotp_net.Dynamic_path.chain dp)
+      ~flow:1 ~total_bytes:1_000_000 ()
+  in
+  Session.start session;
+  Engine.run ~until:600.0 engine;
+  Alcotest.(check bool) "complete across switches" true
+    (Consumer.complete session.Session.consumer);
+  Alcotest.(check bool) "switches happened" true
+    (Leotp_net.Dynamic_path.switch_count dp > 10)
+
+let test_throughput_loss_insensitive () =
+  (* Fig 12's shape: going 0 -> 1% per-hop loss costs LEOTP only a few
+     percent (vs ~halving for loss-based TCP). *)
+  let tput plr =
+    let engine, rng = setup () in
+    let spec =
+      Topology.hop ~plr ~bandwidth:(Bandwidth.Constant (mbps 20.0)) ~delay:0.01 ()
+    in
+    let chain = Topology.chain engine ~rng (Array.make 5 spec) in
+    let session = Session.over_chain engine ~config ~chain ~flow:1 () in
+    Session.start session;
+    Engine.run ~until:60.0 engine;
+    Flow_metrics.goodput session.Session.metrics ~lo:20.0 ~hi:60.0
+  in
+  let clean = tput 0.0 and lossy = tput 0.01 in
+  Alcotest.(check bool)
+    (Printf.sprintf "lossy %.0f >= 0.8 x clean %.0f" lossy clean)
+    true
+    (lossy >= 0.8 *. clean)
+
+(* Invariants of the hop controller under arbitrary sample streams. *)
+let hop_cc_invariants_prop =
+  let open QCheck2 in
+  Test.make ~name:"hop_cc: cwnd floor, rate bounded, queue >= 0" ~count:100
+    Gen.(
+      list_size (int_range 1 120)
+        (triple (float_range 0.001 0.2) (float_range 0.001 0.3) (int_range 0 30_000)))
+    (fun samples ->
+      let cc = Hop_cc.create ~config ~now:0.0 () in
+      let now = ref 0.0 in
+      List.for_all
+        (fun (i_owd, d_owd, bytes) ->
+          now := !now +. 0.01;
+          Hop_cc.on_data cc ~now:!now ~interest_owd:i_owd ~data_owd:d_owd ~bytes;
+          Hop_cc.cwnd cc >= 2.0 *. float_of_int config.Config.mss
+          && Hop_cc.rate cc ~now:!now >= 0.0
+          && Hop_cc.queue_len cc ~now:!now >= 0.0)
+        samples)
+
+let backpressure_monotone_prop =
+  let open QCheck2 in
+  Test.make ~name:"rate_bp decreases in buffer length" ~count:100
+    Gen.(
+      triple (int_range 0 500_000) (int_range 0 500_000)
+        (pair (float_range 1000.0 5e6) (float_range 0.002 0.3)))
+    (fun (bl1, bl2, (next_rate, rtt)) ->
+      let r b =
+        Backpressure.rate_bp ~config ~buffer_len:b ~next_hop_rate:next_rate
+          ~hop_rtt:rtt
+      in
+      let lo = min bl1 bl2 and hi = max bl1 bl2 in
+      r hi <= r lo +. 1e-6 && r hi >= 0.0)
+
+let test_outage_recovery () =
+  (* Failure injection: the path blacks out completely (100% loss on one
+     hop) for 2 s mid-transfer; the flow must recover and complete. *)
+  let engine, rng = setup () in
+  let spec =
+    Topology.hop ~bandwidth:(Bandwidth.Constant (mbps 20.0)) ~delay:0.01 ()
+  in
+  let chain = Topology.chain engine ~rng (Array.make 4 spec) in
+  let session =
+    Session.over_chain engine ~config ~chain ~flow:1 ~total_bytes:2_000_000 ()
+  in
+  Session.start session;
+  let mid = chain.Topology.hops.(2) in
+  ignore
+    (Engine.schedule engine ~after:0.5 (fun () ->
+         Leotp_net.Link.set_plr mid.Topology.fwd 1.0;
+         Leotp_net.Link.set_plr mid.Topology.rev 1.0));
+  ignore
+    (Engine.schedule engine ~after:2.5 (fun () ->
+         Leotp_net.Link.set_plr mid.Topology.fwd 0.0;
+         Leotp_net.Link.set_plr mid.Topology.rev 0.0));
+  Engine.run ~until:120.0 engine;
+  Alcotest.(check bool) "recovers from a 2 s blackout" true
+    (Consumer.complete session.Session.consumer);
+  Alcotest.(check int) "exact bytes" 2_000_000
+    (Flow_metrics.app_bytes session.Session.metrics)
+
+let test_monte_carlo_matches_analytic () =
+  (* Independent simulation of the paper's Fig 3 numbers. *)
+  let mc scheme =
+    Leotp_theory.Retrans.Owd_dist.monte_carlo ~scheme ~p:0.005 ~hops:10
+      ~d:0.01 ~packets:100_000 ~seed:9
+  in
+  let e2e = mc `E2e and hbh = mc `Hbh in
+  Alcotest.(check (float 1e-6)) "e2e p99 = 300ms" 0.3
+    (Leotp_util.Stats.percentile e2e 99.0);
+  Alcotest.(check (float 1e-6)) "hbh p99 = 120ms" 0.12
+    (Leotp_util.Stats.percentile hbh 99.0);
+  (* "the maximum OWD are 300ms and 700ms respectively" over 100k pkts. *)
+  Alcotest.(check bool) "e2e max ~700ms" true
+    (Leotp_util.Stats.max e2e >= 0.5 && Leotp_util.Stats.max e2e <= 0.9);
+  Alcotest.(check bool) "hbh max ~160ms" true
+    (Leotp_util.Stats.max hbh >= 0.14 && Leotp_util.Stats.max hbh <= 0.2)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "leotp"
+    [
+      ("wire", [ Alcotest.test_case "sizes" `Quick test_wire_sizes ]);
+      ( "cache",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "cross-block" `Quick test_cache_cross_block;
+          Alcotest.test_case "eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "drop flow" `Quick test_cache_drop_flow;
+          qc cache_model_prop;
+        ] );
+      ( "shr",
+        [
+          Alcotest.test_case "in sequence" `Quick test_shr_in_sequence;
+          Alcotest.test_case "Fig 8b walk-through" `Quick test_shr_fig8b;
+          Alcotest.test_case "late fill" `Quick test_shr_retransmission_fills_hole;
+          Alcotest.test_case "partial fill splits" `Quick test_shr_partial_fill_splits;
+          Alcotest.test_case "VPH suppression" `Quick test_shr_vph_suppression;
+          qc shr_no_false_loss_prop;
+        ] );
+      ( "hop_cc",
+        [
+          Alcotest.test_case "slow start" `Quick test_hop_cc_slow_start_growth;
+          Alcotest.test_case "congestion cut" `Quick test_hop_cc_congestion_cut;
+          Alcotest.test_case "queue estimate" `Quick test_hop_cc_queue_estimate;
+          Alcotest.test_case "backpressure direction" `Quick test_backpressure_signs;
+          Alcotest.test_case "eq (9)" `Quick test_backpressure_formula;
+          qc hop_cc_invariants_prop;
+          qc backpressure_monotone_prop;
+        ] );
+      ( "send_buffer",
+        [
+          Alcotest.test_case "rate limit" `Quick test_send_buffer_rate_limit;
+          Alcotest.test_case "dedup" `Quick test_send_buffer_dedup;
+          Alcotest.test_case "overflow" `Quick test_send_buffer_overflow;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "transfer completes" `Quick test_transfer_completes;
+          Alcotest.test_case "reliable under loss" `Quick test_transfer_under_loss;
+          Alcotest.test_case "in-network retx active" `Quick
+            test_in_network_retransmission_active;
+          Alcotest.test_case "owd floor" `Quick test_owd_floor;
+          Alcotest.test_case "ablation D works" `Quick test_e2e_mode_no_midnodes;
+          Alcotest.test_case "A beats D" `Slow test_ablation_throughput_order;
+          Alcotest.test_case "partial coverage" `Quick test_partial_coverage_still_works;
+          Alcotest.test_case "no duplicate delivery" `Quick
+            test_dedup_no_duplicate_delivery;
+          Alcotest.test_case "link switching" `Quick
+            test_reliability_under_link_switching;
+          Alcotest.test_case "blackout recovery" `Quick test_outage_recovery;
+          Alcotest.test_case "Monte Carlo vs analytic (Fig 3)" `Quick
+            test_monte_carlo_matches_analytic;
+          Alcotest.test_case "loss insensitivity" `Slow
+            test_throughput_loss_insensitive;
+          qc reliability_prop;
+        ] );
+    ]

@@ -1,0 +1,470 @@
+(* Tests for the packet-level network simulator: link timing, queuing,
+   loss, flush/epoch semantics, topology routing, dynamic paths. *)
+
+open Leotp_net
+
+let mbps = Leotp_util.Units.mbps_to_bytes_per_sec
+
+let setup () =
+  Packet.reset_ids ();
+  Node.reset_ids ();
+  (Leotp_sim.Engine.create (), Leotp_util.Rng.create ~seed:5)
+
+let mk_link ?(bw = 8.0) ?(delay = 0.01) ?(plr = 0.0) ?buffer_bytes engine rng =
+  Link.create engine ~name:"l" ~src:1 ~dst:2
+    ~bandwidth:(Bandwidth.Constant (mbps bw))
+    ~delay ~plr ?buffer_bytes ~rng ()
+
+let raw_pkt ?(size = 1000) () =
+  Packet.make ~src:1 ~dst:2 ~flow:0 ~size (Packet.Raw "x")
+
+(* ------------------------------------------------------------------ *)
+(* Bandwidth *)
+
+let test_bandwidth_constant () =
+  Alcotest.(check (float 1e-9)) "constant" 5.0 (Bandwidth.at (Constant 5.0) 99.0)
+
+let test_bandwidth_square () =
+  let b = Bandwidth.Square { mean = 10.0; amplitude = 2.0; period = 2.0 } in
+  Alcotest.(check (float 1e-9)) "high phase" 12.0 (Bandwidth.at b 0.5);
+  Alcotest.(check (float 1e-9)) "low phase" 8.0 (Bandwidth.at b 1.5);
+  Alcotest.(check (float 1e-9)) "next period" 12.0 (Bandwidth.at b 2.5);
+  Alcotest.(check (float 1e-9)) "mean" 10.0 (Bandwidth.mean_over b ~t_end:10.0)
+
+let test_bandwidth_steps () =
+  let b = Bandwidth.Steps [| (0.0, 1.0); (10.0, 2.0); (20.0, 3.0) |] in
+  Alcotest.(check (float 1e-9)) "before" 1.0 (Bandwidth.at b (-5.0));
+  Alcotest.(check (float 1e-9)) "first" 1.0 (Bandwidth.at b 5.0);
+  Alcotest.(check (float 1e-9)) "boundary" 2.0 (Bandwidth.at b 10.0);
+  Alcotest.(check (float 1e-9)) "middle" 2.0 (Bandwidth.at b 15.0);
+  Alcotest.(check (float 1e-9)) "last" 3.0 (Bandwidth.at b 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Link *)
+
+let test_link_timing () =
+  let engine, rng = setup () in
+  (* 8 Mbps = 1e6 bytes/s; 1000 B packet -> 1 ms serialization + 10 ms prop. *)
+  let link = mk_link engine rng in
+  let arrived = ref Float.nan in
+  Link.set_sink link (fun _ -> arrived := Leotp_sim.Engine.now engine);
+  Link.send link (raw_pkt ());
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check (float 1e-9)) "serialization + propagation" 0.011 !arrived
+
+let test_link_queueing () =
+  let engine, rng = setup () in
+  let link = mk_link engine rng in
+  let times = ref [] in
+  Link.set_sink link (fun _ -> times := Leotp_sim.Engine.now engine :: !times);
+  (* Three back-to-back packets serialize sequentially: 1ms each. *)
+  for _ = 1 to 3 do
+    Link.send link (raw_pkt ())
+  done;
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check (list (float 1e-6)))
+    "pipelined arrivals" [ 0.011; 0.012; 0.013 ] (List.rev !times);
+  let st = Link.stats link in
+  Alcotest.(check int) "delivered" 3 st.packets_delivered;
+  (* First packet waits 0, second 1ms, third 2ms. *)
+  Alcotest.(check (float 1e-6))
+    "mean queue delay" 0.001
+    (Leotp_util.Stats.mean st.queue_delay)
+
+let test_link_tail_drop () =
+  let engine, rng = setup () in
+  let link = mk_link ~buffer_bytes:2500 engine rng in
+  let delivered = ref 0 in
+  Link.set_sink link (fun _ -> incr delivered);
+  (* 1000 B each: first starts serializing (leaves queue), then queue holds
+     2 more (2000 <= 2500); the rest drop. *)
+  for _ = 1 to 6 do
+    Link.send link (raw_pkt ())
+  done;
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check int) "delivered" 3 !delivered;
+  Alcotest.(check int) "tail drops" 3 (Link.stats link).drops_tail
+
+let test_link_loss_all () =
+  let engine, rng = setup () in
+  let link = mk_link ~plr:1.0 engine rng in
+  let delivered = ref 0 in
+  Link.set_sink link (fun _ -> incr delivered);
+  for _ = 1 to 10 do
+    Link.send link (raw_pkt ())
+  done;
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check int) "all lost" 0 !delivered;
+  Alcotest.(check int) "error drops" 10 (Link.stats link).drops_error
+
+let test_link_loss_rate () =
+  let engine, rng = setup () in
+  let link = mk_link ~plr:0.1 ~buffer_bytes:max_int engine rng in
+  let delivered = ref 0 in
+  Link.set_sink link (fun _ -> incr delivered);
+  let n = 5000 in
+  for _ = 1 to n do
+    Link.send link (raw_pkt ())
+  done;
+  Leotp_sim.Engine.run engine;
+  let rate = 1.0 -. (float_of_int !delivered /. float_of_int n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical plr %.3f near 0.1" rate)
+    true
+    (Float.abs (rate -. 0.1) < 0.02)
+
+let test_link_flush () =
+  let engine, rng = setup () in
+  let link = mk_link engine rng in
+  let delivered = ref 0 in
+  Link.set_sink link (fun _ -> incr delivered);
+  for _ = 1 to 5 do
+    Link.send link (raw_pkt ())
+  done;
+  (* Flush at 0.5 ms: packet 1 is mid-serialization, others queued. *)
+  ignore (Leotp_sim.Engine.schedule engine ~after:0.0005 (fun () -> Link.flush link));
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check int) "all dropped" 0 !delivered;
+  Alcotest.(check int) "flush drops" 5 (Link.stats link).drops_flush
+
+let test_link_flush_in_flight () =
+  let engine, rng = setup () in
+  let link = mk_link engine rng in
+  let delivered = ref 0 in
+  Link.set_sink link (fun _ -> incr delivered);
+  Link.send link (raw_pkt ());
+  (* Flush at 5 ms: the packet finished serializing at 1 ms and is in
+     propagation; it must still be dropped. *)
+  ignore (Leotp_sim.Engine.schedule engine ~after:0.005 (fun () -> Link.flush link));
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check int) "in-flight dropped" 0 !delivered
+
+let test_link_time_varying_bw () =
+  let engine, rng = setup () in
+  let link = mk_link engine rng in
+  (* Step down to 0.8 Mbps at t=0.1: a 1000 B packet then takes 10 ms. *)
+  Link.set_bandwidth link
+    (Bandwidth.Steps [| (0.0, mbps 8.0); (0.1, mbps 0.8) |]);
+  let times = ref [] in
+  Link.set_sink link (fun _ -> times := Leotp_sim.Engine.now engine :: !times);
+  Link.send link (raw_pkt ());
+  ignore
+    (Leotp_sim.Engine.schedule engine ~after:0.2 (fun () ->
+         Link.send link (raw_pkt ())));
+  Leotp_sim.Engine.run engine;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+    Alcotest.(check (float 1e-6)) "fast epoch" 0.011 t1;
+    Alcotest.(check (float 1e-6)) "slow epoch" 0.22 t2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+(* ------------------------------------------------------------------ *)
+(* Topology: chain *)
+
+let test_chain_end_to_end () =
+  let engine, rng = setup () in
+  let spec =
+    Topology.hop ~bandwidth:(Bandwidth.Constant (mbps 8.0)) ~delay:0.01 ()
+  in
+  let chain = Topology.chain engine ~rng [| spec; spec; spec |] in
+  let src = chain.Topology.nodes.(0) in
+  let dst = chain.Topology.nodes.(3) in
+  let got = ref None in
+  Node.set_handler dst (fun ~from pkt -> got := Some (from, pkt));
+  let pkt =
+    Packet.make ~src:(Node.id src) ~dst:(Node.id dst) ~flow:1 ~size:1000
+      (Packet.Raw "payload")
+  in
+  Node.send src pkt;
+  Leotp_sim.Engine.run engine;
+  (match !got with
+  | Some (from, p) ->
+    Alcotest.(check int) "last hop sender" (Node.id chain.Topology.nodes.(2)) from;
+    Alcotest.(check int) "flow" 1 p.Packet.flow;
+    (* 3 hops x (1 ms serialization + 10 ms prop) *)
+    Alcotest.(check (float 1e-6)) "arrival" 0.033 (Leotp_sim.Engine.now engine)
+  | None -> Alcotest.fail "packet not delivered");
+  (* Reverse direction also routes. *)
+  let back = ref false in
+  Node.set_handler src (fun ~from:_ _ -> back := true);
+  Node.send dst
+    (Packet.make ~src:(Node.id dst) ~dst:(Node.id src) ~flow:1 ~size:100
+       (Packet.Raw "ack"));
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check bool) "reverse delivery" true !back
+
+let test_chain_middle_routing () =
+  let engine, rng = setup () in
+  let spec =
+    Topology.hop ~bandwidth:(Bandwidth.Constant (mbps 8.0)) ~delay:0.001 ()
+  in
+  let chain = Topology.chain engine ~rng [| spec; spec; spec; spec |] in
+  (* Node 1 can reach node 3 (forward) and node 0 (backward). *)
+  let n1 = chain.Topology.nodes.(1) in
+  let hits = ref [] in
+  let watch i =
+    Node.set_handler chain.Topology.nodes.(i) (fun ~from:_ _ ->
+        hits := i :: !hits)
+  in
+  watch 3;
+  watch 0;
+  Node.send n1
+    (Packet.make ~src:(Node.id n1) ~dst:(Node.id chain.Topology.nodes.(3))
+       ~flow:0 ~size:100 (Packet.Raw "f"));
+  Node.send n1
+    (Packet.make ~src:(Node.id n1) ~dst:(Node.id chain.Topology.nodes.(0))
+       ~flow:0 ~size:100 (Packet.Raw "b"));
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check (list int)) "both delivered" [ 0; 3 ] (List.sort compare !hits)
+
+(* ------------------------------------------------------------------ *)
+(* Topology: dumbbell *)
+
+let test_dumbbell_routing () =
+  let engine, rng = setup () in
+  let access =
+    Array.init 3 (fun i ->
+        Topology.hop
+          ~bandwidth:(Bandwidth.Constant (mbps 100.0))
+          ~delay:(0.005 *. float_of_int (i + 1))
+          ())
+  in
+  let bottleneck =
+    Topology.hop ~bandwidth:(Bandwidth.Constant (mbps 5.0)) ~delay:0.01 ()
+  in
+  let db = Topology.dumbbell engine ~rng ~access ~bottleneck in
+  let delivered = Array.make 3 false in
+  Array.iteri
+    (fun i r -> Node.set_handler r (fun ~from:_ _ -> delivered.(i) <- true))
+    db.Topology.receivers;
+  Array.iteri
+    (fun i s ->
+      Node.send s
+        (Packet.make ~src:(Node.id s)
+           ~dst:(Node.id db.Topology.receivers.(i))
+           ~flow:i ~size:500 (Packet.Raw "d")))
+    db.Topology.senders;
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check (array bool))
+    "all flows cross" [| true; true; true |] delivered
+
+let test_dumbbell_shared_bottleneck () =
+  let engine, rng = setup () in
+  let access =
+    Array.init 2 (fun _ ->
+        Topology.hop ~bandwidth:(Bandwidth.Constant (mbps 100.0)) ~delay:0.001 ())
+  in
+  let bottleneck =
+    Topology.hop ~bandwidth:(Bandwidth.Constant (mbps 8.0)) ~delay:0.001 ()
+  in
+  let db = Topology.dumbbell engine ~rng ~access ~bottleneck in
+  (* Both senders flood 10 packets each; bottleneck serializes all 20. *)
+  Array.iteri
+    (fun i s ->
+      for _ = 1 to 10 do
+        Node.send s
+          (Packet.make ~src:(Node.id s)
+             ~dst:(Node.id db.Topology.receivers.(i))
+             ~flow:i ~size:1000 (Packet.Raw "d"))
+      done)
+    db.Topology.senders;
+  Leotp_sim.Engine.run engine;
+  let st = Link.stats db.Topology.bottleneck.Topology.fwd in
+  Alcotest.(check int) "bottleneck carried all" 20 st.packets_delivered
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic path *)
+
+let hopstate delay =
+  {
+    Dynamic_path.delay;
+    bandwidth = Bandwidth.Constant (mbps 8.0);
+    plr = 0.0;
+  }
+
+let test_dynamic_path_reconfig () =
+  let engine, rng = setup () in
+  let dp =
+    Dynamic_path.create engine ~rng ~max_hops:4
+      ~initial:[| hopstate 0.01; hopstate 0.01 |]
+      ()
+  in
+  Alcotest.(check int) "active" 2 (Dynamic_path.active_hops dp);
+  let chain = Dynamic_path.chain dp in
+  let src = chain.Topology.nodes.(0)
+  and dst = chain.Topology.nodes.(4) in
+  let arrivals = ref [] in
+  Node.set_handler dst (fun ~from:_ _ ->
+      arrivals := Leotp_sim.Engine.now engine :: !arrivals);
+  let send () =
+    Node.send src
+      (Packet.make ~src:(Node.id src) ~dst:(Node.id dst) ~flow:0 ~size:1000
+         (Packet.Raw "x"))
+  in
+  send ();
+  Leotp_sim.Engine.run engine;
+  (* 2 active hops (10ms+1ms each) + 2 pass-through hops (~0). *)
+  (match !arrivals with
+  | [ t ] -> Alcotest.(check bool) "fast path" true (t < 0.025)
+  | _ -> Alcotest.fail "expected one arrival");
+  (* Grow to 4 real hops. *)
+  Dynamic_path.apply dp
+    [| hopstate 0.01; hopstate 0.01; hopstate 0.01; hopstate 0.01 |];
+  arrivals := [];
+  let t0 = Leotp_sim.Engine.now engine in
+  send ();
+  Leotp_sim.Engine.run engine;
+  (match !arrivals with
+  | [ t ] ->
+    Alcotest.(check bool) "slower path" true (t -. t0 > 0.04 && t -. t0 < 0.05)
+  | _ -> Alcotest.fail "expected one arrival");
+  Alcotest.(check int) "switches counted" 1 (Dynamic_path.switch_count dp)
+
+let test_dynamic_path_switch_drops () =
+  let engine, rng = setup () in
+  let dp =
+    Dynamic_path.create engine ~rng ~max_hops:2
+      ~initial:[| hopstate 0.05; hopstate 0.05 |]
+      ()
+  in
+  let chain = Dynamic_path.chain dp in
+  let src = chain.Topology.nodes.(0)
+  and dst = chain.Topology.nodes.(2) in
+  let count = ref 0 in
+  Node.set_handler dst (fun ~from:_ _ -> incr count);
+  Node.send src
+    (Packet.make ~src:(Node.id src) ~dst:(Node.id dst) ~flow:0 ~size:1000
+       (Packet.Raw "x"));
+  (* Switch while the packet is in flight on hop 0. *)
+  Dynamic_path.schedule dp [ (0.02, [| hopstate 0.04; hopstate 0.05 |]) ];
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check int) "in-flight dropped on switch" 0 !count;
+  (* A later packet crosses the new path fine. *)
+  Node.send src
+    (Packet.make ~src:(Node.id src) ~dst:(Node.id dst) ~flow:0 ~size:1000
+       (Packet.Raw "y"));
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check int) "post-switch delivery" 1 !count
+
+let test_dynamic_path_same_snapshot_no_switch () =
+  let engine, rng = setup () in
+  let dp =
+    Dynamic_path.create engine ~rng ~max_hops:2
+      ~initial:[| hopstate 0.05; hopstate 0.05 |]
+      ()
+  in
+  Dynamic_path.apply dp [| hopstate 0.05; hopstate 0.05 |];
+  Alcotest.(check int) "no flush for identical delays" 0
+    (Dynamic_path.switch_count dp);
+  ignore engine
+
+(* ------------------------------------------------------------------ *)
+(* Node routing edge cases *)
+
+let test_no_route_drops () =
+  let engine, rng = setup () in
+  ignore rng;
+  ignore engine;
+  let n = Node.create ~name:"lonely" in
+  Node.send n (Packet.make ~src:1 ~dst:999 ~flow:0 ~size:100 (Packet.Raw "x"));
+  Alcotest.(check int) "counted" 1 (Node.no_route_drops n);
+  Node.add_route n ~dst:999
+    (Link.create (Leotp_sim.Engine.create ()) ~name:"l" ~src:1 ~dst:999
+       ~bandwidth:(Bandwidth.Constant 1e6) ~delay:0.01
+       ~rng:(Leotp_util.Rng.create ~seed:1) ());
+  Node.send n (Packet.make ~src:1 ~dst:999 ~flow:0 ~size:100 (Packet.Raw "y"));
+  Alcotest.(check int) "routed now" 1 (Node.no_route_drops n);
+  Node.clear_routes n;
+  Node.send n (Packet.make ~src:1 ~dst:999 ~flow:0 ~size:100 (Packet.Raw "z"));
+  Alcotest.(check int) "cleared" 2 (Node.no_route_drops n)
+
+let test_asymmetric_duplex () =
+  let engine, rng = setup () in
+  let a = Node.create ~name:"a" and b = Node.create ~name:"b" in
+  let spec =
+    Topology.hop
+      ~rev_bandwidth:(Bandwidth.Constant (mbps 1.0))
+      ~bandwidth:(Bandwidth.Constant (mbps 100.0))
+      ~delay:0.001 ()
+  in
+  let d = Topology.connect engine ~rng a b spec in
+  (* Forward: 1000 B at 100 Mbps = 80 us; reverse at 1 Mbps = 8 ms. *)
+  let t_fwd = ref 0.0 and t_rev = ref 0.0 in
+  Node.set_handler b (fun ~from:_ _ -> t_fwd := Leotp_sim.Engine.now engine);
+  Node.set_handler a (fun ~from:_ _ -> t_rev := Leotp_sim.Engine.now engine);
+  Link.send d.Topology.fwd (Packet.make ~src:1 ~dst:2 ~flow:0 ~size:1000 (Packet.Raw "f"));
+  Link.send d.Topology.rev (Packet.make ~src:2 ~dst:1 ~flow:0 ~size:1000 (Packet.Raw "r"));
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check bool) "forward fast" true (!t_fwd < 0.002);
+  Alcotest.(check bool) "reverse slow" true (!t_rev > 0.008)
+
+(* ------------------------------------------------------------------ *)
+(* Flow metrics *)
+
+let test_flow_metrics () =
+  let m = Flow_metrics.create ~flow:7 in
+  Flow_metrics.set_started m 1.0;
+  Flow_metrics.on_send m ~bytes:1000;
+  Flow_metrics.on_send m ~bytes:1000;
+  Flow_metrics.on_retransmit m;
+  Flow_metrics.on_deliver m ~now:2.0 ~bytes:1000 ~owd:0.05 ~retx:false;
+  Flow_metrics.on_deliver m ~now:3.0 ~bytes:1000 ~owd:0.25 ~retx:true;
+  Flow_metrics.set_finished m 3.0;
+  Alcotest.(check int) "app bytes" 2000 (Flow_metrics.app_bytes m);
+  Alcotest.(check int) "wire bytes" 2000 (Flow_metrics.wire_bytes_sent m);
+  Alcotest.(check int) "retx" 1 (Flow_metrics.retransmissions m);
+  Alcotest.(check (option (float 1e-9)))
+    "completion" (Some 2.0)
+    (Flow_metrics.completion_time m);
+  Alcotest.(check (float 1e-9))
+    "goodput" 800.0
+    (Flow_metrics.goodput m ~lo:1.0 ~hi:3.5);
+  Alcotest.(check int) "retx owd samples" 1
+    (Leotp_util.Stats.count (Flow_metrics.retx_owd m))
+
+let () =
+  Alcotest.run "leotp_net"
+    [
+      ( "bandwidth",
+        [
+          Alcotest.test_case "constant" `Quick test_bandwidth_constant;
+          Alcotest.test_case "square" `Quick test_bandwidth_square;
+          Alcotest.test_case "steps" `Quick test_bandwidth_steps;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "timing" `Quick test_link_timing;
+          Alcotest.test_case "queueing" `Quick test_link_queueing;
+          Alcotest.test_case "tail drop" `Quick test_link_tail_drop;
+          Alcotest.test_case "loss all" `Quick test_link_loss_all;
+          Alcotest.test_case "loss rate" `Quick test_link_loss_rate;
+          Alcotest.test_case "flush queued" `Quick test_link_flush;
+          Alcotest.test_case "flush in-flight" `Quick test_link_flush_in_flight;
+          Alcotest.test_case "time-varying bandwidth" `Quick
+            test_link_time_varying_bw;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "chain end-to-end" `Quick test_chain_end_to_end;
+          Alcotest.test_case "chain middle routing" `Quick
+            test_chain_middle_routing;
+          Alcotest.test_case "dumbbell routing" `Quick test_dumbbell_routing;
+          Alcotest.test_case "dumbbell bottleneck" `Quick
+            test_dumbbell_shared_bottleneck;
+        ] );
+      ( "dynamic_path",
+        [
+          Alcotest.test_case "reconfig" `Quick test_dynamic_path_reconfig;
+          Alcotest.test_case "switch drops in-flight" `Quick
+            test_dynamic_path_switch_drops;
+          Alcotest.test_case "identical snapshot no switch" `Quick
+            test_dynamic_path_same_snapshot_no_switch;
+        ] );
+      ( "node",
+        [
+          Alcotest.test_case "no-route drops" `Quick test_no_route_drops;
+          Alcotest.test_case "asymmetric duplex" `Quick test_asymmetric_duplex;
+        ] );
+      ( "flow_metrics",
+        [ Alcotest.test_case "accounting" `Quick test_flow_metrics ] );
+    ]

@@ -1,0 +1,165 @@
+(* Integration tests over the experiment harness: shrunken versions of
+   the paper's scenarios asserting the qualitative *shape* results the
+   paper reports (who wins, in which direction). *)
+
+module C = Leotp_scenario.Common
+module Cc = Leotp_tcp.Cc
+module Stats = Leotp_util.Stats
+
+let leotp = C.Leotp Leotp.Config.default
+
+let run ?(hops = 5) ?(plr = 0.0) ?(duration = 40.0) ?bottleneck
+    ?bandwidth_schedule proto =
+  C.run_chain ~duration ?bottleneck ?bandwidth_schedule
+    ~hops:(C.uniform_hops ~n:hops (C.link ~plr ~bw:20.0 ~delay:0.01 ()))
+    proto
+
+let test_summary_fields () =
+  let s = run ~plr:0.005 leotp in
+  Alcotest.(check string) "name" "leotp" s.C.protocol;
+  Alcotest.(check bool) "positive goodput" true (s.C.goodput_mbps > 1.0);
+  Alcotest.(check bool) "owd samples" true (Stats.count s.C.owd > 100);
+  Alcotest.(check bool) "queuing >= 0" true (Stats.min s.C.queuing_delay >= 0.0);
+  Alcotest.(check bool) "wire bytes counted" true (s.C.wire_bytes > s.C.app_bytes / 2)
+
+let test_leotp_loss_insensitive_vs_cubic () =
+  (* The Fig 12 shape: at 1%/hop loss LEOTP retains most of its clean
+     throughput while Cubic collapses. *)
+  let l_clean = run leotp and l_lossy = run ~plr:0.01 leotp in
+  let c_clean = run (C.Tcp Cc.Cubic) and c_lossy = run ~plr:0.01 (C.Tcp Cc.Cubic) in
+  let ratio a b = b.C.goodput_mbps /. a.C.goodput_mbps in
+  Alcotest.(check bool)
+    (Printf.sprintf "leotp keeps %.2f, cubic keeps %.2f"
+       (ratio l_clean l_lossy) (ratio c_clean c_lossy))
+    true
+    (ratio l_clean l_lossy > ratio c_clean c_lossy +. 0.15)
+
+let test_leotp_lower_queuing_than_cubic () =
+  (* Loss-based TCP fills the bottleneck buffer; LEOTP's RTT-based hop
+     control keeps queues near-empty (Figs 5/14/16 shape). *)
+  let l = run leotp and c = run (C.Tcp Cc.Cubic) in
+  Alcotest.(check bool)
+    (Printf.sprintf "leotp %.1f ms < cubic %.1f ms"
+       (Stats.mean l.C.queuing_delay *. 1000.0)
+       (Stats.mean c.C.queuing_delay *. 1000.0))
+    true
+    (Stats.mean l.C.queuing_delay < Stats.mean c.C.queuing_delay)
+
+let test_split_reduces_loss_penalty () =
+  (* Fig 4 shape: splitting a lossy path rescues Cubic's throughput but
+     costs delay. *)
+  let e2e = run ~hops:8 ~plr:0.005 ~duration:50.0 (C.Tcp Cc.Cubic) in
+  let split = run ~hops:8 ~plr:0.005 ~duration:50.0 (C.Split_tcp Cc.Cubic) in
+  Alcotest.(check bool)
+    (Printf.sprintf "split %.2f > e2e %.2f Mbps" split.C.goodput_mbps
+       e2e.C.goodput_mbps)
+    true
+    (split.C.goodput_mbps > e2e.C.goodput_mbps);
+  Alcotest.(check bool) "split delays data" true
+    (Stats.mean split.C.owd >= Stats.mean e2e.C.owd)
+
+let test_fluctuating_bottleneck_queue () =
+  (* Fig 5/14 shape: under a fluctuating bottleneck with a long feedback
+     loop, LEOTP's queuing stays below Cubic's. *)
+  let schedule =
+    [ (1, Leotp_net.Bandwidth.square_mbps ~mean:10.0 ~amplitude:1.0 ~period:2.0) ]
+  in
+  let l = run ~hops:5 ~duration:40.0 ~bandwidth_schedule:schedule leotp in
+  let c = run ~hops:5 ~duration:40.0 ~bandwidth_schedule:schedule (C.Tcp Cc.Cubic) in
+  Alcotest.(check bool)
+    (Printf.sprintf "leotp q=%.1f ms, cubic q=%.1f ms"
+       (Stats.mean l.C.queuing_delay *. 1000.0)
+       (Stats.mean c.C.queuing_delay *. 1000.0))
+    true
+    (Stats.mean l.C.queuing_delay < Stats.mean c.C.queuing_delay);
+  Alcotest.(check bool) "still delivers" true (l.C.goodput_mbps > 4.0)
+
+let test_fairness_dumbbell_runs () =
+  let summaries, series =
+    C.run_flows_dumbbell ~duration:240.0
+      ~access_delays:[ 0.0075; 0.0075; 0.0075 ]
+      ~bottleneck:(C.link ~bw:5.0 ~delay:0.015 ())
+      ~access:(C.link ~bw:100.0 ~delay:0.0075 ())
+      ~starts:[ 0.0; 30.0; 60.0 ] leotp
+  in
+  Alcotest.(check int) "3 summaries" 3 (List.length summaries);
+  Alcotest.(check int) "3 series" 3 (List.length series);
+  (* All flows deliver data once started. *)
+  List.iter
+    (fun s -> Alcotest.(check bool) "flow active" true (s.C.app_bytes > 100_000))
+    summaries;
+  let rates =
+    List.map
+      (fun s ->
+        Leotp_util.Units.bytes_per_sec_to_mbps
+          (Leotp_util.Timeseries.window_sum s.C.delivery ~lo:120.0 ~hi:240.0
+          /. 120.0))
+      summaries
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fair-ish sharing (jain %.2f)" (Stats.jain_index rates))
+    true
+    (Stats.jain_index rates > 0.65)
+
+let test_starlink_pair_shape () =
+  (* Beijing-Shanghai without ISLs: both protocols work; LEOTP keeps its
+     average queuing under ~60 ms (paper: ~16 ms vs PCC's 400+). *)
+  let r =
+    Leotp_scenario.Starlink.run_pair ~quick:true ~src:"Beijing" ~dst:"Shanghai"
+      ~isls:false leotp
+  in
+  let s = r.Leotp_scenario.Starlink.summary in
+  Alcotest.(check bool) "delivers" true (s.C.goodput_mbps > 4.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "queuing %.1f ms bounded"
+       (Stats.mean s.C.queuing_delay *. 1000.0))
+    true
+    (Stats.mean s.C.queuing_delay < 0.06);
+  Alcotest.(check bool) "handover happened" true
+    (r.Leotp_scenario.Starlink.switches >= 0)
+
+let test_starlink_isls_long_path () =
+  let r =
+    Leotp_scenario.Starlink.run_pair ~quick:true ~src:"Beijing" ~dst:"New York"
+      ~isls:true leotp
+  in
+  Alcotest.(check bool) "long path" true (r.Leotp_scenario.Starlink.mean_hops > 8.0);
+  Alcotest.(check bool) "delivers across the Pacific" true
+    (r.Leotp_scenario.Starlink.summary.C.goodput_mbps > 2.0)
+
+let test_theory_experiment_values () =
+  let rows = Leotp_scenario.Experiments.fig03 () in
+  match rows with
+  | [ (_, e2e); (_, hbh) ] ->
+    let get k l = List.assoc k l in
+    Alcotest.(check (float 1e-9)) "e2e p99 = 300ms" 0.3 (get "p99" e2e);
+    Alcotest.(check (float 1e-9)) "hbh p99 = 120ms" 0.12 (get "p99" hbh);
+    Alcotest.(check bool) "hbh mean lower" true (get "mean" hbh < get "mean" e2e)
+  | _ -> Alcotest.fail "two schemes expected"
+
+let () =
+  Alcotest.run "leotp_scenario"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "summary fields" `Quick test_summary_fields;
+          Alcotest.test_case "fairness runs" `Quick test_fairness_dumbbell_runs;
+          Alcotest.test_case "theory rows" `Quick test_theory_experiment_values;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "loss insensitivity vs cubic" `Slow
+            test_leotp_loss_insensitive_vs_cubic;
+          Alcotest.test_case "lower queuing than cubic" `Slow
+            test_leotp_lower_queuing_than_cubic;
+          Alcotest.test_case "split rescues cubic" `Slow
+            test_split_reduces_loss_penalty;
+          Alcotest.test_case "fluctuating bottleneck" `Slow
+            test_fluctuating_bottleneck_queue;
+        ] );
+      ( "starlink",
+        [
+          Alcotest.test_case "BJ-SH bent pipe" `Slow test_starlink_pair_shape;
+          Alcotest.test_case "BJ-NY ISLs" `Slow test_starlink_isls_long_path;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* Tests for the discrete-event engine: ordering, determinism, timers. *)
+
+open Leotp_sim
+
+let test_event_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Engine.now e) :: !log in
+  ignore (Engine.schedule e ~after:2.0 (note "b"));
+  ignore (Engine.schedule e ~after:1.0 (note "a"));
+  ignore (Engine.schedule e ~after:3.0 (note "c"));
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "order and times"
+    [ ("a", 1.0); ("b", 2.0); ("c", 3.0) ]
+    (List.rev !log)
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Engine.schedule e ~after:1.0 (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int))
+    "FIFO among equal times"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_schedule_from_handler () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~after:1.0 (fun () ->
+         log := ("outer", Engine.now e) :: !log;
+         ignore
+           (Engine.schedule e ~after:0.5 (fun () ->
+                log := ("inner", Engine.now e) :: !log))));
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "nested schedule"
+    [ ("outer", 1.0); ("inner", 1.5) ]
+    (List.rev !log)
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let t = Engine.schedule e ~after:1.0 (fun () -> fired := true) in
+  Alcotest.(check bool) "pending" true (Engine.is_pending t);
+  Engine.cancel t;
+  Alcotest.(check bool) "not pending" false (Engine.is_pending t);
+  Engine.run e;
+  Alcotest.(check bool) "not fired" false !fired;
+  Engine.cancel t (* idempotent *)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~after:(float_of_int i) (fun () -> incr count))
+  done;
+  Engine.run ~until:5.5 e;
+  Alcotest.(check int) "only first five" 5 !count;
+  Alcotest.(check (float 1e-9)) "clock at limit" 5.5 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "rest" 10 !count
+
+let test_clock_monotone_negative_after () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~after:5.0 ignore);
+  Engine.run e;
+  (* Negative [after] clamps to "now". *)
+  let fired_at = ref Float.nan in
+  ignore (Engine.schedule e ~after:(-3.0) (fun () -> fired_at := Engine.now e));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "clamped" 5.0 !fired_at
+
+let test_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step e);
+  ignore (Engine.schedule e ~after:1.0 ignore);
+  Alcotest.(check bool) "one step" true (Engine.step e);
+  Alcotest.(check bool) "drained" false (Engine.step e)
+
+let test_every () =
+  let e = Engine.create () in
+  let times = ref [] in
+  let h = Engine.every e ~period:1.0 (fun () -> times := Engine.now e :: !times) in
+  Engine.run ~until:3.5 e;
+  Alcotest.(check (list (float 1e-9))) "periodic" [ 1.0; 2.0; 3.0 ] (List.rev !times);
+  Engine.cancel h;
+  Engine.run ~until:10.0 e;
+  Alcotest.(check int) "cancelled" 3 (List.length !times)
+
+let test_every_start () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.every e ~period:2.0 ~start:0.5 (fun () ->
+         times := Engine.now e :: !times));
+  Engine.run ~until:5.0 e;
+  Alcotest.(check (list (float 1e-9)))
+    "start offset" [ 0.5; 2.5; 4.5 ] (List.rev !times)
+
+let test_determinism () =
+  let run () =
+    let e = Engine.create () in
+    let log = ref [] in
+    let rng = Leotp_util.Rng.create ~seed:11 in
+    for i = 0 to 50 do
+      let t = Leotp_util.Rng.float rng 10.0 in
+      ignore (Engine.schedule e ~after:t (fun () -> log := i :: !log))
+    done;
+    Engine.run e;
+    List.rev !log
+  in
+  Alcotest.(check (list int)) "identical runs" (run ()) (run ())
+
+let () =
+  Alcotest.run "leotp_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "event order" `Quick test_event_order;
+          Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+          Alcotest.test_case "nested scheduling" `Quick test_schedule_from_handler;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "negative delay clamp" `Quick
+            test_clock_monotone_negative_after;
+          Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "every" `Quick test_every;
+          Alcotest.test_case "every with start" `Quick test_every_start;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+    ]

@@ -1,0 +1,445 @@
+(* Tests for the TCP substrate: congestion controllers in isolation, the
+   sender/receiver engine end to end (timing, loss recovery, reliability
+   under random loss), and Split TCP proxies. *)
+
+open Leotp_tcp
+module Engine = Leotp_sim.Engine
+module Node = Leotp_net.Node
+module Bandwidth = Leotp_net.Bandwidth
+module Topology = Leotp_net.Topology
+module Flow_metrics = Leotp_net.Flow_metrics
+
+let mbps = Leotp_util.Units.mbps_to_bytes_per_sec
+
+let setup () =
+  Leotp_net.Packet.reset_ids ();
+  Node.reset_ids ();
+  (Engine.create (), Leotp_util.Rng.create ~seed:7)
+
+let build_chain engine rng ~hops ~bw_mbps ~delay ~plr =
+  let spec =
+    Topology.hop ~plr ~bandwidth:(Bandwidth.Constant (mbps bw_mbps)) ~delay ()
+  in
+  Topology.chain engine ~rng (Array.make hops spec)
+
+(* ------------------------------------------------------------------ *)
+(* Congestion controllers in isolation *)
+
+let ack cc ?(rtt = Some 0.05) ?(bw = None) ?(inflight = 0) ~now ~acked () =
+  cc.Cc.on_ack
+    { Cc.now; acked_bytes = acked; rtt_sample = rtt; bw_sample = bw; inflight }
+
+let test_cc_registry () =
+  List.iter
+    (fun algo ->
+      let name = Cc.algo_name algo in
+      Alcotest.(check bool)
+        (name ^ " round-trips")
+        true
+        (Cc.algo_of_name name = Some algo))
+    Cc.all;
+  Alcotest.(check bool) "unknown" true (Cc.algo_of_name "reno2000" = None)
+
+let test_newreno_slow_start_and_ca () =
+  let cc = Cc.create Cc.Newreno ~mss:1000 ~now:0.0 in
+  let w0 = cc.Cc.cwnd () in
+  ack cc ~now:0.1 ~acked:1000 ();
+  Alcotest.(check (float 1e-6)) "ss doubles per ack" (w0 +. 1000.0) (cc.Cc.cwnd ());
+  cc.Cc.on_loss ~now:0.2 ~inflight:5000;
+  let after_loss = cc.Cc.cwnd () in
+  Alcotest.(check (float 1e-6)) "halved" ((w0 +. 1000.0) /. 2.0) after_loss;
+  ack cc ~now:0.3 ~acked:1000 ();
+  let growth = cc.Cc.cwnd () -. after_loss in
+  Alcotest.(check bool)
+    "CA additive (~mss^2/cwnd)" true
+    (growth > 0.0 && growth < 1000.0)
+
+let test_newreno_rto () =
+  let cc = Cc.create Cc.Newreno ~mss:1000 ~now:0.0 in
+  cc.Cc.on_rto ~now:0.1;
+  Alcotest.(check (float 1e-6)) "cwnd back to 1 mss" 1000.0 (cc.Cc.cwnd ())
+
+let test_hybla_rho_scaling () =
+  (* Same loss pattern, different RTT: hybla's CA growth is ~rho^2 faster. *)
+  let grow rtt =
+    let cc = Cc.create Cc.Hybla ~mss:1000 ~now:0.0 in
+    (* Prime srtt, then force both into congestion avoidance at a
+       comparable window via repeated loss halvings. *)
+    for i = 1 to 20 do
+      ack cc ~rtt:(Some rtt) ~now:(0.01 *. float_of_int i) ~acked:1000 ()
+    done;
+    while cc.Cc.cwnd () > 20_000.0 do
+      cc.Cc.on_loss ~now:0.5 ~inflight:0
+    done;
+    let w = cc.Cc.cwnd () in
+    ack cc ~rtt:(Some rtt) ~now:0.6 ~acked:1000 ();
+    (cc.Cc.cwnd () -. w) *. w (* growth*cwnd ~ rho^2*mss^2, cwnd-independent *)
+  in
+  let slow = grow 0.025 and fast = grow 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "long-RTT grows faster (%.1f vs %.1f)" fast slow)
+    true (fast > 10.0 *. slow)
+
+let test_vegas_backs_off_on_rtt_rise () =
+  let cc = Cc.create Cc.Vegas ~mss:1000 ~now:0.0 in
+  (* Prime base_rtt at 50 ms, then inflate RTT: cwnd must shrink. *)
+  ack cc ~rtt:(Some 0.05) ~now:0.0 ~acked:1000 ();
+  (* Exit slow start via large diff: srtt grows. *)
+  for i = 1 to 30 do
+    ack cc ~rtt:(Some 0.25) ~now:(0.3 *. float_of_int i) ~acked:1000 ()
+  done;
+  let w = cc.Cc.cwnd () in
+  for i = 31 to 40 do
+    ack cc ~rtt:(Some 0.25) ~now:(0.3 *. float_of_int i) ~acked:1000 ()
+  done;
+  Alcotest.(check bool) "not growing under queuing" true (cc.Cc.cwnd () <= w)
+
+let test_westwood_loss_uses_bwe () =
+  let cc = Cc.create Cc.Westwood ~mss:1000 ~now:0.0 in
+  (* Feed bw samples of 1 MB/s with 100 ms min rtt -> BDP 100 KB. *)
+  for i = 1 to 50 do
+    ack cc ~rtt:(Some 0.1) ~bw:(Some 1_000_000.0)
+      ~now:(0.1 *. float_of_int i)
+      ~acked:1000 ()
+  done;
+  cc.Cc.on_loss ~now:6.0 ~inflight:0;
+  let w = cc.Cc.cwnd () in
+  Alcotest.(check bool)
+    (Printf.sprintf "cwnd ~ BDP after loss (%.0f)" w)
+    true
+    (w > 50_000.0 && w <= 110_000.0)
+
+let test_bbr_pacing_converges () =
+  let cc = Cc.create Cc.Bbr ~mss:1000 ~now:0.0 in
+  Alcotest.(check bool)
+    "no pacing before samples" true
+    (cc.Cc.pacing_rate () = None);
+  (* Steady samples: 2 MB/s, 40 ms. *)
+  for i = 1 to 200 do
+    ack cc ~rtt:(Some 0.04) ~bw:(Some 2_000_000.0)
+      ~now:(0.04 *. float_of_int i)
+      ~acked:1000 ~inflight:10_000 ()
+  done;
+  (match cc.Cc.pacing_rate () with
+  | Some r ->
+    Alcotest.(check bool)
+      (Printf.sprintf "pacing near bottleneck bw (%.0f)" r)
+      true
+      (r > 1_000_000.0 && r < 6_000_000.0)
+  | None -> Alcotest.fail "expected pacing");
+  Alcotest.(check bool)
+    "cwnd capped near 2 BDP" true
+    (cc.Cc.cwnd () < 4.0 *. 2_000_000.0 *. 0.04)
+
+let test_bbr_ignores_loss () =
+  let cc = Cc.create Cc.Bbr ~mss:1000 ~now:0.0 in
+  for i = 1 to 50 do
+    ack cc ~rtt:(Some 0.04) ~bw:(Some 2_000_000.0)
+      ~now:(0.04 *. float_of_int i)
+      ~acked:1000 ()
+  done;
+  let w = cc.Cc.cwnd () in
+  cc.Cc.on_loss ~now:2.1 ~inflight:10_000;
+  Alcotest.(check (float 1.0)) "loss-insensitive" w (cc.Cc.cwnd ())
+
+let test_pcc_rate_positive () =
+  let cc = Cc.create Cc.Pcc ~mss:1000 ~now:0.0 in
+  for i = 1 to 100 do
+    ack cc ~rtt:(Some 0.05) ~now:(0.05 *. float_of_int i) ~acked:5000 ()
+  done;
+  match cc.Cc.pacing_rate () with
+  | Some r -> Alcotest.(check bool) "positive rate" true (r > 0.0)
+  | None -> Alcotest.fail "pcc must pace"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end engine behaviour *)
+
+let run_transfer ?(hops = 3) ?(bw_mbps = 20.0) ?(delay = 0.005) ?(plr = 0.0)
+    ?(bytes = 500_000) ?(cc = Cc.Newreno) ?(until = 60.0) () =
+  let engine, rng = setup () in
+  let chain = build_chain engine rng ~hops ~bw_mbps ~delay ~plr in
+  let n = Array.length chain.Topology.nodes - 1 in
+  let session =
+    Session.connect engine ~src_node:chain.Topology.nodes.(0)
+      ~dst_node:chain.Topology.nodes.(n) ~flow:1 ~cc
+      ~source:(Sender.Fixed bytes) ()
+  in
+  Session.start session;
+  Engine.run ~until engine;
+  (session, engine)
+
+let test_transfer_completes () =
+  let session, _ = run_transfer () in
+  Alcotest.(check bool) "sender finished" true (Sender.finished session.Session.sender);
+  Alcotest.(check bool) "receiver complete" true (Receiver.complete session.Session.receiver);
+  Alcotest.(check int)
+    "all bytes delivered" 500_000
+    (Flow_metrics.app_bytes session.Session.metrics)
+
+let test_transfer_timing_sane () =
+  (* 500 KB over 20 Mbps should take ~0.2 s + slow start; certainly < 2 s. *)
+  let session, _ = run_transfer () in
+  match Flow_metrics.completion_time session.Session.metrics with
+  | Some ct ->
+    Alcotest.(check bool)
+      (Printf.sprintf "completion %.3fs reasonable" ct)
+      true
+      (ct > 0.2 && ct < 2.0)
+  | None -> Alcotest.fail "no completion time"
+
+let test_owd_includes_propagation () =
+  let session, _ = run_transfer ~plr:0.0 () in
+  let owd = Flow_metrics.owd session.Session.metrics in
+  (* 3 hops x 5 ms propagation = 15 ms minimum. *)
+  Alcotest.(check bool)
+    "min OWD >= propagation" true
+    (Leotp_util.Stats.min owd >= 0.015)
+
+let test_reliability_under_loss () =
+  let session, _ =
+    run_transfer ~plr:0.02 ~bytes:300_000 ~cc:Cc.Cubic ~until:120.0 ()
+  in
+  Alcotest.(check bool) "complete despite 2%/hop loss" true
+    (Receiver.complete session.Session.receiver);
+  Alcotest.(check bool)
+    "retransmissions happened" true
+    (Flow_metrics.retransmissions session.Session.metrics > 0)
+
+(* Steady-state throughput of an unlimited flow, excluding slow-start
+   warmup (this is what the paper's Figs 2 and 12 measure). *)
+let steady_tput ?(hops = 5) ?(plr = 0.0) ~cc () =
+  let engine, rng = setup () in
+  let chain = build_chain engine rng ~hops ~bw_mbps:20.0 ~delay:0.005 ~plr in
+  let n = Array.length chain.Topology.nodes - 1 in
+  let session =
+    Session.connect engine ~src_node:chain.Topology.nodes.(0)
+      ~dst_node:chain.Topology.nodes.(n) ~flow:1 ~cc ~source:Sender.Unlimited
+      ()
+  in
+  Session.start session;
+  Engine.run ~until:60.0 engine;
+  Flow_metrics.goodput session.Session.metrics ~lo:10.0 ~hi:60.0
+
+let test_loss_hurts_loss_based_cc () =
+  let clean = steady_tput ~cc:Cc.Cubic ()
+  and lossy = steady_tput ~plr:0.005 ~cc:Cc.Cubic () in
+  Alcotest.(check bool)
+    (Printf.sprintf "cubic: %.0f clean vs %.0f lossy B/s" clean lossy)
+    true
+    (lossy < 0.7 *. clean)
+
+let test_bbr_beats_cubic_under_loss () =
+  let bbr = steady_tput ~plr:0.005 ~cc:Cc.Bbr ()
+  and cubic = steady_tput ~plr:0.005 ~cc:Cc.Cubic () in
+  Alcotest.(check bool)
+    (Printf.sprintf "bbr %.0f > cubic %.0f under loss" bbr cubic)
+    true (bbr > cubic)
+
+let test_bulk_flow_throughput () =
+  (* An unlimited NewReno flow on a clean link should keep the pipe busy:
+     >= 70% utilization over 30 s. *)
+  let engine, rng = setup () in
+  let chain = build_chain engine rng ~hops:2 ~bw_mbps:10.0 ~delay:0.01 ~plr:0.0 in
+  let session =
+    Session.connect engine ~src_node:chain.Topology.nodes.(0)
+      ~dst_node:chain.Topology.nodes.(2) ~flow:1 ~cc:Cc.Newreno
+      ~source:Sender.Unlimited ()
+  in
+  Session.start session;
+  Engine.run ~until:30.0 engine;
+  let delivered = Flow_metrics.app_bytes session.Session.metrics in
+  let util = float_of_int delivered /. (mbps 10.0 *. 30.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization %.2f" util)
+    true (util > 0.7)
+
+(* Reliability property: whatever the loss rate and bandwidth, a Fixed
+   transfer that completes delivered every byte exactly once, in order. *)
+let reliability_prop =
+  let open QCheck2 in
+  Test.make ~name:"TCP delivers the exact byte stream under random loss"
+    ~count:15
+    Gen.(
+      triple (int_range 1 4) (float_range 0.0 0.03)
+        (oneofl [ Cc.Newreno; Cc.Cubic; Cc.Bbr; Cc.Westwood ]))
+    (fun (hops, plr, cc) ->
+      let engine, rng = setup () in
+      let chain = build_chain engine rng ~hops ~bw_mbps:20.0 ~delay:0.003 ~plr in
+      let n = Array.length chain.Topology.nodes - 1 in
+      let bytes = 150_000 in
+      let session =
+        Session.connect engine ~src_node:chain.Topology.nodes.(0)
+          ~dst_node:chain.Topology.nodes.(n) ~flow:1 ~cc
+          ~source:(Sender.Fixed bytes) ()
+      in
+      Session.start session;
+      Engine.run ~until:300.0 engine;
+      Receiver.complete session.Session.receiver
+      && Receiver.delivered_bytes session.Session.receiver = bytes
+      && Flow_metrics.app_bytes session.Session.metrics = bytes)
+
+let test_dynamic_source_sender () =
+  (* A sender whose data becomes available over time (the proxy/gateway
+     source) keeps transmitting as the prefix grows. *)
+  let engine, rng = setup () in
+  let chain = build_chain engine rng ~hops:2 ~bw_mbps:20.0 ~delay:0.005 ~plr:0.0 in
+  let available = ref 0 in
+  let src = chain.Topology.nodes.(0) and dst = chain.Topology.nodes.(2) in
+  let metrics = Flow_metrics.create ~flow:1 in
+  let sender =
+    Sender.create engine ~node:src ~dst:(Node.id dst) ~flow:1 ~cc:Cc.Newreno
+      ~source:(Sender.Dynamic (fun () -> !available))
+      ~metrics ()
+  in
+  let receiver =
+    Receiver.create engine ~node:dst ~src:(Node.id src) ~flow:1 ~metrics ()
+  in
+  Node.set_handler src (fun ~from:_ pkt ->
+      match pkt.Leotp_net.Packet.payload with
+      | Wire.Ack_seg _ -> Sender.handle_ack sender pkt
+      | _ -> ());
+  Node.set_handler dst (fun ~from:_ pkt ->
+      match pkt.Leotp_net.Packet.payload with
+      | Wire.Data_seg _ -> Receiver.handle_data receiver pkt
+      | _ -> ());
+  Sender.start sender;
+  (* Grow the prefix in three installments. *)
+  List.iter
+    (fun (t, n) ->
+      ignore
+        (Engine.schedule engine ~after:t (fun () ->
+             available := n;
+             Sender.notify_data_available sender)))
+    [ (0.1, 100_000); (1.0, 250_000); (2.0, 400_000) ];
+  Engine.run ~until:20.0 engine;
+  Alcotest.(check int) "all delivered" 400_000 (Receiver.delivered_bytes receiver)
+
+let test_receiver_sack_limit () =
+  (* The receiver advertises at most 3 SACK ranges above the cumulative
+     ack, mirroring real TCP option-space limits. *)
+  let engine, rng = setup () in
+  ignore rng;
+  let node = Node.create ~name:"rx" in
+  let sacks = ref [] in
+  Node.set_handler node (fun ~from:_ pkt ->
+      match pkt.Leotp_net.Packet.payload with
+      | Wire.Ack_seg { sacks = s; _ } -> sacks := s
+      | _ -> ());
+  (* ACKs are sent to src=node id 0: loop them back into our handler via
+     a direct route to self. *)
+  let rx = Receiver.create engine ~node ~src:(Node.id node) ~flow:1 () in
+  let self_spec =
+    Leotp_net.Topology.hop ~bandwidth:(Bandwidth.Constant 1e9) ~delay:1e-6 ()
+  in
+  let d = Leotp_net.Topology.connect engine ~rng:(Leotp_util.Rng.create ~seed:1) node node self_spec in
+  Node.set_handler node (fun ~from:_ pkt ->
+      match pkt.Leotp_net.Packet.payload with
+      | Wire.Ack_seg { sacks = s; _ } -> sacks := s
+      | Wire.Data_seg _ -> Receiver.handle_data rx pkt
+      | _ -> ());
+  Node.add_route node ~dst:(Node.id node) d.Leotp_net.Topology.fwd;
+  (* Five disjoint out-of-order islands: 1400-gap pattern. *)
+  List.iter
+    (fun i ->
+      Receiver.handle_data rx
+        (Wire.data_packet ~src:(Node.id node) ~dst:(Node.id node) ~flow:1
+           ~seq:(i * 2800) ~len:1400 ~sent_at:0.0 ~first_sent:0.0 ~retx:false
+           ~fin:false))
+    [ 1; 2; 3; 4; 5 ];
+  Engine.run engine;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d sack ranges <= 3" (List.length !sacks))
+    true
+    (List.length !sacks <= 3 && List.length !sacks > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Split TCP *)
+
+let run_split ?(hops = 4) ?(plr = 0.0) ?(bytes = 400_000) ?(cc = Cc.Cubic)
+    ?(until = 120.0) () =
+  let engine, rng = setup () in
+  let chain = build_chain engine rng ~hops ~bw_mbps:20.0 ~delay:0.005 ~plr in
+  let split =
+    Split.connect engine ~nodes:chain.Topology.nodes ~flow:1 ~cc
+      ~source:(Sender.Fixed bytes) ()
+  in
+  Split.start split;
+  Engine.run ~until engine;
+  (split, engine)
+
+let test_split_completes () =
+  let split, _ = run_split () in
+  Alcotest.(check bool) "complete" true (Split.complete split);
+  Alcotest.(check int) "bytes" 400_000 (Flow_metrics.app_bytes (Split.metrics split))
+
+let test_split_reliable_under_loss () =
+  let split, _ = run_split ~plr:0.01 ~until:300.0 () in
+  Alcotest.(check bool) "complete with loss" true (Split.complete split)
+
+let test_split_beats_e2e_cubic_under_loss () =
+  (* The Fig 4 effect: splitting a lossy 10-hop path rescues Cubic. *)
+  let bytes = 1_500_000 in
+  let split, _ = run_split ~hops:8 ~plr:0.005 ~bytes ~until:400.0 () in
+  let e2e, _ =
+    run_transfer ~hops:8 ~plr:0.005 ~bytes ~cc:Cc.Cubic ~until:400.0 ()
+  in
+  let time m =
+    match Flow_metrics.completion_time m with Some t -> t | None -> 400.0
+  in
+  let t_split = time (Split.metrics split) in
+  let t_e2e = time e2e.Session.metrics in
+  Alcotest.(check bool)
+    (Printf.sprintf "split %.1fs faster than e2e %.1fs" t_split t_e2e)
+    true (t_split < t_e2e)
+
+let test_split_owd_tracks_origin () =
+  (* OWD through proxies must be at least the full-path propagation. *)
+  let split, _ = run_split ~hops:4 () in
+  let owd = Flow_metrics.owd (Split.metrics split) in
+  Alcotest.(check bool)
+    "origin-stamped OWD >= 4 hops propagation" true
+    (Leotp_util.Stats.min owd >= 0.02)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "leotp_tcp"
+    [
+      ( "cc",
+        [
+          Alcotest.test_case "registry" `Quick test_cc_registry;
+          Alcotest.test_case "newreno ss/ca" `Quick test_newreno_slow_start_and_ca;
+          Alcotest.test_case "newreno rto" `Quick test_newreno_rto;
+          Alcotest.test_case "hybla rho" `Quick test_hybla_rho_scaling;
+          Alcotest.test_case "vegas rtt" `Quick test_vegas_backs_off_on_rtt_rise;
+          Alcotest.test_case "westwood bwe" `Quick test_westwood_loss_uses_bwe;
+          Alcotest.test_case "bbr pacing" `Quick test_bbr_pacing_converges;
+          Alcotest.test_case "bbr loss-blind" `Quick test_bbr_ignores_loss;
+          Alcotest.test_case "pcc rate" `Quick test_pcc_rate_positive;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "transfer completes" `Quick test_transfer_completes;
+          Alcotest.test_case "timing sane" `Quick test_transfer_timing_sane;
+          Alcotest.test_case "owd floor" `Quick test_owd_includes_propagation;
+          Alcotest.test_case "reliable under loss" `Quick test_reliability_under_loss;
+          Alcotest.test_case "loss hurts cubic" `Slow test_loss_hurts_loss_based_cc;
+          Alcotest.test_case "bbr beats cubic lossy" `Slow
+            test_bbr_beats_cubic_under_loss;
+          Alcotest.test_case "bulk utilization" `Quick test_bulk_flow_throughput;
+          qc reliability_prop;
+        ] );
+      ( "sources",
+        [
+          Alcotest.test_case "dynamic source" `Quick test_dynamic_source_sender;
+          Alcotest.test_case "sack limit" `Quick test_receiver_sack_limit;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "completes" `Quick test_split_completes;
+          Alcotest.test_case "reliable under loss" `Quick
+            test_split_reliable_under_loss;
+          Alcotest.test_case "beats e2e under loss" `Slow
+            test_split_beats_e2e_cubic_under_loss;
+          Alcotest.test_case "origin owd" `Quick test_split_owd_tracks_origin;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+(* Tests for the analytic retransmission model (paper §II-B, Fig 3).
+   Several expectations are the paper's own worked numbers. *)
+
+open Leotp_theory
+
+let close ?(eps = 1e-9) = Alcotest.(check (float eps))
+
+let test_e2e_plr () =
+  close "single hop" 0.005 (Retrans.e2e_plr ~p:0.005 ~hops:1);
+  close ~eps:1e-12 "exact 10 hops"
+    (1.0 -. (0.995 ** 10.0))
+    (Retrans.e2e_plr ~p:0.005 ~hops:10);
+  close "approx Np" 0.05 (Retrans.e2e_plr_approx ~p:0.005 ~hops:10);
+  (* Paper §II-A: "once ISLs are enabled, the end-to-end PLR ... reach up
+     to 5%" for 10 hops at 0.5%/hop (approx). *)
+  Alcotest.(check bool)
+    "approx upper-bounds exact" true
+    (Retrans.e2e_plr_approx ~p:0.005 ~hops:10
+    >= Retrans.e2e_plr ~p:0.005 ~hops:10)
+
+let test_paper_worked_example () =
+  (* §II-B: "when N = 10, p = 0.5%, hop-by-hop retransmission achieves
+     4.7% higher theoretical throughput and 8.7% lower average OWD". *)
+  let gain = Retrans.throughput_gain ~p:0.005 ~hops:10 in
+  close ~eps:5e-4 "throughput +4.7%" 1.047 gain;
+  let ratio = Retrans.owd_ratio ~p:0.005 ~hops:10 in
+  close ~eps:2e-3 "OWD -8.7%" 0.913 ratio
+
+let test_owd_means () =
+  (* p = 0: both schemes are pure propagation. *)
+  close "e2e lossless" 0.1 (Retrans.owd_e2e ~p:0.0 ~hops:10 ~d:0.01);
+  close "hbh lossless" 0.1 (Retrans.owd_hbh ~p:0.0 ~hops:10 ~d:0.01);
+  (* Single hop: identical by construction. *)
+  close ~eps:1e-12 "N=1 equal"
+    (Retrans.owd_e2e ~p:0.01 ~hops:1 ~d:0.01)
+    (Retrans.owd_hbh ~p:0.01 ~hops:1 ~d:0.01);
+  (* Multi-hop and lossy: hbh is strictly better. *)
+  Alcotest.(check bool)
+    "hbh < e2e" true
+    (Retrans.owd_hbh ~p:0.005 ~hops:10 ~d:0.01
+    < Retrans.owd_e2e ~p:0.005 ~hops:10 ~d:0.01)
+
+let test_throughput () =
+  close "e2e" 9.5 (Retrans.throughput_e2e ~p:0.005 ~hops:10 ~b:10.0);
+  close "hbh" 9.95 (Retrans.throughput_hbh ~p:0.005 ~b:10.0);
+  Alcotest.(check bool)
+    "hbh wins" true
+    (Retrans.throughput_hbh ~p:0.005 ~b:10.0
+    > Retrans.throughput_e2e ~p:0.005 ~hops:10 ~b:10.0)
+
+let total_mass dist = List.fold_left (fun a (_, pr) -> a +. pr) 0.0 dist
+
+let test_dist_mass () =
+  let e2e = Retrans.Owd_dist.e2e ~p:0.005 ~hops:10 ~d:0.01 in
+  let hbh = Retrans.Owd_dist.hbh ~p:0.005 ~hops:10 ~d:0.01 in
+  close ~eps:1e-6 "e2e mass" 1.0 (total_mass e2e);
+  close ~eps:1e-6 "hbh mass" 1.0 (total_mass hbh)
+
+let test_fig3_percentiles () =
+  (* Fig 3's setting: 10 hops, 0.5% PLR, 10 ms per hop.  Paper: e2e 99th
+     percentile 300 ms; hbh 99th percentile 120 ms. *)
+  let e2e = Retrans.Owd_dist.e2e ~p:0.005 ~hops:10 ~d:0.01 in
+  let hbh = Retrans.Owd_dist.hbh ~p:0.005 ~hops:10 ~d:0.01 in
+  close ~eps:1e-9 "e2e p99 = 300ms" 0.3 (Retrans.Owd_dist.percentile e2e 99.0);
+  close ~eps:1e-9 "hbh p99 = 120ms" 0.12 (Retrans.Owd_dist.percentile hbh 99.0);
+  (* Paper: maximum over 100000 packets is 700 ms e2e / 160 ms hbh;
+     equivalently the ~(1 - 1e-5) quantiles. *)
+  close ~eps:1e-9 "e2e p99.999 = 700ms" 0.7
+    (Retrans.Owd_dist.percentile e2e 99.999);
+  close ~eps:0.021 "hbh p99.999 ~ 160ms" 0.16
+    (Retrans.Owd_dist.percentile hbh 99.999)
+
+let test_dist_means_match_closed_form () =
+  (* The exact-distribution mean should approximate the closed forms
+     (which use the Np approximation for e2e). *)
+  let hbh = Retrans.Owd_dist.hbh ~p:0.005 ~hops:10 ~d:0.01 in
+  close ~eps:1e-6 "hbh mean exact"
+    (Retrans.owd_hbh ~p:0.005 ~hops:10 ~d:0.01)
+    (Retrans.Owd_dist.mean hbh);
+  let e2e = Retrans.Owd_dist.e2e ~p:0.005 ~hops:10 ~d:0.01 in
+  let closed = Retrans.owd_e2e ~p:0.005 ~hops:10 ~d:0.01 in
+  Alcotest.(check bool)
+    "e2e mean within 1% of closed form" true
+    (Float.abs (Retrans.Owd_dist.mean e2e -. closed) /. closed < 0.01)
+
+let test_sampling_agrees () =
+  let rng = Leotp_util.Rng.create ~seed:3 in
+  let dist = Retrans.Owd_dist.hbh ~p:0.02 ~hops:5 ~d:0.01 in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Retrans.Owd_dist.sample dist rng
+  done;
+  let mc_mean = !acc /. float_of_int n in
+  Alcotest.(check bool)
+    "Monte Carlo mean matches" true
+    (Float.abs (mc_mean -. Retrans.Owd_dist.mean dist)
+     /. Retrans.Owd_dist.mean dist
+    < 0.01)
+
+let monotone_prop =
+  let open QCheck2 in
+  Test.make ~name:"gain grows with p and hops" ~count:100
+    Gen.(pair (float_range 0.0001 0.009) (int_range 2 10))
+    (fun (p, hops) ->
+      Retrans.throughput_gain ~p ~hops >= 1.0
+      && Retrans.throughput_gain ~p ~hops:(hops + 1)
+         >= Retrans.throughput_gain ~p ~hops
+      && Retrans.owd_ratio ~p ~hops <= 1.0)
+
+let dist_mass_prop =
+  let open QCheck2 in
+  Test.make ~name:"distributions are probability measures" ~count:50
+    Gen.(pair (float_range 0.0 0.05) (int_range 1 12))
+    (fun (p, hops) ->
+      let m1 = total_mass (Retrans.Owd_dist.e2e ~p ~hops ~d:0.01) in
+      let m2 = total_mass (Retrans.Owd_dist.hbh ~p ~hops ~d:0.01) in
+      Float.abs (m1 -. 1.0) < 1e-6 && Float.abs (m2 -. 1.0) < 1e-6)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "leotp_theory"
+    [
+      ( "retrans",
+        [
+          Alcotest.test_case "e2e plr" `Quick test_e2e_plr;
+          Alcotest.test_case "paper worked example" `Quick
+            test_paper_worked_example;
+          Alcotest.test_case "owd means" `Quick test_owd_means;
+          Alcotest.test_case "throughput" `Quick test_throughput;
+          qc monotone_prop;
+        ] );
+      ( "owd_dist",
+        [
+          Alcotest.test_case "mass" `Quick test_dist_mass;
+          Alcotest.test_case "Fig 3 percentiles" `Quick test_fig3_percentiles;
+          Alcotest.test_case "means match closed form" `Quick
+            test_dist_means_match_closed_form;
+          Alcotest.test_case "sampling agrees" `Quick test_sampling_agrees;
+          qc dist_mass_prop;
+        ] );
+    ]
