@@ -2,10 +2,21 @@
    evaluation.
 
    Usage:
-     dune exec bench/main.exe                  # everything, full size
-     dune exec bench/main.exe -- --quick       # shrunk runs
-     dune exec bench/main.exe -- fig12 table2  # selected experiments
-     dune exec bench/main.exe -- fig19         # Bechamel CPU micro-bench
+     dune exec bench/main.exe                    # everything, full size
+     dune exec bench/main.exe -- --quick         # shrunk runs
+     dune exec bench/main.exe -- fig12 table2    # selected experiments
+     dune exec bench/main.exe -- fig19           # Bechamel CPU micro-bench
+     dune exec bench/main.exe -- --jobs 4 fig12  # sweep cells on 4 domains
+     dune exec bench/main.exe -- --perf-smoke    # fixed quick subset + JSON
+
+   --jobs N runs each experiment's independent simulation cells on N
+   worker domains; results are bit-identical to --jobs 1 (each cell owns
+   its engine/rng/topology and domain-local id counters).
+
+   Every experiment additionally writes a machine-readable perf record
+   BENCH_<id>.json (to --out-dir DIR, default '.') so the perf
+   trajectory can be tracked across commits; see EXPERIMENTS.md for the
+   schema.
 
    Absolute numbers are not expected to match the authors' testbed; the
    qualitative shape (who wins, by roughly what factor, where crossovers
@@ -14,6 +25,7 @@
 
 module E = Leotp_scenario.Experiments
 module S = Leotp_scenario.Starlink
+module Runner = Leotp_scenario.Runner
 
 (* ------------------------------------------------------------------ *)
 (* Fig 19: Midnode CPU overhead, as per-packet processing cost          *)
@@ -109,28 +121,163 @@ let all_experiments =
     ("fig19", fun ~quick:_ -> fig19 ());
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Perf records: one BENCH_<id>.json per experiment run.                *)
+
+type perf = {
+  id : string;
+  quick : bool;
+  jobs : int;
+  wall_s : float;
+  cpu_s : float;
+  jobs_run : int;
+  sim_seconds : float;
+  sim_per_wall : float;
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  worker_alloc_bytes : float;
+}
+
+let json_of_perf p =
+  (* %.17g round-trips any float; no JSON library in the tree. *)
+  Printf.sprintf
+    "{\n\
+    \  \"id\": \"%s\",\n\
+    \  \"quick\": %b,\n\
+    \  \"jobs\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"cpu_s\": %.6f,\n\
+    \  \"jobs_run\": %d,\n\
+    \  \"sim_seconds\": %.3f,\n\
+    \  \"sim_per_wall\": %.3f,\n\
+    \  \"gc\": {\n\
+    \    \"minor_words\": %.17g,\n\
+    \    \"major_words\": %.17g,\n\
+    \    \"promoted_words\": %.17g\n\
+    \  },\n\
+    \  \"worker_alloc_bytes\": %.17g\n\
+     }\n"
+    p.id p.quick p.jobs p.wall_s p.cpu_s p.jobs_run p.sim_seconds
+    p.sim_per_wall p.minor_words p.major_words p.promoted_words
+    p.worker_alloc_bytes
+
+let write_perf ~out_dir p =
+  let path = Filename.concat out_dir (Printf.sprintf "BENCH_%s.json" p.id) in
+  let oc = open_out path in
+  output_string oc (json_of_perf p);
+  close_out oc;
+  path
+
+(* Run one experiment under full instrumentation.  GC minor/major words
+   are the main domain's [Gc.quick_stat] deltas (allocation on worker
+   domains is reported separately via [worker_alloc_bytes], which the
+   runner sums per job on whichever domain ran it). *)
+let run_instrumented ~quick ~out_dir (id, f) =
+  Runner.reset_counters ();
+  let g0 = Gc.quick_stat () in
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  f ~quick;
+  let wall = Unix.gettimeofday () -. wall0 in
+  let cpu = Sys.time () -. cpu0 in
+  let g1 = Gc.quick_stat () in
+  let c = Runner.counters () in
+  let p =
+    {
+      id;
+      quick;
+      jobs = Runner.jobs ();
+      wall_s = wall;
+      cpu_s = cpu;
+      jobs_run = c.Runner.jobs_run;
+      sim_seconds = c.Runner.sim_seconds;
+      sim_per_wall = (if wall > 0.0 then c.Runner.sim_seconds /. wall else 0.0);
+      minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+      worker_alloc_bytes = c.Runner.alloc_bytes;
+    }
+  in
+  let path = write_perf ~out_dir p in
+  Printf.printf "  [%s done in %.1fs wall / %.1fs cpu, %d jobs, %.0f sim-s/wall-s -> %s]\n%!"
+    id wall cpu c.Runner.jobs_run p.sim_per_wall path;
+  p
+
+(* Fixed quick subset for perf sanity checks: one pure-computation
+   experiment and one simulation sweep that exercises the runner. *)
+let perf_smoke_ids = [ "fig3"; "fig12" ]
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--quick] [--jobs N] [--out-dir DIR] [--perf-smoke] [EXPERIMENT...]\n\
+     known experiments: %s\n"
+    (String.concat ", " (List.map fst all_experiments));
+  exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let quick = List.mem "--quick" args in
-  let selected = List.filter (fun a -> a <> "--quick") args in
-  let to_run =
-    if selected = [] then all_experiments
-    else
-      List.filter_map
-        (fun name ->
-          match List.assoc_opt name all_experiments with
-          | Some f -> Some (name, f)
-          | None ->
-            Printf.eprintf "unknown experiment %S (known: %s)\n" name
-              (String.concat ", " (List.map fst all_experiments));
-            exit 1)
-        selected
+  let quick = ref false in
+  let jobs = ref 1 in
+  let out_dir = ref "." in
+  let perf_smoke = ref false in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--perf-smoke" :: rest ->
+      perf_smoke := true;
+      parse rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse rest
+      | _ ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+        usage ())
+    | "--out-dir" :: dir :: rest ->
+      (* Fail before the experiments run, not at the first write. *)
+      if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+        Printf.eprintf "--out-dir %S is not an existing directory\n" dir;
+        usage ()
+      end;
+      out_dir := dir;
+      parse rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+      Printf.eprintf "unknown option %S\n" arg;
+      usage ()
+    | name :: rest ->
+      if List.mem_assoc name all_experiments then begin
+        selected := name :: !selected;
+        parse rest
+      end
+      else begin
+        Printf.eprintf "unknown experiment %S\n" name;
+        usage ()
+      end
   in
-  Printf.printf "LEOTP reproduction benchmarks%s\n"
-    (if quick then " (quick mode)" else "");
-  List.iter
-    (fun (name, f) ->
-      let t0 = Sys.time () in
-      f ~quick;
-      Printf.printf "  [%s done in %.1fs cpu]\n%!" name (Sys.time () -. t0))
-    to_run
+  parse args;
+  if !perf_smoke then quick := true;
+  Runner.set_jobs !jobs;
+  let to_run =
+    if !perf_smoke then
+      List.filter (fun (id, _) -> List.mem id perf_smoke_ids) all_experiments
+    else
+      match List.rev !selected with
+      | [] -> all_experiments
+      | names ->
+        List.map (fun name -> (name, List.assoc name all_experiments)) names
+  in
+  Printf.printf "LEOTP reproduction benchmarks%s (jobs=%d)\n"
+    (if !quick then " (quick mode)" else "")
+    !jobs;
+  let perfs =
+    List.map (run_instrumented ~quick:!quick ~out_dir:!out_dir) to_run
+  in
+  if !perf_smoke then begin
+    print_endline "\n=== perf smoke summary ===";
+    List.iter (fun p -> print_string (json_of_perf p)) perfs
+  end

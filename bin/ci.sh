@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI smoke check: build + full test suite, then an end-to-end bench run
+# (fixed quick subset, 2 worker domains) that exercises the parallel
+# runner and the BENCH_*.json perf records.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @runtest
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+dune exec bench/main.exe -- --perf-smoke --jobs 2 --out-dir "$out_dir"
+
+for id in fig3 fig12; do
+  test -s "$out_dir/BENCH_$id.json" || {
+    echo "ci.sh: missing perf record BENCH_$id.json" >&2
+    exit 1
+  }
+done
+echo "ci.sh: OK"

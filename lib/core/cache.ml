@@ -1,9 +1,18 @@
 module Interval_set = Leotp_util.Interval_set
 
+(* Per-block origin metadata: a bounded ring of (range_start_abs,
+   first_sent, retx) entries, newest overwriting oldest.  The ring only
+   needs to resolve lookups for ranges still in the block, so one slot
+   per MSS-grained insertion (plus slack) suffices; a ring keeps insert
+   O(1) where the previous list representation paid [List.length] +
+   [List.filteri] — O(n²) per block — on every insert. *)
 type block = {
   mutable present : Interval_set.t;  (** byte ranges present, block-relative *)
-  mutable meta : (int * float * bool) list;
-      (** (range_start_abs, first_sent, retx), newest first, pruned small *)
+  meta_lo : int array;
+  meta_first_sent : float array;
+  meta_retx : bool array;
+  mutable meta_len : int;  (** live entries, <= capacity *)
+  mutable meta_next : int;  (** next write slot *)
   mutable bytes : int;
 }
 
@@ -19,6 +28,7 @@ type stats = {
 type t = {
   config : Config.t;
   blocks : (key, block) Leotp_util.Lru.t;
+  meta_capacity : int;
   mutable used : int;
   stats : stats;
 }
@@ -27,11 +37,32 @@ let create ~config =
   {
     config;
     blocks = Leotp_util.Lru.create ();
+    meta_capacity = (config.Config.cache_block / config.Config.mss) + 2;
     used = 0;
     stats = { hits = 0; misses = 0; insertions = 0; evictions = 0 };
   }
 
 let block_size t = t.config.Config.cache_block
+
+let fresh_block t =
+  {
+    present = Interval_set.empty;
+    meta_lo = Array.make t.meta_capacity 0;
+    meta_first_sent = Array.make t.meta_capacity 0.0;
+    meta_retx = Array.make t.meta_capacity false;
+    meta_len = 0;
+    meta_next = 0;
+    bytes = 0;
+  }
+
+let push_meta t blk ~lo ~first_sent ~retx =
+  let cap = t.meta_capacity in
+  let i = blk.meta_next in
+  blk.meta_lo.(i) <- lo;
+  blk.meta_first_sent.(i) <- first_sent;
+  blk.meta_retx.(i) <- retx;
+  blk.meta_next <- (i + 1) mod cap;
+  if blk.meta_len < cap then blk.meta_len <- blk.meta_len + 1
 
 let evict_until_fits t =
   while t.used > t.config.Config.cache_capacity do
@@ -59,7 +90,7 @@ let insert t ~flow ~lo ~hi ~first_sent ~retx =
           match Leotp_util.Lru.find t.blocks key with
           | Some blk -> blk
           | None ->
-            let blk = { present = Interval_set.empty; meta = []; bytes = 0 } in
+            let blk = fresh_block t in
             Leotp_util.Lru.put t.blocks key blk;
             blk
         in
@@ -68,34 +99,27 @@ let insert t ~flow ~lo ~hi ~first_sent ~retx =
         let added = Interval_set.cardinal blk.present - before in
         blk.bytes <- blk.bytes + added;
         t.used <- t.used + added;
-        blk.meta <- (blo, first_sent, retx) :: blk.meta;
-        (* The meta list only needs to resolve lookups for ranges still in
-           the block; a handful of recent entries suffices at MSS-grained
-           insertion. *)
-        if List.length blk.meta > 2 * (block_size t / t.config.Config.mss + 2)
-        then
-          blk.meta <-
-            List.filteri (fun i _ -> i < block_size t / t.config.Config.mss + 2) blk.meta);
+        push_meta t blk ~lo:blo ~first_sent ~retx);
     evict_until_fits t
   end
 
 (* Entry with the largest start <= lo (the insertion that covered [lo]);
-   falls back to the newest entry. *)
-let find_meta blk ~lo =
-  let best =
-    List.fold_left
-      (fun acc (s, fs, rx) ->
-        if s > lo then acc
-        else
-          match acc with
-          | Some (bs, _, _) when bs >= s -> acc
-          | _ -> Some (s, fs, rx))
-      None blk.meta
-  in
-  match (best, blk.meta) with
-  | Some (_, fs, rx), _ -> Some (fs, rx)
-  | None, (_, fs, rx) :: _ -> Some (fs, rx)
-  | None, [] -> None
+   falls back to the newest entry.  Scans the ring newest-first so ties
+   on start resolve to the most recent insertion, matching the previous
+   newest-first list fold. *)
+let find_meta t blk ~lo =
+  if blk.meta_len = 0 then None
+  else begin
+    let cap = t.meta_capacity in
+    let best = ref (-1) in
+    for k = 0 to blk.meta_len - 1 do
+      let i = (blk.meta_next - 1 - k + (2 * cap)) mod cap in
+      let s = blk.meta_lo.(i) in
+      if s <= lo && (!best < 0 || s > blk.meta_lo.(!best)) then best := i
+    done;
+    let i = if !best >= 0 then !best else (blk.meta_next - 1 + cap) mod cap in
+    Some (blk.meta_first_sent.(i), blk.meta_retx.(i))
+  end
 
 let lookup_inner t ~touch ~flow ~lo ~hi =
   let ok = ref true in
@@ -108,7 +132,7 @@ let lookup_inner t ~touch ~flow ~lo ~hi =
         in
         match blk with
         | Some blk when Interval_set.covers ~lo:blo ~hi:bhi blk.present ->
-          if !meta = None then meta := find_meta blk ~lo:blo
+          if !meta = None then meta := find_meta t blk ~lo:blo
         | Some _ | None -> ok := false
       end);
   if !ok then Some (match !meta with Some m -> m | None -> (0.0, false))

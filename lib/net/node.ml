@@ -6,13 +6,15 @@ type t = {
   mutable no_route_drops : int;
 }
 
-let counter = ref 0
+(* Domain-local: see the note on [Packet.counter]. *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
 
 let create ~name =
-  incr counter;
+  let c = Domain.DLS.get counter in
+  incr c;
   let rec t =
     {
-      id = !counter;
+      id = !c;
       name;
       routes = Hashtbl.create 16;
       handler = (fun ~from pkt -> forward_impl t ~from pkt);
@@ -26,7 +28,7 @@ let create ~name =
   in
   t
 
-let reset_ids () = counter := 0
+let reset_ids () = Domain.DLS.get counter := 0
 let id t = t.id
 let name t = t.name
 let add_route t ~dst link = Hashtbl.replace t.routes dst link

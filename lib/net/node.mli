@@ -9,8 +9,9 @@
 type t
 
 val create : name:string -> t
-(** Node ids are assigned from a global counter; {!reset_ids} restarts it
-    between experiments so ids stay small and deterministic. *)
+(** Node ids are assigned from a domain-local counter; {!reset_ids}
+    restarts it between experiments so ids stay small and deterministic,
+    including when independent experiments run on parallel domains. *)
 
 val reset_ids : unit -> unit
 val id : t -> int

@@ -10,14 +10,17 @@ type t = {
   payload : payload;
 }
 
-let counter = ref 0
+(* Domain-local so independent simulations running on worker domains
+   (bench --jobs N) each see the same id sequence as a sequential run. *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
 
 let make ~src ~dst ~flow ~size payload =
   assert (size > 0);
-  incr counter;
-  { id = !counter; src; dst; flow; size; payload }
+  let c = Domain.DLS.get counter in
+  incr c;
+  { id = !c; src; dst; flow; size; payload }
 
-let reset_ids () = counter := 0
+let reset_ids () = Domain.DLS.get counter := 0
 
 let pp ppf t =
   Format.fprintf ppf "#%d flow=%d %d->%d %dB" t.id t.flow t.src t.dst t.size

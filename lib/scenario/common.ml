@@ -158,6 +158,7 @@ let run_chain ?(seed = 42) ?bytes ?(duration = 60.0) ?(warmup = 10.0)
       session.Leotp.Session.metrics
   in
   Engine.run ~until:duration engine;
+  Runner.note_sim_seconds (Engine.now engine);
   let congestion_drops =
     Array.fold_left
       (fun acc d ->
@@ -228,6 +229,7 @@ let run_flows_dumbbell ?(seed = 42) ?(duration = 600.0) ~access_delays
       invalid_arg "run_flows_dumbbell: unsupported protocol"
   in
   Engine.run ~until:duration engine;
+  Runner.note_sim_seconds (Engine.now engine);
   let summaries =
     List.mapi
       (fun i m ->

@@ -5,6 +5,12 @@ module Bandwidth = Leotp_net.Bandwidth
 let mbps = Leotp_util.Units.mbps_to_bytes_per_sec
 let leotp_default = Common.Leotp Leotp.Config.default
 
+(* Every sweep below is expressed as a batch of independent jobs handed
+   to [Runner] (grid = protocol x parameter cross product, map = a flat
+   list).  Each job builds its own engine/rng/topology inside
+   [Common.run_chain], so results are identical at any --jobs level;
+   printing happens only after the batch completes. *)
+
 (* ------------------------------------------------------------------ *)
 (* Fig 2: TCP throughput collapse vs hop count (0.5% loss per hop).     *)
 
@@ -14,23 +20,16 @@ let fig02 ?(quick = false) () =
   let hop_counts = if quick then [ 1; 5; 10 ] else [ 1; 2; 4; 6; 8; 10 ] in
   let algos = [ Cc.Cubic; Cc.Hybla; Cc.Bbr; Cc.Pcc ] in
   let results =
-    List.map
-      (fun cc ->
-        let rows =
-          List.map
-            (fun n ->
-              let s =
-                Common.run_chain ~duration
-                  ~hops:
-                    (Common.uniform_hops ~n
-                       (Common.link ~plr:0.005 ~bw:20.0 ~delay:0.005 ()))
-                  (Common.Tcp cc)
-              in
-              (n, s.Common.goodput_mbps))
-            hop_counts
+    Runner.grid algos hop_counts (fun cc n ->
+        let s =
+          Common.run_chain ~duration
+            ~hops:
+              (Common.uniform_hops ~n
+                 (Common.link ~plr:0.005 ~bw:20.0 ~delay:0.005 ()))
+            (Common.Tcp cc)
         in
-        (Cc.algo_name cc, rows))
-      algos
+        s.Common.goodput_mbps)
+    |> List.map (fun (cc, rows) -> (Cc.algo_name cc, rows))
   in
   List.iter
     (fun (name, rows) ->
@@ -77,14 +76,18 @@ let fig04 ?(quick = false) () =
     Common.uniform_hops ~n:10 (Common.link ~plr:0.005 ~bw:20.0 ~delay:0.005 ())
   in
   let algos = [ Cc.Cubic; Cc.Hybla; Cc.Bbr; Cc.Pcc ] in
-  let run proto =
-    let s = Common.run_chain ~duration ~hops proto in
-    (s.Common.protocol, (s.Common.goodput_mbps, Stats.mean s.Common.owd))
+  let protos =
+    List.concat_map
+      (fun cc -> [ Common.Tcp cc; Common.Split_tcp cc ])
+      algos
   in
   let results =
-    List.concat_map
-      (fun cc -> [ run (Common.Tcp cc); run (Common.Split_tcp cc) ])
-      algos
+    Runner.map
+      (List.map
+         (fun proto () ->
+           let s = Common.run_chain ~duration ~hops proto in
+           (s.Common.protocol, (s.Common.goodput_mbps, Stats.mean s.Common.owd)))
+         protos)
   in
   List.iter
     (fun (name, (tput, owd)) ->
@@ -104,28 +107,22 @@ let fig05 ?(quick = false) () =
   let delays = if quick then [ 0.02; 0.1 ] else [ 0.02; 0.04; 0.06; 0.08; 0.1 ] in
   let algos = [ Cc.Cubic; Cc.Hybla; Cc.Bbr ] in
   let results =
-    List.map
-      (fun cc ->
-        let rows =
-          List.map
-            (fun prop ->
-              (* 5 hops; hop 2 is the fluctuating bottleneck. *)
-              let hop_delay = prop /. 5.0 in
-              let hops =
-                Common.uniform_hops ~n:5
-                  (Common.link ~bw:20.0 ~delay:hop_delay ())
-              in
-              let s =
-                Common.run_chain ~duration ~hops
-                  ~bandwidth_schedule:
-                    [ (2, Bandwidth.square_mbps ~mean:10.0 ~amplitude:1.0 ~period:2.0) ]
-                  (Common.Tcp cc)
-              in
-              (prop, Stats.mean s.Common.queuing_delay, s.Common.congestion_drops))
-            delays
+    Runner.grid algos delays (fun cc prop ->
+        (* 5 hops; hop 2 is the fluctuating bottleneck. *)
+        let hop_delay = prop /. 5.0 in
+        let hops =
+          Common.uniform_hops ~n:5 (Common.link ~bw:20.0 ~delay:hop_delay ())
         in
-        (Cc.algo_name cc, rows))
-      algos
+        let s =
+          Common.run_chain ~duration ~hops
+            ~bandwidth_schedule:
+              [ (2, Bandwidth.square_mbps ~mean:10.0 ~amplitude:1.0 ~period:2.0) ]
+            (Common.Tcp cc)
+        in
+        (Stats.mean s.Common.queuing_delay, s.Common.congestion_drops))
+    |> List.map (fun (cc, rows) ->
+           ( Cc.algo_name cc,
+             List.map (fun (p, (q, drops)) -> (p, q, drops)) rows ))
   in
   List.iter
     (fun (name, rows) ->
@@ -147,25 +144,20 @@ let fig10 ?(quick = false) () =
   let plrs = if quick then [ 0.01 ] else [ 0.005; 0.01; 0.02 ] in
   let protos = [ leotp_default; Common.Tcp Cc.Bbr ] in
   let results =
-    List.map
-      (fun proto ->
-        let rows =
-          List.map
-            (fun plr ->
-              let s =
-                Common.run_chain ~duration
-                  ~hops:
-                    (Common.uniform_hops ~n:5
-                       (Common.link ~plr ~bw:20.0 ~delay:0.01 ()))
-                  proto
-              in
-              let r = s.Common.retx_owd in
-              if Stats.is_empty r then (plr, Float.nan, Float.nan)
-              else (plr, Stats.mean r, Stats.percentile r 99.0))
-            plrs
+    Runner.grid protos plrs (fun proto plr ->
+        let s =
+          Common.run_chain ~duration
+            ~hops:
+              (Common.uniform_hops ~n:5
+                 (Common.link ~plr ~bw:20.0 ~delay:0.01 ()))
+            proto
         in
-        (Common.protocol_name proto, rows))
-      protos
+        let r = s.Common.retx_owd in
+        if Stats.is_empty r then (Float.nan, Float.nan)
+        else (Stats.mean r, Stats.percentile r 99.0))
+    |> List.map (fun (proto, rows) ->
+           ( Common.protocol_name proto,
+             List.map (fun (plr, (mean, p99)) -> (plr, mean, p99)) rows ))
   in
   List.iter
     (fun (name, rows) ->
@@ -190,23 +182,16 @@ let fig11 ?(quick = false) () =
   let plrs = if quick then [ 0.0; 0.01 ] else [ 0.0; 0.005; 0.01; 0.015; 0.02 ] in
   let protos = [ leotp_default; Common.Tcp Cc.Bbr ] in
   let results =
-    List.map
-      (fun proto ->
-        let rows =
-          List.map
-            (fun plr ->
-              let s =
-                Common.run_chain ~bytes:file ~duration:2000.0
-                  ~hops:
-                    (Common.uniform_hops ~n:5
-                       (Common.link ~plr ~bw:20.0 ~delay:0.01 ()))
-                  proto
-              in
-              (plr, float_of_int s.Common.wire_bytes /. 1e6))
-            plrs
+    Runner.grid protos plrs (fun proto plr ->
+        let s =
+          Common.run_chain ~bytes:file ~duration:2000.0
+            ~hops:
+              (Common.uniform_hops ~n:5
+                 (Common.link ~plr ~bw:20.0 ~delay:0.01 ()))
+            proto
         in
-        (Common.protocol_name proto, rows))
-      protos
+        float_of_int s.Common.wire_bytes /. 1e6)
+    |> List.map (fun (proto, rows) -> (Common.protocol_name proto, rows))
   in
   List.iter
     (fun (name, rows) ->
@@ -229,23 +214,16 @@ let fig12 ?(quick = false) () =
          [ Cc.Cubic; Cc.Hybla; Cc.Westwood; Cc.Vegas; Cc.Bbr; Cc.Pcc ]
   in
   let results =
-    List.map
-      (fun proto ->
-        let rows =
-          List.map
-            (fun plr ->
-              let s =
-                Common.run_chain ~duration
-                  ~hops:
-                    (Common.uniform_hops ~n:5
-                       (Common.link ~plr ~bw:20.0 ~delay:0.01 ()))
-                  proto
-              in
-              (plr, s.Common.goodput_mbps))
-            plrs
+    Runner.grid protos plrs (fun proto plr ->
+        let s =
+          Common.run_chain ~duration
+            ~hops:
+              (Common.uniform_hops ~n:5
+                 (Common.link ~plr ~bw:20.0 ~delay:0.01 ()))
+            proto
         in
-        (Common.protocol_name proto, rows))
-      protos
+        s.Common.goodput_mbps)
+    |> List.map (fun (proto, rows) -> (Common.protocol_name proto, rows))
   in
   List.iter
     (fun (name, rows) ->
@@ -323,6 +301,7 @@ let fig13 ?(quick = false) () =
       | _ -> invalid_arg "fig13"
     in
     Leotp_sim.Engine.run ~until:duration engine;
+    Runner.note_sim_seconds (Leotp_sim.Engine.now engine);
     Leotp_util.Units.bytes_per_sec_to_mbps
       (Leotp_util.Timeseries.window_sum
          (Leotp_net.Flow_metrics.delivery metrics)
@@ -330,11 +309,8 @@ let fig13 ?(quick = false) () =
       /. (duration -. 10.0))
   in
   let results =
-    List.map
-      (fun proto ->
-        ( Common.protocol_name proto,
-          List.map (fun i -> (i, run proto i)) intervals ))
-      protos
+    Runner.grid protos intervals run
+    |> List.map (fun (proto, rows) -> (Common.protocol_name proto, rows))
   in
   List.iter
     (fun (name, rows) ->
@@ -357,33 +333,33 @@ let fig14 ?(quick = false) () =
   let schedule =
     [ (1, Bandwidth.square_mbps ~mean:10.0 ~amplitude:1.0 ~period:2.0) ]
   in
-  let run label proto =
-    let s =
-      Common.run_chain ~duration ~hops ~bandwidth_schedule:schedule proto
-    in
-    (label, (s.Common.goodput_mbps, Stats.mean s.Common.queuing_delay))
-  in
   let bl_targets = if quick then [ 20_000; 80_000 ] else [ 10_000; 20_000; 40_000; 80_000; 160_000 ] in
-  let leotp_points =
+  let runs =
     List.map
       (fun bl ->
-        run
-          (Printf.sprintf "leotp-bl%dk" (bl / 1000))
-          (Common.Leotp { Leotp.Config.default with Leotp.Config.bl_target = bl }))
+        ( Printf.sprintf "leotp-bl%dk" (bl / 1000),
+          Common.Leotp { Leotp.Config.default with Leotp.Config.bl_target = bl } ))
       bl_targets
+    @ [
+        ( "leotp-e2e(D)",
+          Common.Leotp
+            (Leotp.Config.with_ablation Leotp.Config.No_midnodes
+               Leotp.Config.default) );
+      ]
+    @ List.map
+        (fun cc -> (Cc.algo_name cc, Common.Tcp cc))
+        [ Cc.Cubic; Cc.Hybla; Cc.Bbr; Cc.Pcc ]
   in
-  let e2e_leotp =
-    run "leotp-e2e(D)"
-      (Common.Leotp
-         (Leotp.Config.with_ablation Leotp.Config.No_midnodes
-            Leotp.Config.default))
+  let results =
+    Runner.map
+      (List.map
+         (fun (label, proto) () ->
+           let s =
+             Common.run_chain ~duration ~hops ~bandwidth_schedule:schedule proto
+           in
+           (label, (s.Common.goodput_mbps, Stats.mean s.Common.queuing_delay)))
+         runs)
   in
-  let tcp_points =
-    List.map
-      (fun cc -> run (Cc.algo_name cc) (Common.Tcp cc))
-      [ Cc.Cubic; Cc.Hybla; Cc.Bbr; Cc.Pcc ]
-  in
-  let results = leotp_points @ [ e2e_leotp ] @ tcp_points in
   List.iter
     (fun (name, (tput, q)) ->
       Printf.printf "  %-14s tput=%5.2f Mbps  queuing=%6.1f ms\n" name tput
@@ -421,12 +397,13 @@ let fig15 ?(quick = false) () =
   (* One-way floors 45/60/75 ms -> RTTs 90/120/150 ms. *)
   let diff = [ 0.015; 0.0225; 0.03 ] in
   let results =
-    [
-      measure "leotp same-RTT" leotp_default same;
-      measure "bbr   same-RTT" (Common.Tcp Cc.Bbr) same;
-      measure "leotp diff-RTT" leotp_default diff;
-      measure "bbr   diff-RTT" (Common.Tcp Cc.Bbr) diff;
-    ]
+    Runner.map
+      [
+        (fun () -> measure "leotp same-RTT" leotp_default same);
+        (fun () -> measure "bbr   same-RTT" (Common.Tcp Cc.Bbr) same);
+        (fun () -> measure "leotp diff-RTT" leotp_default diff);
+        (fun () -> measure "bbr   diff-RTT" (Common.Tcp Cc.Bbr) diff);
+      ]
   in
   List.iter
     (fun (label, jain, rates) ->

@@ -1,0 +1,109 @@
+(* Experiment job runner.
+
+   Every figure/table expresses its sweep as a list of independent thunks
+   (each builds its own engine, rng and topology); [map] executes them
+   either inline (jobs = 1, the default — exactly the historical
+   sequential behaviour) or on a shared Domain_pool.  Results always come
+   back in submission order, and jobs reset domain-local id counters at
+   their start, so output is bit-identical whatever the parallelism.
+
+   The runner also aggregates per-job perf counters (simulated seconds,
+   allocation) for the bench harness's BENCH_*.json records. *)
+
+type counters = {
+  jobs_run : int;
+  sim_seconds : float;
+  alloc_bytes : float;
+      (** bytes allocated while running jobs, summed across worker domains *)
+}
+
+let lock = Mutex.create ()
+let jobs_setting = ref 1
+let pool : Leotp_util.Domain_pool.t option ref = ref None
+let c_jobs = ref 0
+let c_sim = ref 0.0
+let c_alloc = ref 0.0
+
+let protected f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let jobs () = !jobs_setting
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Runner.set_jobs: need n >= 1";
+  let old =
+    protected (fun () ->
+        if n = !jobs_setting then None
+        else begin
+          let old = !pool in
+          pool := None;
+          jobs_setting := n;
+          old
+        end)
+  in
+  Option.iter Leotp_util.Domain_pool.shutdown old
+
+let reset_counters () =
+  protected (fun () ->
+      c_jobs := 0;
+      c_sim := 0.0;
+      c_alloc := 0.0)
+
+let counters () =
+  protected (fun () ->
+      { jobs_run = !c_jobs; sim_seconds = !c_sim; alloc_bytes = !c_alloc })
+
+let note_sim_seconds s =
+  if s > 0.0 then protected (fun () -> c_sim := !c_sim +. s)
+
+(* [Gc.allocated_bytes] is domain-local, and each job runs entirely on
+   one domain, so the delta is exact even under --jobs N. *)
+let instrumented f () =
+  let a0 = Gc.allocated_bytes () in
+  let r = f () in
+  let a1 = Gc.allocated_bytes () in
+  protected (fun () ->
+      incr c_jobs;
+      c_alloc := !c_alloc +. (a1 -. a0));
+  r
+
+let get_pool n =
+  protected (fun () ->
+      match !pool with
+      | Some p -> p
+      | None ->
+        let p = Leotp_util.Domain_pool.create ~size:n in
+        pool := Some p;
+        p)
+
+let map thunks =
+  match !jobs_setting with
+  | 1 -> List.map (fun f -> instrumented f ()) thunks
+  | n ->
+    let p = get_pool n in
+    Leotp_util.Domain_pool.map p (fun f -> instrumented f ()) thunks
+
+let grid rows cols f =
+  let cells =
+    List.concat_map (fun r -> List.map (fun c -> (r, c)) cols) rows
+  in
+  let outs = map (List.map (fun (r, c) () -> f r c) cells) in
+  (* Jobs were submitted row-major, so results regroup by chunks of
+     [List.length cols]. *)
+  let rec take n xs =
+    if n = 0 then ([], xs)
+    else
+      match xs with
+      | x :: tl ->
+        let a, b = take (n - 1) tl in
+        (x :: a, b)
+      | [] -> assert false
+  in
+  let rec chunk outs = function
+    | [] -> []
+    | r :: rest ->
+      let row_out, outs = take (List.length cols) outs in
+      (r, List.combine cols row_out) :: chunk outs rest
+  in
+  chunk outs rows

@@ -1,0 +1,37 @@
+(** Parallel experiment-job runner.
+
+    A job is a thunk owning all of its state — it builds its own engine,
+    rng and topology, and (via [Common.run_chain] etc.) resets the
+    domain-local packet/node id counters at its start.  Under that
+    contract, [map] with any parallelism returns results bit-identical
+    to a sequential run, in submission order. *)
+
+val set_jobs : int -> unit
+(** Set the parallelism for subsequent {!map} calls.  [1] (the default)
+    runs jobs inline on the calling domain; [n > 1] uses a shared pool of
+    [n] worker domains (created lazily, replaced if [n] changes). *)
+
+val jobs : unit -> int
+
+val map : (unit -> 'a) list -> 'a list
+(** Run every thunk, in parallel per {!set_jobs}; results in order. *)
+
+val grid :
+  'r list -> 'c list -> ('r -> 'c -> 'a) -> ('r * ('c * 'a) list) list
+(** [grid rows cols f] evaluates the full cross product as one batch of
+    parallel jobs and regroups row-major: the common (protocol x
+    parameter) sweep shape. *)
+
+type counters = {
+  jobs_run : int;
+  sim_seconds : float;  (** total simulated time, via {!note_sim_seconds} *)
+  alloc_bytes : float;  (** bytes allocated inside jobs, all domains *)
+}
+
+val reset_counters : unit -> unit
+val counters : unit -> counters
+
+val note_sim_seconds : float -> unit
+(** Called by scenario plumbing after each simulation run with the
+    simulated duration, so the bench harness can report
+    simulated-seconds-per-wall-second. *)

@@ -152,6 +152,7 @@ let run_pair ?(quick = false) ?(seed = 42) ~src ~dst ~isls protocol =
     | Common.Split_tcp _ -> invalid_arg "run_pair: split tcp not used here"
   in
   Engine.run ~until:duration engine;
+  Runner.note_sim_seconds (Engine.now engine);
   let summary =
     Common.summarize
       ~protocol:(Common.protocol_name protocol)
@@ -175,13 +176,14 @@ let protos_161718 =
 let fig16 ?(quick = false) () =
   Report.header "Fig 16: Beijing-Shanghai (no ISLs): OWD / throughput";
   let results =
-    List.map
-      (fun proto ->
-        let r =
-          run_pair ~quick ~src:"Beijing" ~dst:"Shanghai" ~isls:false proto
-        in
-        (Common.protocol_name proto, r))
-      protos_161718
+    Runner.map
+      (List.map
+         (fun proto () ->
+           let r =
+             run_pair ~quick ~src:"Beijing" ~dst:"Shanghai" ~isls:false proto
+           in
+           (Common.protocol_name proto, r))
+         protos_161718)
   in
   List.iter
     (fun (name, r) ->
@@ -198,11 +200,14 @@ let fig16 ?(quick = false) () =
 let fig17 ?(quick = false) () =
   Report.header "Fig 17: Beijing-New York (with ISLs): OWD / throughput";
   let results =
-    List.map
-      (fun proto ->
-        let r = run_pair ~quick ~src:"Beijing" ~dst:"New York" ~isls:true proto in
-        (Common.protocol_name proto, r))
-      protos_161718
+    Runner.map
+      (List.map
+         (fun proto () ->
+           let r =
+             run_pair ~quick ~src:"Beijing" ~dst:"New York" ~isls:true proto
+           in
+           (Common.protocol_name proto, r))
+         protos_161718)
   in
   List.iter
     (fun (name, r) ->
@@ -240,17 +245,18 @@ let fig18 ?(quick = false) () =
       ]
   in
   let results =
-    List.concat_map
-      (fun (src, dst) ->
-        List.map
-          (fun proto ->
-            let r = run_pair ~quick ~src ~dst ~isls:true proto in
-            ( Printf.sprintf "%s-%s" src dst,
-              Common.protocol_name proto,
-              Stats.mean r.summary.Common.owd,
-              r.summary.Common.goodput_mbps ))
-          protos)
-      pairs_18
+    Runner.map
+      (List.concat_map
+         (fun (src, dst) ->
+           List.map
+             (fun proto () ->
+               let r = run_pair ~quick ~src ~dst ~isls:true proto in
+               ( Printf.sprintf "%s-%s" src dst,
+                 Common.protocol_name proto,
+                 Stats.mean r.summary.Common.owd,
+                 r.summary.Common.goodput_mbps ))
+             protos)
+         pairs_18)
   in
   List.iter
     (fun (pair, proto, owd, tput) ->
@@ -271,18 +277,21 @@ let table2 ?(quick = false) () =
     ]
   in
   let results =
-    List.concat_map
-      (fun (src, dst) ->
-        List.map
-          (fun (label, ablation) ->
-            let cfg = Leotp.Config.with_ablation ablation Leotp.Config.default in
-            let r = run_pair ~quick ~src ~dst ~isls:true (Common.Leotp cfg) in
-            ( Printf.sprintf "%s-%s" src dst,
-              label,
-              r.summary.Common.goodput_mbps,
-              Stats.mean r.summary.Common.owd *. 1000.0 ))
-          configs)
-      pairs
+    Runner.map
+      (List.concat_map
+         (fun (src, dst) ->
+           List.map
+             (fun (label, ablation) () ->
+               let cfg =
+                 Leotp.Config.with_ablation ablation Leotp.Config.default
+               in
+               let r = run_pair ~quick ~src ~dst ~isls:true (Common.Leotp cfg) in
+               ( Printf.sprintf "%s-%s" src dst,
+                 label,
+                 r.summary.Common.goodput_mbps,
+                 Stats.mean r.summary.Common.owd *. 1000.0 ))
+             configs)
+         pairs)
   in
   List.iter
     (fun (pair, label, tput, owd) ->

@@ -4,12 +4,15 @@ type timer = {
   action : unit -> unit;
   mutable cancelled : bool;
   mutable fired : bool;
+  owner : t;
 }
 
-type t = {
+and t = {
   mutable clock : float;
   mutable next_seq : int;
   queue : timer Leotp_util.Pqueue.t;
+  mutable cancelled_pending : int;
+      (** cancelled-but-not-yet-popped timers still in [queue] *)
 }
 
 let compare_timer a b =
@@ -18,14 +21,19 @@ let compare_timer a b =
   | c -> c
 
 let create () =
-  { clock = 0.0; next_seq = 0; queue = Leotp_util.Pqueue.create ~cmp:compare_timer }
+  {
+    clock = 0.0;
+    next_seq = 0;
+    queue = Leotp_util.Pqueue.create ~cmp:compare_timer;
+    cancelled_pending = 0;
+  }
 
 let now t = t.clock
 
 let schedule_at t ~time action =
   let time = Float.max time t.clock in
   let timer =
-    { time; seq = t.next_seq; action; cancelled = false; fired = false }
+    { time; seq = t.next_seq; action; cancelled = false; fired = false; owner = t }
   in
   t.next_seq <- t.next_seq + 1;
   Leotp_util.Pqueue.push t.queue timer;
@@ -34,14 +42,44 @@ let schedule_at t ~time action =
 let schedule t ~after action =
   schedule_at t ~time:(t.clock +. Float.max 0.0 after) action
 
-let cancel timer = timer.cancelled <- true
+(* Cancellation stays O(1) and lazy, but once cancelled timers dominate
+   the heap we compact it: a long-lived engine that keeps rescheduling
+   and cancelling RTO timers would otherwise retain every dead timer
+   (and its action closure) until its pop time arrives. *)
+let compact_min = 64
+
+let maybe_compact t =
+  if
+    t.cancelled_pending >= compact_min
+    && 2 * t.cancelled_pending > Leotp_util.Pqueue.length t.queue
+  then begin
+    Leotp_util.Pqueue.filter_in_place t.queue ~keep:(fun tm -> not tm.cancelled);
+    t.cancelled_pending <- 0
+  end
+
+let cancel timer =
+  if (not timer.cancelled) && not timer.fired then begin
+    timer.cancelled <- true;
+    (* Proxy handles from [every] (seq < 0) never enter the queue. *)
+    if timer.seq >= 0 then begin
+      let t = timer.owner in
+      t.cancelled_pending <- t.cancelled_pending + 1;
+      maybe_compact t
+    end
+  end
+
 let is_pending timer = (not timer.cancelled) && not timer.fired
+
+let note_popped t timer =
+  if timer.cancelled then t.cancelled_pending <- t.cancelled_pending - 1
 
 let step t =
   let rec next () =
     match Leotp_util.Pqueue.pop t.queue with
     | None -> false
-    | Some timer when timer.cancelled -> next ()
+    | Some timer when timer.cancelled ->
+      note_popped t timer;
+      next ()
     | Some timer ->
       t.clock <- Float.max t.clock timer.time;
       timer.fired <- true;
@@ -58,7 +96,8 @@ let run ?until t =
     while !continue do
       match Leotp_util.Pqueue.peek t.queue with
       | Some timer when timer.cancelled ->
-        ignore (Leotp_util.Pqueue.pop t.queue)
+        ignore (Leotp_util.Pqueue.pop t.queue);
+        note_popped t timer
       | Some timer when timer.time <= limit -> ignore (step t)
       | Some _ | None ->
         t.clock <- Float.max t.clock limit;
@@ -66,6 +105,7 @@ let run ?until t =
     done
 
 let pending_events t = Leotp_util.Pqueue.length t.queue
+let cancelled_pending t = t.cancelled_pending
 
 let every t ~period ?start action =
   assert (period > 0.0);
@@ -73,7 +113,14 @@ let every t ~period ?start action =
   (* The recurrence is controlled through a proxy handle whose [cancelled]
      flag is inherited by each rescheduling. *)
   let handle =
-    { time = t.clock; seq = -1; action = ignore; cancelled = false; fired = false }
+    {
+      time = t.clock;
+      seq = -1;
+      action = ignore;
+      cancelled = false;
+      fired = false;
+      owner = t;
+    }
   in
   let rec fire () =
     if not handle.cancelled then begin

@@ -23,7 +23,10 @@ val schedule_at : t -> time:float -> (unit -> unit) -> timer
 (** Absolute-time variant; [time] in the past fires immediately (at [now]). *)
 
 val cancel : timer -> unit
-(** Idempotent.  A fired timer is also safe to cancel. *)
+(** Idempotent.  A fired timer is also safe to cancel.  Cancellation is
+    O(1); when cancelled timers come to dominate the queue (more than
+    half, past a small floor) the queue is compacted so dead timers and
+    their closures are not retained until their pop time. *)
 
 val is_pending : timer -> bool
 
@@ -35,6 +38,10 @@ val step : t -> bool
 (** Process one event; [false] if the queue was empty. *)
 
 val pending_events : t -> int
+
+val cancelled_pending : t -> int
+(** Cancelled timers still occupying the queue (awaiting lazy discard or
+    compaction).  Exposed for tests and instrumentation. *)
 
 val every : t -> period:float -> ?start:float -> (unit -> unit) -> timer
 (** Recurring event; the returned handle cancels the whole recurrence.

@@ -1,0 +1,99 @@
+(* Fixed-size pool of OCaml 5 domains draining a shared work queue.
+
+   Built for embarrassingly-parallel experiment sweeps: tasks are
+   closures that own all their state (engine, rng, topology), so the
+   only shared structure is the queue itself, protected by one mutex. *)
+
+type task = unit -> unit
+
+type t = {
+  size : int;
+  tasks : task Queue.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.tasks && not t.shutting_down do
+    Condition.wait t.work_available t.mutex
+  done;
+  if Queue.is_empty t.tasks then Mutex.unlock t.mutex (* shutting down *)
+  else begin
+    let task = Queue.pop t.tasks in
+    Mutex.unlock t.mutex;
+    (* Tasks are expected to trap their own exceptions ([map] wraps them
+       in [Result]); a raise here must not kill the worker. *)
+    (try task () with _ -> ());
+    worker_loop t
+  end
+
+let create ~size =
+  if size < 1 then invalid_arg "Domain_pool.create: size must be >= 1";
+  let t =
+    {
+      size;
+      tasks = Queue.create ();
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      shutting_down = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.shutting_down then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool.submit: pool is shut down"
+  end;
+  Queue.push task t.tasks;
+  Condition.signal t.work_available;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let map t f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let out = Array.make n None in
+    let remaining = ref n in
+    let m = Mutex.create () in
+    let all_done = Condition.create () in
+    Array.iteri
+      (fun i x ->
+        submit t (fun () ->
+            let r = try Ok (f x) with e -> Error e in
+            Mutex.lock m;
+            out.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.signal all_done;
+            Mutex.unlock m))
+      arr;
+    Mutex.lock m;
+    while !remaining > 0 do
+      Condition.wait all_done m
+    done;
+    Mutex.unlock m;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         out)
+  end

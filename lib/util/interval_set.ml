@@ -1,16 +1,18 @@
 (* Intervals keyed by their lower bound; invariant: values are > key,
-   intervals are disjoint and non-adjacent (adjacent runs are merged). *)
+   intervals are disjoint and non-adjacent (adjacent runs are merged).
+   The covered-byte count is maintained incrementally so [cardinal] is
+   O(1) — it sits on the midnode cache's per-packet insert path. *)
 
 module M = Map.Make (Int)
 
-type t = int M.t
+type t = { ivals : int M.t; total : int }
 
-let empty = M.empty
-let is_empty = M.is_empty
+let empty = { ivals = M.empty; total = 0 }
+let is_empty t = M.is_empty t.ivals
 
 (* The interval containing or preceding [x], if any. *)
-let find_before x t =
-  match M.find_last_opt (fun lo -> lo <= x) t with
+let find_before x m =
+  match M.find_last_opt (fun lo -> lo <= x) m with
   | Some (lo, hi) -> Some (lo, hi)
   | None -> None
 
@@ -18,87 +20,110 @@ let add ~lo ~hi t =
   if lo >= hi then t
   else begin
     (* Extend [lo, hi) to absorb an overlapping-or-adjacent predecessor
-       (which may entirely contain the new range). *)
-    let lo, hi, t =
-      match find_before lo t with
-      | Some (plo, phi) when phi >= lo -> (min plo lo, max hi phi, M.remove plo t)
-      | _ -> (lo, hi, t)
+       (which may entirely contain the new range).  [absorbed] counts the
+       bytes of every interval merged away, so the new total follows from
+       the final merged extent alone. *)
+    let absorbed = ref 0 in
+    let lo, hi, m =
+      match find_before lo t.ivals with
+      | Some (plo, phi) when phi >= lo ->
+        absorbed := !absorbed + (phi - plo);
+        (min plo lo, max hi phi, M.remove plo t.ivals)
+      | _ -> (lo, hi, t.ivals)
     in
     (* Absorb all successors starting within or adjacent to [lo, hi). *)
-    let rec absorb hi t =
-      match M.find_first_opt (fun l -> l >= lo) t with
-      | Some (slo, shi) when slo <= hi -> absorb (max hi shi) (M.remove slo t)
-      | _ -> (hi, t)
+    let rec absorb hi m =
+      match M.find_first_opt (fun l -> l >= lo) m with
+      | Some (slo, shi) when slo <= hi ->
+        absorbed := !absorbed + (shi - slo);
+        absorb (max hi shi) (M.remove slo m)
+      | _ -> (hi, m)
     in
-    let hi, t = absorb hi t in
-    M.add lo hi t
+    let hi, m = absorb hi m in
+    { ivals = M.add lo hi m; total = t.total + (hi - lo) - !absorbed }
   end
 
 let remove ~lo ~hi t =
   if lo >= hi then t
   else begin
-    let t =
-      match find_before lo t with
+    let removed = ref 0 in
+    let m =
+      match find_before lo t.ivals with
       | Some (plo, phi) when phi > lo ->
-        let t = M.remove plo t in
-        let t = if plo < lo then M.add plo lo t else t in
-        if phi > hi then M.add hi phi t else t
-      | _ -> t
+        removed := !removed + (min phi hi - lo);
+        let m = M.remove plo t.ivals in
+        let m = if plo < lo then M.add plo lo m else m in
+        if phi > hi then M.add hi phi m else m
+      | _ -> t.ivals
     in
-    let rec strip t =
-      match M.find_first_opt (fun l -> l >= lo) t with
+    let rec strip m =
+      match M.find_first_opt (fun l -> l >= lo) m with
       | Some (slo, shi) when slo < hi ->
-        let t = M.remove slo t in
-        let t = if shi > hi then M.add hi shi t else t in
-        strip t
-      | _ -> t
+        removed := !removed + (min shi hi - slo);
+        let m = M.remove slo m in
+        let m = if shi > hi then M.add hi shi m else m in
+        strip m
+      | _ -> m
     in
-    strip t
+    (* [strip] must run before [!removed] is read (record fields evaluate
+       right to left), hence the explicit binding. *)
+    let m = strip m in
+    { ivals = m; total = t.total - !removed }
   end
 
 let mem x t =
-  match find_before x t with Some (_, hi) -> x < hi | None -> false
+  match find_before x t.ivals with Some (_, hi) -> x < hi | None -> false
 
 let covers ~lo ~hi t =
   lo >= hi
-  || (match find_before lo t with Some (_, phi) -> phi >= hi | None -> false)
+  || (match find_before lo t.ivals with
+     | Some (_, phi) -> phi >= hi
+     | None -> false)
 
 let intersects ~lo ~hi t =
   if lo >= hi then false
   else
-    (match find_before lo t with Some (_, phi) -> phi > lo | None -> false)
+    (match find_before lo t.ivals with Some (_, phi) -> phi > lo | None -> false)
     ||
-    (match M.find_first_opt (fun l -> l >= lo) t with
+    (match M.find_first_opt (fun l -> l >= lo) t.ivals with
     | Some (slo, _) -> slo < hi
     | None -> false)
 
-let fold f t init = M.fold f t init
-let cardinal t = fold (fun lo hi acc -> acc + (hi - lo)) t 0
+let fold f t init = M.fold f t.ivals init
+let cardinal t = t.total
 let intervals t = List.rev (fold (fun lo hi acc -> (lo, hi) :: acc) t [])
-let count_intervals t = M.cardinal t
+let count_intervals t = M.cardinal t.ivals
 
+(* Walk only the intervals overlapping [lo, hi): start from the interval
+   containing [lo] (if any) and step through successors — O(k log n) for
+   k overlapping intervals instead of O(n) over the whole map. *)
 let gaps ~lo ~hi t =
   if lo >= hi then []
   else begin
-    let cursor = ref lo and acc = ref [] in
-    let visit ilo ihi =
-      if ihi > lo && ilo < hi then begin
-        if ilo > !cursor then acc := (!cursor, min ilo hi) :: !acc;
-        cursor := max !cursor ihi
-      end
+    let start =
+      match find_before lo t.ivals with
+      | Some (_, phi) when phi > lo -> phi
+      | _ -> lo
     in
-    M.iter visit t;
-    if !cursor < hi then acc := (!cursor, hi) :: !acc;
-    List.rev !acc
+    let rec loop cursor acc =
+      if cursor >= hi then List.rev acc
+      else
+        match M.find_first_opt (fun l -> l >= cursor) t.ivals with
+        | Some (slo, shi) when slo < hi ->
+          let acc = if slo > cursor then (cursor, slo) :: acc else acc in
+          loop shi acc
+        | _ -> List.rev ((cursor, hi) :: acc)
+    in
+    loop start []
   end
 
 let first_missing ~lo t =
-  match find_before lo t with
+  match find_before lo t.ivals with
   | Some (_, hi) when hi > lo -> hi
   | _ -> lo
 
 let union a b = fold (fun lo hi acc -> add ~lo ~hi acc) a b
-let equal = M.equal Int.equal
+let equal a b = M.equal Int.equal a.ivals b.ivals
 
 let pp ppf t =
   let pp_iv ppf (lo, hi) = Format.fprintf ppf "[%d,%d)" lo hi in

@@ -26,7 +26,8 @@ val intersects : lo:int -> hi:int -> t -> bool
 (** True iff [lo, hi) shares at least one point with [t]. *)
 
 val cardinal : t -> int
-(** Total number of points covered. *)
+(** Total number of points covered.  O(1): the count is maintained
+    incrementally by {!add} and {!remove}. *)
 
 val intervals : t -> (int * int) list
 (** Intervals in increasing order. *)

@@ -37,6 +37,23 @@ let push t x =
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
+let sift_down t start =
+  let i = ref start in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+    if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = t.data.(!i) in
+      t.data.(!i) <- t.data.(!smallest);
+      t.data.(!smallest) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
 let pop t =
   if t.size = 0 then None
   else begin
@@ -44,27 +61,38 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then
-          smallest := l;
-        if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then
-          smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.data.(!i) in
-          t.data.(!i) <- t.data.(!smallest);
-          t.data.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
+      sift_down t 0
     end;
     Some root
   end
+
+let filter_in_place t ~keep =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    let x = t.data.(i) in
+    if keep x then begin
+      t.data.(!j) <- x;
+      incr j
+    end
+  done;
+  t.size <- !j;
+  (* Reallocate to drop references to removed elements (and excess
+     capacity) — the point of compaction is releasing what the heap was
+     retaining. *)
+  if !j = 0 then t.data <- [||]
+  else begin
+    let cap = ref 16 in
+    while !cap < !j do
+      cap := 2 * !cap
+    done;
+    let ndata = Array.make !cap t.data.(0) in
+    Array.blit t.data 0 ndata 0 !j;
+    t.data <- ndata
+  end;
+  (* Floyd heapify: surviving elements kept array order, not heap order. *)
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
 
 let clear t =
   t.data <- [||];

@@ -17,4 +17,10 @@ val peek : 'a t -> 'a option
 val pop : 'a t -> 'a option
 (** Remove and return the smallest element. *)
 
+val filter_in_place : 'a t -> keep:('a -> bool) -> unit
+(** Drop every element for which [keep] is false, in O(n).  The backing
+    store is reallocated to fit, so references to dropped elements are
+    released immediately (used by the engine to compact lazily-cancelled
+    timers). *)
+
 val clear : 'a t -> unit

@@ -127,6 +127,41 @@ let test_starlink_isls_long_path () =
   Alcotest.(check bool) "delivers across the Pacific" true
     (r.Leotp_scenario.Starlink.summary.C.goodput_mbps > 2.0)
 
+let test_runner_parallel_determinism () =
+  (* The acceptance bar for bench --jobs N: a sweep run on 4 worker
+     domains must produce results byte-identical to the sequential run
+     (every job owns its engine/rng and resets domain-local id counters,
+     so exact float equality is required, not approximate). *)
+  let module R = Leotp_scenario.Runner in
+  let sweep () =
+    R.grid
+      [ leotp; C.Tcp Cc.Cubic ]
+      [ 0.0; 0.01 ]
+      (fun proto plr ->
+        let s = run ~plr ~duration:12.0 proto in
+        ( s.C.goodput_mbps,
+          s.C.wire_bytes,
+          s.C.app_bytes,
+          s.C.retransmissions,
+          s.C.congestion_drops,
+          Stats.mean s.C.owd,
+          Stats.mean s.C.queuing_delay ))
+    |> List.concat_map (fun (_, rows) -> List.map snd rows)
+  in
+  R.set_jobs 1;
+  let sequential = sweep () in
+  R.set_jobs 4;
+  let parallel = sweep () in
+  R.set_jobs 1;
+  Alcotest.(check int) "same cell count" (List.length sequential)
+    (List.length parallel);
+  List.iteri
+    (fun i (s, p) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cell %d identical (seq vs jobs=4)" i)
+        true (s = p))
+    (List.combine sequential parallel)
+
 let test_theory_experiment_values () =
   let rows = Leotp_scenario.Experiments.fig03 () in
   match rows with
@@ -145,6 +180,8 @@ let () =
           Alcotest.test_case "summary fields" `Quick test_summary_fields;
           Alcotest.test_case "fairness runs" `Quick test_fairness_dumbbell_runs;
           Alcotest.test_case "theory rows" `Quick test_theory_experiment_values;
+          Alcotest.test_case "parallel determinism" `Quick
+            test_runner_parallel_determinism;
         ] );
       ( "shapes",
         [

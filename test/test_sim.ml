@@ -102,6 +102,43 @@ let test_every_start () =
   Alcotest.(check (list (float 1e-9)))
     "start offset" [ 0.5; 2.5; 4.5 ] (List.rev !times)
 
+let test_cancel_compaction () =
+  (* A long-lived engine that schedules and cancels many timers (the RTO
+     pattern) must not retain the cancelled ones until their pop time:
+     once cancelled timers dominate, the queue compacts. *)
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let keep = ref [] in
+  for i = 1 to 1000 do
+    let t =
+      Engine.schedule e ~after:(1000.0 +. float_of_int i) (fun () -> incr fired)
+    in
+    if i mod 100 = 0 then keep := t :: !keep else Engine.cancel t
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "queue compacted (pending=%d)" (Engine.pending_events e))
+    true
+    (Engine.pending_events e < 200);
+  Alcotest.(check bool)
+    (Printf.sprintf "few cancelled retained (%d)" (Engine.cancelled_pending e))
+    true
+    (Engine.cancelled_pending e <= Engine.pending_events e);
+  Engine.run e;
+  Alcotest.(check int) "survivors fire" 10 !fired
+
+let test_cancel_compaction_order () =
+  (* Compaction must not disturb firing order of survivors. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let timers =
+    List.init 500 (fun i ->
+        (i, Engine.schedule e ~after:(float_of_int (i + 1)) (fun () -> log := i :: !log)))
+  in
+  List.iter (fun (i, t) -> if i mod 7 <> 0 then Engine.cancel t) timers;
+  Engine.run e;
+  let expect = List.filter (fun i -> i mod 7 = 0) (List.init 500 Fun.id) in
+  Alcotest.(check (list int)) "order preserved" expect (List.rev !log)
+
 let test_determinism () =
   let run () =
     let e = Engine.create () in
@@ -131,6 +168,9 @@ let () =
           Alcotest.test_case "step" `Quick test_step;
           Alcotest.test_case "every" `Quick test_every;
           Alcotest.test_case "every with start" `Quick test_every_start;
+          Alcotest.test_case "cancel compaction" `Quick test_cancel_compaction;
+          Alcotest.test_case "compaction keeps order" `Quick
+            test_cancel_compaction_order;
           Alcotest.test_case "determinism" `Quick test_determinism;
         ] );
     ]

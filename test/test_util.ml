@@ -161,6 +161,69 @@ let ivs_gaps_prop =
            (fun (l, h) -> l < h && not (Interval_set.intersects ~lo:l ~hi:h t))
            gaps)
 
+(* Property: after a random add/remove sequence, [cardinal], [gaps] and
+   [covers] all agree with the naive list-of-booleans reference (guards
+   the incremental byte-count and the range-limited gap walk). *)
+let ivs_model_queries_prop =
+  let open QCheck2 in
+  let op =
+    Gen.(
+      triple (oneofl [ `Add; `Remove ]) (int_range 0 199) (int_range 0 60))
+  in
+  let gen =
+    Gen.triple
+      (Gen.list_size (Gen.int_range 0 60) op)
+      (Gen.int_range 0 250)
+      (Gen.int_range 0 80)
+  in
+  Test.make ~name:"cardinal/gaps/covers match bitmap model" ~count:500 gen
+    (fun (ops, qlo, qlen) ->
+      let size = 260 in
+      let model = Array.make size false in
+      let t =
+        List.fold_left
+          (fun t (op, lo, len) ->
+            let hi = lo + len in
+            match op with
+            | `Add ->
+              for i = lo to hi - 1 do
+                model.(i) <- true
+              done;
+              Interval_set.add ~lo ~hi t
+            | `Remove ->
+              for i = lo to hi - 1 do
+                model.(i) <- false
+              done;
+              Interval_set.remove ~lo ~hi t)
+          Interval_set.empty ops
+      in
+      let card =
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 model
+      in
+      let qhi = min size (qlo + qlen) in
+      let model_covers =
+        let ok = ref true in
+        for i = qlo to qhi - 1 do
+          if not model.(i) then ok := false
+        done;
+        !ok
+      in
+      let model_gaps =
+        let acc = ref [] and start = ref (-1) in
+        for i = qlo to qhi - 1 do
+          if (not model.(i)) && !start < 0 then start := i;
+          if model.(i) && !start >= 0 then begin
+            acc := (!start, i) :: !acc;
+            start := -1
+          end
+        done;
+        if !start >= 0 then acc := (!start, qhi) :: !acc;
+        List.rev !acc
+      in
+      Interval_set.cardinal t = card
+      && Interval_set.covers ~lo:qlo ~hi:qhi t = model_covers
+      && Interval_set.gaps ~lo:qlo ~hi:qhi t = model_gaps)
+
 (* ------------------------------------------------------------------ *)
 (* Pqueue *)
 
@@ -191,6 +254,86 @@ let pqueue_sort_prop =
         | Some x -> drain (x :: acc)
       in
       drain [] = List.sort Int.compare xs)
+
+let test_pqueue_filter () =
+  let q = Pqueue.create ~cmp:Int.compare in
+  List.iter (Pqueue.push q) (List.init 100 Fun.id);
+  Pqueue.filter_in_place q ~keep:(fun x -> x mod 2 = 0);
+  Alcotest.(check int) "half kept" 50 (Pqueue.length q);
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int))
+    "still a heap"
+    (List.init 50 (fun i -> 2 * i))
+    (drain []);
+  Pqueue.push q 3;
+  Pqueue.filter_in_place q ~keep:(fun _ -> false);
+  Alcotest.(check bool) "empty after drop-all" true (Pqueue.is_empty q)
+
+let pqueue_filter_prop =
+  let open QCheck2 in
+  Test.make ~name:"filter_in_place keeps heap invariant" ~count:200
+    Gen.(pair (list_size (int_range 0 150) (int_range 0 1000)) (int_range 1 5))
+    (fun (xs, k) ->
+      let q = Pqueue.create ~cmp:Int.compare in
+      List.iter (Pqueue.push q) xs;
+      Pqueue.filter_in_place q ~keep:(fun x -> x mod k <> 0);
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain []
+      = List.sort Int.compare (List.filter (fun x -> x mod k <> 0) xs))
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool *)
+
+let test_domain_pool_map () =
+  let pool = Domain_pool.create ~size:3 in
+  let xs = List.init 50 Fun.id in
+  let ys = Domain_pool.map pool (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "ordered results" (List.map (fun x -> x * x) xs) ys;
+  (* A second batch reuses the same workers. *)
+  let zs = Domain_pool.map pool string_of_int xs in
+  Alcotest.(check string) "second batch" "49" (List.nth zs 49);
+  Domain_pool.shutdown pool
+
+let test_domain_pool_exception () =
+  let pool = Domain_pool.create ~size:2 in
+  let raised =
+    try
+      ignore
+        (Domain_pool.map pool
+           (fun x -> if x = 3 then failwith "boom" else x)
+           [ 1; 2; 3; 4 ]);
+      false
+    with Failure m -> m = "boom"
+  in
+  Alcotest.(check bool) "exception propagates" true raised;
+  (* Pool still usable after a failing batch. *)
+  Alcotest.(check (list int)) "alive" [ 2; 4 ]
+    (Domain_pool.map pool (fun x -> 2 * x) [ 1; 2 ]);
+  Domain_pool.shutdown pool
+
+let test_domain_pool_domain_local_state () =
+  (* Packet ids are domain-local: jobs that reset them behave the same
+     on any worker, which is what makes --jobs N bit-identical. *)
+  let pool = Domain_pool.create ~size:4 in
+  let ids =
+    Domain_pool.map pool
+      (fun _ ->
+        Leotp_net.Packet.reset_ids ();
+        let p =
+          Leotp_net.Packet.make ~src:1 ~dst:2 ~flow:1 ~size:100
+            (Leotp_net.Packet.Raw "x")
+        in
+        p.Leotp_net.Packet.id)
+      (List.init 16 Fun.id)
+  in
+  Alcotest.(check (list int)) "all first ids" (List.init 16 (fun _ -> 1)) ids;
+  Domain_pool.shutdown pool
 
 (* ------------------------------------------------------------------ *)
 (* Stats *)
@@ -563,12 +706,22 @@ let () =
           Alcotest.test_case "union" `Quick test_ivs_union;
           qc ivs_model_prop;
           qc ivs_gaps_prop;
+          qc ivs_model_queries_prop;
         ] );
       ( "pqueue",
         [
           Alcotest.test_case "ordering" `Quick test_pqueue_order;
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "filter_in_place" `Quick test_pqueue_filter;
           qc pqueue_sort_prop;
+          qc pqueue_filter_prop;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "map" `Quick test_domain_pool_map;
+          Alcotest.test_case "exceptions" `Quick test_domain_pool_exception;
+          Alcotest.test_case "domain-local state" `Quick
+            test_domain_pool_domain_local_state;
         ] );
       ( "stats",
         [
