@@ -26,6 +26,10 @@
 module E = Leotp_scenario.Experiments
 module S = Leotp_scenario.Starlink
 module Runner = Leotp_scenario.Runner
+module Common = Leotp_scenario.Common
+module Invariants = Leotp_scenario.Invariants
+module Fault = Leotp_sim.Fault
+module Trace = Leotp_net.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Fig 19: Midnode CPU overhead, as per-packet processing cost          *)
@@ -57,7 +61,7 @@ let midnode_stream ~plr () =
   fun () -> List.iter (fun pkt -> Leotp_net.Node.receive node ~from:1 pkt) stream
 
 let cache_ops () =
-  let cache = Leotp.Cache.create ~config in
+  let cache = Leotp.Cache.create ~config () in
   fun () ->
     for i = 0 to 255 do
       Leotp.Cache.insert cache ~flow:1 ~lo:(i * 1400) ~hi:((i + 1) * 1400)
@@ -208,10 +212,69 @@ let run_instrumented ~quick ~out_dir (id, f) =
    experiment and one simulation sweep that exercises the runner. *)
 let perf_smoke_ids = [ "fig3"; "fig12" ]
 
+(* ------------------------------------------------------------------ *)
+(* Fault lab: one LEOTP bulk flow over a 4-hop chain under a fault
+   schedule, with the packet trace recorded and the five protocol
+   invariants checked.  The printed digest is the determinism witness:
+   the same spec and seed must reproduce it exactly. *)
+
+let parse_faults ~duration = function
+  | None -> []
+  | Some spec -> (
+    match String.split_on_char ':' spec with
+    | [ "random"; seed; n ] -> (
+      match (int_of_string_opt seed, int_of_string_opt n) with
+      | Some seed, Some n when n >= 1 ->
+        Fault.random ~rng:(Leotp_util.Rng.create ~seed) ~duration ~n ()
+      | _ ->
+        Printf.eprintf "--faults random:SEED:N expects integers, got %S\n" spec;
+        exit 1)
+    | _ -> (
+      match Fault.of_string spec with
+      | Ok sched -> sched
+      | Error msg ->
+        Printf.eprintf "--faults: %s\n" msg;
+        exit 1))
+
+let run_fault_lab ~quick ~out_dir ~spec ~trace_wanted =
+  let duration = if quick then 10.0 else 30.0 in
+  let faults = parse_faults ~duration spec in
+  (* A one-slot ring still digests every event; only keep records around
+     when they are going to be exported. *)
+  let trace = Trace.create ~capacity:(if trace_wanted then 1 lsl 18 else 1) () in
+  let hops = Common.uniform_hops ~n:4 (Common.link ~bw:20.0 ~delay:0.01 ()) in
+  print_endline "\n=== fault lab: LEOTP over 4x20 Mbps, 10 ms hops ===";
+  if faults <> [] then
+    Printf.printf "  schedule: %s\n" (Fault.to_string faults);
+  let summary, reports =
+    Common.run_faulted ~duration ~warmup:(0.1 *. duration) ~faults ~trace ~hops
+      (Common.Leotp Leotp.Config.default)
+  in
+  Printf.printf "  goodput %.2f Mbps, %d retransmissions, %d congestion drops\n"
+    summary.Common.goodput_mbps summary.Common.retransmissions
+    summary.Common.congestion_drops;
+  Printf.printf "  trace: %d events, digest %s\n" (Trace.count trace)
+    (Trace.digest trace);
+  if trace_wanted then begin
+    let path = Filename.concat out_dir "TRACE_faultlab.jsonl" in
+    let oc = open_out path in
+    Trace.write_jsonl trace oc;
+    close_out oc;
+    Printf.printf "  wrote %d records to %s\n"
+      (min (Trace.count trace) (1 lsl 18))
+      path
+  end;
+  print_endline (Invariants.to_string reports);
+  Invariants.all_ok reports
+
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--quick] [--jobs N] [--out-dir DIR] [--perf-smoke] [EXPERIMENT...]\n\
-     known experiments: %s\n"
+    "usage: main.exe [--quick] [--jobs N] [--out-dir DIR] [--perf-smoke]\n\
+    \       [--check] [--faults SPEC] [--trace] [EXPERIMENT...]\n\
+     known experiments: %s\n\
+     --check        attach the invariant checker to every scenario (fail on violation)\n\
+     --faults SPEC  run the fault lab; SPEC = '<t>@<verb>:<target>[=args];...' or random:SEED:N\n\
+     --trace        run the fault lab and export its packet trace as JSONL\n"
     (String.concat ", " (List.map fst all_experiments));
   exit 1
 
@@ -221,11 +284,23 @@ let () =
   let jobs = ref 1 in
   let out_dir = ref "." in
   let perf_smoke = ref false in
+  let check = ref false in
+  let faults_spec = ref None in
+  let trace_flag = ref false in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
       quick := true;
+      parse rest
+    | "--check" :: rest ->
+      check := true;
+      parse rest
+    | "--faults" :: spec :: rest ->
+      faults_spec := Some spec;
+      parse rest
+    | "--trace" :: rest ->
+      trace_flag := true;
       parse rest
     | "--perf-smoke" :: rest ->
       perf_smoke := true;
@@ -262,6 +337,17 @@ let () =
   parse args;
   if !perf_smoke then quick := true;
   Runner.set_jobs !jobs;
+  if !check then Invariants.self_check := true;
+  if !faults_spec <> None || !trace_flag then begin
+    let ok =
+      run_fault_lab ~quick:!quick ~out_dir:!out_dir ~spec:!faults_spec
+        ~trace_wanted:!trace_flag
+    in
+    if not ok then exit 1;
+    (* The fault lab replaces the experiment sweep unless some were
+       explicitly selected alongside it. *)
+    if !selected = [] then exit 0
+  end;
   let to_run =
     if !perf_smoke then
       List.filter (fun (id, _) -> List.mem id perf_smoke_ids) all_experiments

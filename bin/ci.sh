@@ -17,4 +17,10 @@ for id in fig3 fig12; do
     exit 1
   }
 done
+
+# Fault lab: a seeded random fault schedule over a LEOTP transfer, with
+# the five trace invariants checked (non-zero exit on any violation).
+dune exec bench/main.exe -- --quick --out-dir "$out_dir" \
+  --faults random:7:12
+
 echo "ci.sh: OK"

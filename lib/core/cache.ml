@@ -27,20 +27,32 @@ type stats = {
 
 type t = {
   config : Config.t;
+  label : string;
   blocks : (key, block) Leotp_util.Lru.t;
   meta_capacity : int;
   mutable used : int;
   stats : stats;
 }
 
-let create ~config =
+let create ?(label = "cache") ~config () =
   {
     config;
+    label;
     blocks = Leotp_util.Lru.create ();
     meta_capacity = (config.Config.cache_block / config.Config.mss) + 2;
     used = 0;
     stats = { hits = 0; misses = 0; insertions = 0; evictions = 0 };
   }
+
+let trace_occupancy t =
+  if Leotp_net.Trace.on () then
+    Leotp_net.Trace.emit
+      (Leotp_net.Trace.Cache_occupancy
+         {
+           node = t.label;
+           used = t.used;
+           capacity = t.config.Config.cache_capacity;
+         })
 
 let block_size t = t.config.Config.cache_block
 
@@ -100,7 +112,8 @@ let insert t ~flow ~lo ~hi ~first_sent ~retx =
         blk.bytes <- blk.bytes + added;
         t.used <- t.used + added;
         push_meta t blk ~lo:blo ~first_sent ~retx);
-    evict_until_fits t
+    evict_until_fits t;
+    trace_occupancy t
   end
 
 (* Entry with the largest start <= lo (the insertion that covered [lo]);
@@ -152,6 +165,11 @@ let contains t ~flow ~lo ~hi =
 
 let used_bytes t = t.used
 let stats t = t.stats
+
+let clear t =
+  Leotp_util.Lru.clear t.blocks;
+  t.used <- 0;
+  trace_occupancy t
 
 let drop_flow t ~flow =
   let keys = ref [] in

@@ -18,7 +18,8 @@ type stats = {
   mutable evictions : int;
 }
 
-val create : config:Config.t -> t
+val create : ?label:string -> config:Config.t -> unit -> t
+(** [label] names this cache in trace events (the owning node's name). *)
 
 val insert :
   t -> flow:int -> lo:int -> hi:int -> first_sent:float -> retx:bool -> unit
@@ -32,4 +33,8 @@ val contains : t -> flow:int -> lo:int -> hi:int -> bool
 
 val used_bytes : t -> int
 val stats : t -> stats
+
+val clear : t -> unit
+(** Drop every block (midnode crash); does not count as evictions. *)
+
 val drop_flow : t -> flow:int -> unit

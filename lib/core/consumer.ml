@@ -11,6 +11,9 @@ type interest_state = {
   mutable last_requested : float;
   mutable deadline : float;
   mutable retx_count : int;
+  mutable floor_bound : float;
+      (** min (SRTT + 4*RTTVAR, armed timeout) when the deadline was set;
+          a TR timeout firing earlier than this violates RFC 6298 *)
 }
 
 type t = {
@@ -107,6 +110,15 @@ let send_interest t ~lo ~hi ~retx =
   Leotp_net.Flow_metrics.on_send t.metrics ~bytes:pkt.Packet.size;
   Node.send t.node pkt
 
+(* The RFC 6298 floor the invariant checker holds TR timeouts to: a
+   timeout must not fire before SRTT + 4*RTTVAR (clamped by the timeout
+   actually armed, which the estimator's min/max bounds may pull below
+   the raw formula). *)
+let rto_floor t ~timeout =
+  match (Leotp_util.Rto.srtt t.rto, Leotp_util.Rto.rttvar t.rto) with
+  | Some s, Some v -> Float.min (s +. (4.0 *. v)) timeout
+  | _ -> 0.0
+
 let reissue t st =
   let now = Engine.now t.engine in
   st.retx_count <- st.retx_count + 1;
@@ -120,6 +132,7 @@ let reissue t st =
       *. (t.config.Config.tr_backoff ** float_of_int st.retx_count))
   in
   st.deadline <- now +. timeout;
+  st.floor_bound <- rto_floor t ~timeout;
   send_interest t ~lo:st.lo ~hi:st.hi ~retx:true
 
 (* TR: periodic scan of unsatisfied Interests (paper §III-B).  A scan
@@ -134,6 +147,14 @@ let scan t =
     (fun _ st ->
       if now >= st.deadline then begin
         any := true;
+        if Leotp_net.Trace.on () then
+          Leotp_net.Trace.emit
+            (Leotp_net.Trace.Rto_fire
+               {
+                 who = "consumer:" ^ Node.name t.node;
+                 elapsed = now -. st.last_requested;
+                 floor = st.floor_bound;
+               });
         reissue t st
       end)
     t.outstanding;
@@ -207,14 +228,16 @@ let rec pump t =
             Float.max now t.next_send_time +. (float_of_int len /. rate);
           let lo = t.next_to_request in
           t.next_to_request <- hi;
+          let timeout = Leotp_util.Rto.rto t.rto in
           let st =
             {
               lo;
               hi;
               first_requested = now;
               last_requested = now;
-              deadline = now +. Leotp_util.Rto.rto t.rto;
+              deadline = now +. timeout;
               retx_count = 0;
+              floor_bound = rto_floor t ~timeout;
             }
           in
           t.outstanding <- IntMap.add lo st t.outstanding;
@@ -239,6 +262,10 @@ and schedule_pump t ~at =
 let finish t =
   if not t.completed then begin
     t.completed <- true;
+    if Leotp_net.Trace.on () then
+      Leotp_net.Trace.emit
+        (Leotp_net.Trace.Complete
+           { node = Node.id t.node; flow = t.flow; bytes = t.prefix });
     Leotp_net.Flow_metrics.set_finished t.metrics (Engine.now t.engine);
     (match t.scan_timer with Some tm -> Engine.cancel tm | None -> ());
     (match t.pump_timer with Some tm -> Engine.cancel tm | None -> ());
@@ -315,6 +342,10 @@ let handle_data t ~name ~timestamp ~req_owd ~first_sent ~retx =
   if new_prefix > t.prefix then begin
     let pos = t.prefix in
     t.prefix <- new_prefix;
+    if Leotp_net.Trace.on () then
+      Leotp_net.Trace.emit
+        (Leotp_net.Trace.Deliver
+           { node = Node.id t.node; flow = t.flow; pos; len = new_prefix - pos });
     t.on_prefix ~pos ~len:(new_prefix - pos)
   end;
   (* Consumer-side SHR: confirmed holes are re-requested immediately. *)

@@ -36,6 +36,8 @@ type t = {
   pit : Pit.t;
   flows : (int, flow_state) Hashtbl.t;
   mutable pit_blocked : int;
+  mutable crashed : bool;
+  mutable crash_count : int;
 }
 
 let get_flow t ~flow ~consumer ~producer =
@@ -246,14 +248,43 @@ let create engine ~config ~node () =
       engine;
       config;
       node;
-      cache = Cache.create ~config;
-      pit = Pit.create ~expiry:config.Config.pit_expiry;
+      cache = Cache.create ~label:(Node.name node) ~config ();
+      pit = Pit.create ~label:(Node.name node) ~expiry:config.Config.pit_expiry ();
       flows = Hashtbl.create 8;
       pit_blocked = 0;
+      crashed = false;
+      crash_count = 0;
     }
   in
   Node.set_handler node (fun ~from pkt -> handler t ~from pkt);
   t
+
+(* Crash model (paper §VII: midnode state is soft and "can be
+   reconstructed rapidly upon failures"): the LEOTP process dies, losing
+   cache, PIT and per-flow state, while the node itself keeps forwarding
+   packets like a plain router until [restart] brings the interception
+   handler back with cold state. *)
+let crash t =
+  if not t.crashed then begin
+    t.crashed <- true;
+    t.crash_count <- t.crash_count + 1;
+    Hashtbl.iter (fun _ fs -> Send_buffer.clear fs.buffer) t.flows;
+    Hashtbl.reset t.flows;
+    Cache.clear t.cache;
+    Pit.clear t.pit;
+    Node.set_handler t.node (fun ~from pkt -> Node.forward t.node ~from pkt)
+  end
+
+let restart t =
+  if t.crashed then begin
+    t.crashed <- false;
+    Node.set_handler t.node (fun ~from pkt -> handler t ~from pkt)
+  end
+
+let crashed t = t.crashed
+let crash_count t = t.crash_count
+
+let sweep_pit t ~now = Pit.expire_before t.pit ~now
 
 let flow_stats t ~flow =
   match Hashtbl.find_opt t.flows flow with

@@ -36,6 +36,21 @@ val debug_flow : t -> flow:int -> string
 val cache : t -> Cache.t
 val flows : t -> int list
 
+val crash : t -> unit
+(** Fault injection: lose all soft state (cache, PIT, per-flow SHR / CC /
+    buffers) and degrade to a plain forwarder, as if the LEOTP process
+    died while the router stayed up.  Idempotent. *)
+
+val restart : t -> unit
+(** Re-install the intercepting handler with cold state. *)
+
+val crashed : t -> bool
+val crash_count : t -> int
+
+val sweep_pit : t -> now:float -> unit
+(** Expire stale PIT entries (end-of-run cleanup for the invariant
+    checker; also happens amortized during operation). *)
+
 val pit_blocked : t -> int
 (** Duplicate Interests absorbed by the pending-Interest table
     (multicast, paper §VII). *)

@@ -1,32 +1,36 @@
+module Trace = Leotp_net.Trace
+
 type entry = { mutable consumers : int list; created : float }
 type key = int * int * int (* flow, lo, hi *)
 
-type t = { expiry : float; table : (key, entry) Hashtbl.t }
+(* Stale entries are reaped by an amortized sweep every [sweep_every]
+   registrations: a timer-driven reaper would keep the engine's queue
+   from ever draining (Engine.run with no [until] runs to quiescence),
+   while the sweep bounds the table at "fresh entries + one sweep
+   window" with O(1) amortized cost.  A final [expire_before] at end of
+   run (Midnode.sweep) clears the tail for the leak invariant. *)
+let sweep_every = 64
 
-let create ~expiry = { expiry; table = Hashtbl.create 64 }
+type t = {
+  label : string;
+  expiry : float;
+  table : (key, entry) Hashtbl.t;
+  mutable ops : int;
+}
+
+let create ?(label = "pit") ~expiry () =
+  { label; expiry; table = Hashtbl.create 64; ops = 0 }
 
 let fresh t ~now e = now -. e.created < t.expiry
 
-let register t ~now ~flow ~lo ~hi ~consumer =
-  let key = (flow, lo, hi) in
-  match Hashtbl.find_opt t.table key with
-  | Some e when fresh t ~now e ->
-    if not (List.mem consumer e.consumers) then
-      e.consumers <- consumer :: e.consumers;
-    false
-  | _ ->
-    Hashtbl.replace t.table key { consumers = [ consumer ]; created = now };
-    true
-
-let satisfy t ~now ~flow ~lo ~hi =
-  let key = (flow, lo, hi) in
-  match Hashtbl.find_opt t.table key with
-  | Some e ->
-    Hashtbl.remove t.table key;
-    if fresh t ~now e then e.consumers else []
-  | None -> []
-
-let pending t = Hashtbl.length t.table
+let remove_emitting t key =
+  Hashtbl.remove t.table key;
+  if Trace.on () then begin
+    let flow, lo, hi = key in
+    Trace.emit
+      (Trace.Pit_expire
+         { node = t.label; flow; lo; hi; pending = Hashtbl.length t.table })
+  end
 
 let expire_before t ~now =
   let stale =
@@ -34,4 +38,61 @@ let expire_before t ~now =
       (fun k e acc -> if fresh t ~now e then acc else k :: acc)
       t.table []
   in
-  List.iter (Hashtbl.remove t.table) stale
+  (* Hashtbl fold order is representation-dependent; sort so the trace
+     (and its digest) only depends on the entries themselves. *)
+  List.iter (remove_emitting t) (List.sort compare stale)
+
+let register t ~now ~flow ~lo ~hi ~consumer =
+  t.ops <- t.ops + 1;
+  if t.ops mod sweep_every = 0 then expire_before t ~now;
+  let key = (flow, lo, hi) in
+  let forwarded =
+    match Hashtbl.find_opt t.table key with
+    | Some e when fresh t ~now e ->
+      if not (List.mem consumer e.consumers) then
+        e.consumers <- consumer :: e.consumers;
+      false
+    | _ ->
+      Hashtbl.replace t.table key { consumers = [ consumer ]; created = now };
+      true
+  in
+  if Trace.on () then
+    Trace.emit
+      (Trace.Pit_register
+         {
+           node = t.label;
+           flow;
+           lo;
+           hi;
+           forwarded;
+           expiry = t.expiry;
+           pending = Hashtbl.length t.table;
+         });
+  forwarded
+
+let satisfy t ~now ~flow ~lo ~hi =
+  let key = (flow, lo, hi) in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    Hashtbl.remove t.table key;
+    let is_fresh = fresh t ~now e in
+    if Trace.on () then
+      Trace.emit
+        (Trace.Pit_satisfy
+           {
+             node = t.label;
+             flow;
+             lo;
+             hi;
+             fresh = is_fresh;
+             age = now -. e.created;
+             pending = Hashtbl.length t.table;
+           });
+    if is_fresh then e.consumers else []
+  | None -> []
+
+let pending t = Hashtbl.length t.table
+
+let clear t =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] in
+  List.iter (remove_emitting t) (List.sort compare keys)

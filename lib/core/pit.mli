@@ -13,8 +13,9 @@
 
 type t
 
-val create : expiry:float -> t
-(** [expiry] in seconds (a few path RTTs). *)
+val create : ?label:string -> expiry:float -> unit -> t
+(** [expiry] in seconds (a few path RTTs); [label] names this table in
+    trace events (normally the owning node's name). *)
 
 val register : t -> now:float -> flow:int -> lo:int -> hi:int -> consumer:int -> bool
 (** Record that [consumer] waits for the range.  Returns [true] when this
@@ -26,4 +27,11 @@ val satisfy : t -> now:float -> flow:int -> lo:int -> hi:int -> int list
     entry.  Expired entries are ignored. *)
 
 val pending : t -> int
+
 val expire_before : t -> now:float -> unit
+(** Drop entries older than [expiry].  Also runs as an amortized sweep
+    every few registrations, so the table stays bounded without a
+    recurring engine timer. *)
+
+val clear : t -> unit
+(** Drop every entry (midnode crash); each removal is traced. *)

@@ -100,3 +100,10 @@ let rate t = Leotp_util.Token_bucket.rate t.bucket
 let len t = t.queued_bytes
 let packets t = Queue.length t.queue
 let drops t = t.drops
+
+let clear t =
+  (match t.drain_timer with Some tm -> Engine.cancel tm | None -> ());
+  t.drain_timer <- None;
+  Queue.clear t.queue;
+  Hashtbl.reset t.queued_names;
+  t.queued_bytes <- 0

@@ -28,3 +28,6 @@ val len : t -> int
 
 val packets : t -> int
 val drops : t -> int
+
+val clear : t -> unit
+(** Drop queued packets and cancel the drain timer (midnode crash). *)

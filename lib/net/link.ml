@@ -5,6 +5,8 @@ type stats = {
   mutable drops_tail : int;
   mutable drops_error : int;
   mutable drops_flush : int;
+  mutable drops_down : int;
+  mutable dups : int;
   queue_delay : Leotp_util.Stats.t;
 }
 
@@ -17,10 +19,16 @@ type t = {
   mutable delay : float;
   mutable plr : float;
   mutable buffer_bytes : int;
+  mutable up : bool;
+  mutable dup_prob : float;
+  mutable reorder_prob : float;
+  mutable reorder_jitter : float;
   rng : Leotp_util.Rng.t;
   queue : (Packet.t * float) Queue.t;
   mutable queued_bytes : int;
   mutable busy : bool;
+  mutable in_flight : int;
+      (** taken off the queue, delivery (or drop) not yet resolved *)
   mutable epoch : int;
   mutable sink : Packet.t -> unit;
   stats : stats;
@@ -37,10 +45,15 @@ let create engine ~name ~src ~dst ~bandwidth ~delay ?(plr = 0.0)
     delay;
     plr;
     buffer_bytes;
+    up = true;
+    dup_prob = 0.0;
+    reorder_prob = 0.0;
+    reorder_jitter = 0.0;
     rng;
     queue = Queue.create ();
     queued_bytes = 0;
     busy = false;
+    in_flight = 0;
     epoch = 0;
     sink = (fun _ -> ());
     stats =
@@ -51,6 +64,8 @@ let create engine ~name ~src ~dst ~bandwidth ~delay ?(plr = 0.0)
         drops_tail = 0;
         drops_error = 0;
         drops_flush = 0;
+        drops_down = 0;
+        dups = 0;
         queue_delay = Leotp_util.Stats.create ();
       };
   }
@@ -68,7 +83,28 @@ let set_bandwidth t b = t.bandwidth <- b
 let current_rate t = Bandwidth.at t.bandwidth (Leotp_sim.Engine.now t.engine)
 let set_buffer_bytes t n = t.buffer_bytes <- n
 let queue_bytes t = t.queued_bytes
+let queued_packets t = Queue.length t.queue
+let in_flight t = t.in_flight
 let stats t = t.stats
+let up t = t.up
+let set_dup_prob t p = t.dup_prob <- p
+
+let set_reorder t ~prob ~jitter =
+  t.reorder_prob <- prob;
+  t.reorder_jitter <- jitter
+
+let trace_drop t pkt reason =
+  if Trace.on () then
+    Trace.emit (Trace.Link_drop { link = t.name; pkt = pkt.Packet.id; reason })
+
+let deliver t pkt =
+  t.stats.packets_delivered <- t.stats.packets_delivered + 1;
+  t.stats.bytes_delivered <- t.stats.bytes_delivered + pkt.Packet.size;
+  if Trace.on () then
+    Trace.emit
+      (Trace.Link_deliver
+         { link = t.name; pkt = pkt.Packet.id; size = pkt.Packet.size });
+  t.sink pkt
 
 let rec start_transmission t =
   if not t.busy then begin
@@ -77,6 +113,7 @@ let rec start_transmission t =
     | Some (pkt, enqueued_at) ->
       t.queued_bytes <- t.queued_bytes - pkt.Packet.size;
       t.busy <- true;
+      t.in_flight <- t.in_flight + 1;
       let now = Leotp_sim.Engine.now t.engine in
       Leotp_util.Stats.add t.stats.queue_delay (now -. enqueued_at);
       let rate = Float.max 1.0 (Bandwidth.at t.bandwidth now) in
@@ -91,28 +128,61 @@ and complete_transmission t pkt epoch =
   t.busy <- false;
   if epoch = t.epoch then begin
     (* Corruption consumes the hop's bandwidth but the packet vanishes. *)
-    if Leotp_util.Rng.bernoulli t.rng t.plr then
-      t.stats.drops_error <- t.stats.drops_error + 1
+    if Leotp_util.Rng.bernoulli t.rng t.plr then begin
+      t.stats.drops_error <- t.stats.drops_error + 1;
+      t.in_flight <- t.in_flight - 1;
+      trace_drop t pkt Trace.Error
+    end
     else begin
       let arrival_epoch = t.epoch in
+      (* Fault-injected reordering: an extra one-off propagation delay
+         lets later packets overtake this one. *)
+      let extra =
+        if Leotp_util.Rng.bernoulli t.rng t.reorder_prob then
+          Leotp_util.Rng.float t.rng t.reorder_jitter
+        else 0.0
+      in
       ignore
-        (Leotp_sim.Engine.schedule t.engine ~after:t.delay (fun () ->
+        (Leotp_sim.Engine.schedule t.engine ~after:(t.delay +. extra) (fun () ->
+             t.in_flight <- t.in_flight - 1;
              if arrival_epoch = t.epoch then begin
-               t.stats.packets_delivered <- t.stats.packets_delivered + 1;
-               t.stats.bytes_delivered <-
-                 t.stats.bytes_delivered + pkt.Packet.size;
-               t.sink pkt
+               deliver t pkt;
+               (* Fault-injected duplication at the receiving end. *)
+               if Leotp_util.Rng.bernoulli t.rng t.dup_prob then begin
+                 t.stats.dups <- t.stats.dups + 1;
+                 if Trace.on () then
+                   Trace.emit
+                     (Trace.Link_dup { link = t.name; pkt = pkt.Packet.id });
+                 deliver t pkt
+               end
              end
-             else t.stats.drops_flush <- t.stats.drops_flush + 1))
+             else begin
+               t.stats.drops_flush <- t.stats.drops_flush + 1;
+               trace_drop t pkt Trace.Flush
+             end))
     end
   end
-  else t.stats.drops_flush <- t.stats.drops_flush + 1;
+  else begin
+    t.stats.drops_flush <- t.stats.drops_flush + 1;
+    t.in_flight <- t.in_flight - 1;
+    trace_drop t pkt Trace.Flush
+  end;
   start_transmission t
 
 let send t pkt =
   t.stats.packets_in <- t.stats.packets_in + 1;
-  if t.queued_bytes + pkt.Packet.size > t.buffer_bytes then
-    t.stats.drops_tail <- t.stats.drops_tail + 1
+  if Trace.on () then
+    Trace.emit
+      (Trace.Link_enq
+         { link = t.name; pkt = pkt.Packet.id; size = pkt.Packet.size });
+  if not t.up then begin
+    t.stats.drops_down <- t.stats.drops_down + 1;
+    trace_drop t pkt Trace.Down
+  end
+  else if t.queued_bytes + pkt.Packet.size > t.buffer_bytes then begin
+    t.stats.drops_tail <- t.stats.drops_tail + 1;
+    trace_drop t pkt Trace.Tail
+  end
   else begin
     Queue.add (pkt, Leotp_sim.Engine.now t.engine) t.queue;
     t.queued_bytes <- t.queued_bytes + pkt.Packet.size;
@@ -122,5 +192,31 @@ let send t pkt =
 let flush t =
   t.epoch <- t.epoch + 1;
   t.stats.drops_flush <- t.stats.drops_flush + Queue.length t.queue;
+  if Trace.on () then
+    Queue.iter (fun (pkt, _) -> trace_drop t pkt Trace.Flush) t.queue;
   Queue.clear t.queue;
   t.queued_bytes <- 0
+
+let set_up t v =
+  if v && not t.up then t.up <- true
+  else if (not v) && t.up then begin
+    (* Going down flushes everything queued and in flight. *)
+    flush t;
+    t.up <- false
+  end
+
+let trace_final t =
+  if Trace.on () then
+    Trace.emit
+      (Trace.Link_final
+         {
+           link = t.name;
+           offered = t.stats.packets_in;
+           delivered = t.stats.packets_delivered;
+           dropped =
+             t.stats.drops_tail + t.stats.drops_error + t.stats.drops_flush
+             + t.stats.drops_down;
+           dups = t.stats.dups;
+           queued = Queue.length t.queue;
+           in_flight = t.in_flight;
+         })

@@ -17,6 +17,8 @@ type stats = {
   mutable drops_tail : int;  (** queue overflow (congestion loss) *)
   mutable drops_error : int;  (** random corruption (PLR) *)
   mutable drops_flush : int;  (** link switching *)
+  mutable drops_down : int;  (** offered while the link was down *)
+  mutable dups : int;  (** fault-injected duplicate deliveries *)
   queue_delay : Leotp_util.Stats.t;  (** seconds spent queued, per packet *)
 }
 
@@ -60,4 +62,27 @@ val set_buffer_bytes : t -> int -> unit
 val queue_bytes : t -> int
 (** Current backlog (queued, excluding the packet being serialized). *)
 
+val queued_packets : t -> int
+val in_flight : t -> int
+(** Packets taken off the queue whose delivery or drop has not resolved
+    yet (serializing or propagating). *)
+
+val up : t -> bool
+val set_up : t -> bool -> unit
+(** Taking a link down flushes queued and in-flight packets and drops
+    everything offered until it comes back up ([drops_down]). *)
+
+val set_dup_prob : t -> float -> unit
+(** Fault injection: deliver an extra copy of each arriving packet with
+    this probability (default 0; costs no RNG draws at 0). *)
+
+val set_reorder : t -> prob:float -> jitter:float -> unit
+(** Fault injection: with probability [prob], add a uniform extra delay
+    in [0, jitter) seconds to a packet's propagation so later packets
+    can overtake it (default 0/0). *)
+
 val stats : t -> stats
+
+val trace_final : t -> unit
+(** Emit a {!Trace.Link_final} accounting record for this link (no-op
+    when tracing is off). *)

@@ -1,0 +1,183 @@
+type drop_reason = Tail | Error | Flush | Down
+
+type event =
+  | Link_enq of { link : string; pkt : int; size : int }
+  | Link_drop of { link : string; pkt : int; reason : drop_reason }
+  | Link_deliver of { link : string; pkt : int; size : int }
+  | Link_dup of { link : string; pkt : int }
+  | Link_final of {
+      link : string;
+      offered : int;
+      delivered : int;
+      dropped : int;
+      dups : int;
+      queued : int;
+      in_flight : int;
+    }
+  | Pit_register of {
+      node : string;
+      flow : int;
+      lo : int;
+      hi : int;
+      forwarded : bool;
+      expiry : float;
+      pending : int;
+    }
+  | Pit_satisfy of {
+      node : string;
+      flow : int;
+      lo : int;
+      hi : int;
+      fresh : bool;
+      age : float;
+      pending : int;
+    }
+  | Pit_expire of { node : string; flow : int; lo : int; hi : int; pending : int }
+  | Cache_occupancy of { node : string; used : int; capacity : int }
+  | Deliver of { node : int; flow : int; pos : int; len : int }
+  | Complete of { node : int; flow : int; bytes : int }
+  | Rto_fire of { who : string; elapsed : float; floor : float }
+  | Fault of { what : string }
+  | Note of { what : string }
+
+type record = { seq : int; time : float; event : event }
+
+type t = {
+  capacity : int;
+  digesting : bool;
+  mutable ring : record array;  (** allocated lazily at first emit *)
+  mutable len : int;
+  mutable next : int;
+  mutable seq : int;
+  mutable digest : int64;
+  mutable clock : unit -> float;
+  mutable sinks : (record -> unit) list;
+}
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let create ?(capacity = 65536) ?(digesting = true) () =
+  {
+    capacity = max 1 capacity;
+    digesting;
+    ring = [||];
+    len = 0;
+    next = 0;
+    seq = 0;
+    digest = fnv_offset;
+    clock = (fun () -> 0.0);
+    sinks = [];
+  }
+
+let set_clock t f = t.clock <- f
+let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+
+(* Domain-local recorder, mirroring the Packet/Node id counters so that
+   parallel sweep cells never observe each other. *)
+let current : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let install t = Domain.DLS.get current := Some t
+let uninstall () = Domain.DLS.get current := None
+let installed () = !(Domain.DLS.get current)
+let on () = !(Domain.DLS.get current) <> None
+
+(* %.17g round-trips any float (same convention as the BENCH records). *)
+let fl x = Printf.sprintf "%.17g" x
+
+let reason_name = function
+  | Tail -> "tail"
+  | Error -> "error"
+  | Flush -> "flush"
+  | Down -> "down"
+
+let json_of_event = function
+  | Link_enq { link; pkt; size } ->
+    Printf.sprintf "\"ev\":\"link_enq\",\"link\":%S,\"pkt\":%d,\"size\":%d" link
+      pkt size
+  | Link_drop { link; pkt; reason } ->
+    Printf.sprintf "\"ev\":\"link_drop\",\"link\":%S,\"pkt\":%d,\"reason\":%S"
+      link pkt (reason_name reason)
+  | Link_deliver { link; pkt; size } ->
+    Printf.sprintf "\"ev\":\"link_deliver\",\"link\":%S,\"pkt\":%d,\"size\":%d"
+      link pkt size
+  | Link_dup { link; pkt } ->
+    Printf.sprintf "\"ev\":\"link_dup\",\"link\":%S,\"pkt\":%d" link pkt
+  | Link_final { link; offered; delivered; dropped; dups; queued; in_flight } ->
+    Printf.sprintf
+      "\"ev\":\"link_final\",\"link\":%S,\"offered\":%d,\"delivered\":%d,\"dropped\":%d,\"dups\":%d,\"queued\":%d,\"in_flight\":%d"
+      link offered delivered dropped dups queued in_flight
+  | Pit_register { node; flow; lo; hi; forwarded; expiry; pending } ->
+    Printf.sprintf
+      "\"ev\":\"pit_register\",\"node\":%S,\"flow\":%d,\"lo\":%d,\"hi\":%d,\"forwarded\":%b,\"expiry\":%s,\"pending\":%d"
+      node flow lo hi forwarded (fl expiry) pending
+  | Pit_satisfy { node; flow; lo; hi; fresh; age; pending } ->
+    Printf.sprintf
+      "\"ev\":\"pit_satisfy\",\"node\":%S,\"flow\":%d,\"lo\":%d,\"hi\":%d,\"fresh\":%b,\"age\":%s,\"pending\":%d"
+      node flow lo hi fresh (fl age) pending
+  | Pit_expire { node; flow; lo; hi; pending } ->
+    Printf.sprintf
+      "\"ev\":\"pit_expire\",\"node\":%S,\"flow\":%d,\"lo\":%d,\"hi\":%d,\"pending\":%d"
+      node flow lo hi pending
+  | Cache_occupancy { node; used; capacity } ->
+    Printf.sprintf
+      "\"ev\":\"cache_occupancy\",\"node\":%S,\"used\":%d,\"capacity\":%d" node
+      used capacity
+  | Deliver { node; flow; pos; len } ->
+    Printf.sprintf
+      "\"ev\":\"deliver\",\"node\":%d,\"flow\":%d,\"pos\":%d,\"len\":%d" node
+      flow pos len
+  | Complete { node; flow; bytes } ->
+    Printf.sprintf "\"ev\":\"complete\",\"node\":%d,\"flow\":%d,\"bytes\":%d"
+      node flow bytes
+  | Rto_fire { who; elapsed; floor } ->
+    Printf.sprintf "\"ev\":\"rto_fire\",\"who\":%S,\"elapsed\":%s,\"floor\":%s"
+      who (fl elapsed) (fl floor)
+  | Fault { what } -> Printf.sprintf "\"ev\":\"fault\",\"what\":%S" what
+  | Note { what } -> Printf.sprintf "\"ev\":\"note\",\"what\":%S" what
+
+let json_of_record (r : record) =
+  Printf.sprintf "{\"seq\":%d,\"t\":%s,%s}" r.seq (fl r.time)
+    (json_of_event r.event)
+
+let record t event =
+  let r = { seq = t.seq; time = t.clock (); event } in
+  t.seq <- t.seq + 1;
+  if t.digesting then begin
+    t.digest <- fnv1a64 t.digest (json_of_record r);
+    t.digest <- fnv1a64 t.digest "\n"
+  end;
+  if Array.length t.ring = 0 then t.ring <- Array.make t.capacity r;
+  t.ring.(t.next) <- r;
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.len < t.capacity then t.len <- t.len + 1;
+  List.iter (fun sink -> sink r) t.sinks
+
+let emit ev = match installed () with None -> () | Some t -> record t ev
+
+let with_recorder t ~clock f =
+  t.clock <- clock;
+  install t;
+  Fun.protect ~finally:uninstall f
+
+let records t =
+  let start = (t.next - t.len + t.capacity) mod t.capacity in
+  List.init t.len (fun i -> t.ring.((start + i) mod t.capacity))
+
+let count t = t.seq
+let digest t = Printf.sprintf "%016Lx" t.digest
+
+let write_jsonl t oc =
+  List.iter
+    (fun r ->
+      output_string oc (json_of_record r);
+      output_char oc '\n')
+    (records t)

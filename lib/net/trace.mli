@@ -1,0 +1,102 @@
+(** Packet-trace layer: per-packet lifecycle events from the link, node,
+    midnode, consumer and TCP engines, recorded to a bounded in-memory
+    ring with an incremental digest and optional live sinks.
+
+    The recorder is domain-local (like the id counters in {!Packet} and
+    {!Node}), so parallel sweep cells each observe only their own
+    simulation and a seeded run produces the same digest under any
+    [--jobs N].  When no recorder is installed every emit site reduces to
+    one domain-local read, so tracing costs nothing when off. *)
+
+type drop_reason = Tail | Error | Flush | Down
+
+type event =
+  | Link_enq of { link : string; pkt : int; size : int }
+  | Link_drop of { link : string; pkt : int; reason : drop_reason }
+  | Link_deliver of { link : string; pkt : int; size : int }
+  | Link_dup of { link : string; pkt : int }
+      (** fault-injected duplicate delivery *)
+  | Link_final of {
+      link : string;
+      offered : int;
+      delivered : int;
+      dropped : int;
+      dups : int;
+      queued : int;  (** still in the droptail queue at end of run *)
+      in_flight : int;  (** serialized/propagating, delivery never fired *)
+    }
+  | Pit_register of {
+      node : string;
+      flow : int;
+      lo : int;
+      hi : int;
+      forwarded : bool;
+      expiry : float;
+      pending : int;  (** table size after the operation *)
+    }
+  | Pit_satisfy of {
+      node : string;
+      flow : int;
+      lo : int;
+      hi : int;
+      fresh : bool;
+      age : float;
+      pending : int;
+    }
+  | Pit_expire of { node : string; flow : int; lo : int; hi : int; pending : int }
+  | Cache_occupancy of { node : string; used : int; capacity : int }
+  | Deliver of { node : int; flow : int; pos : int; len : int }
+      (** in-order prefix handed to the application *)
+  | Complete of { node : int; flow : int; bytes : int }
+  | Rto_fire of { who : string; elapsed : float; floor : float }
+      (** [floor] = min (SRTT + 4*RTTVAR, armed timeout) at arm time *)
+  | Fault of { what : string }
+  | Note of { what : string }
+
+type record = { seq : int; time : float; event : event }
+
+type t
+
+val create : ?capacity:int -> ?digesting:bool -> unit -> t
+(** Ring capacity in records (default 65536).  The digest and any sinks
+    cover every emitted record regardless of ring retention.
+    [digesting:false] skips the per-record serialization + hash (for
+    sink-only recorders, e.g. pure invariant checking); {!digest} then
+    stays at the FNV offset basis. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Timestamp source, normally [fun () -> Engine.now engine]. *)
+
+val add_sink : t -> (record -> unit) -> unit
+(** Live callback per record (e.g. an invariant checker). *)
+
+val install : t -> unit
+(** Make [t] the current domain's recorder. *)
+
+val uninstall : unit -> unit
+val installed : unit -> t option
+
+val on : unit -> bool
+(** [true] iff a recorder is installed on this domain; guard for emit
+    sites so the event payload is never allocated when tracing is off. *)
+
+val emit : event -> unit
+(** Record on the current recorder; no-op when none is installed. *)
+
+val with_recorder : t -> clock:(unit -> float) -> (unit -> 'a) -> 'a
+(** Install (with clock), run, uninstall (also on exception). *)
+
+val records : t -> record list
+(** Retained records, oldest first. *)
+
+val count : t -> int
+(** Total records emitted, including those evicted from the ring. *)
+
+val digest : t -> string
+(** FNV-1a 64-bit hash over every serialized record, as 16 hex digits. *)
+
+val json_of_record : record -> string
+(** One JSON object, no trailing newline; schema in EXPERIMENTS.md. *)
+
+val write_jsonl : t -> out_channel -> unit
+(** Retained records as JSON lines. *)

@@ -1,7 +1,10 @@
 module Engine = Leotp_sim.Engine
+module Fault = Leotp_sim.Fault
 module Bandwidth = Leotp_net.Bandwidth
 module Topology = Leotp_net.Topology
 module Node = Leotp_net.Node
+module Link = Leotp_net.Link
+module Trace = Leotp_net.Trace
 module Flow_metrics = Leotp_net.Flow_metrics
 module Stats = Leotp_util.Stats
 
@@ -93,8 +96,100 @@ let summarize ?(congestion_drops = 0) ~protocol ~metrics ~floor ~warmup
     congestion_drops;
   }
 
+let chain_links (chain : Topology.chain) =
+  Array.fold_right
+    (fun d acc -> d.Topology.fwd :: d.Topology.rev :: acc)
+    chain.Topology.hops []
+
+(* Resolve a fault event's abstract target onto this scenario's links /
+   midnodes and apply it.  Targets index modulo the available pool so a
+   generic random schedule fits any topology; link actions aimed at a
+   midnode target (or vice versa) are ignored. *)
+let apply_fault ~hops ~midnodes (ev : Fault.event) =
+  let hop_links i =
+    let n = Array.length hops in
+    if n = 0 then []
+    else
+      let d = hops.(((i mod n) + n) mod n) in
+      [ d.Topology.fwd; d.Topology.rev ]
+  in
+  let mid k =
+    match !midnodes with
+    | [] -> None
+    | l -> Some (List.nth l (((k mod List.length l) + List.length l) mod List.length l))
+  in
+  (match ev.Fault.action with
+  | Fault.Link_down (Fault.Hop i) ->
+    List.iter (fun l -> Link.set_up l false) (hop_links i)
+  | Fault.Link_up (Fault.Hop i) ->
+    List.iter (fun l -> Link.set_up l true) (hop_links i)
+  | Fault.Set_plr (Fault.Hop i, p) ->
+    List.iter (fun l -> Link.set_plr l p) (hop_links i)
+  | Fault.Set_bw_mbps (Fault.Hop i, b) ->
+    List.iter
+      (fun l -> Link.set_bandwidth l (Bandwidth.Constant (mbps b)))
+      (hop_links i)
+  | Fault.Set_dup (Fault.Hop i, p) ->
+    List.iter (fun l -> Link.set_dup_prob l p) (hop_links i)
+  | Fault.Set_reorder (Fault.Hop i, p, j) ->
+    List.iter (fun l -> Link.set_reorder l ~prob:p ~jitter:j) (hop_links i)
+  | Fault.Crash (Fault.Mid k) -> Option.iter Leotp.Midnode.crash (mid k)
+  | Fault.Restart (Fault.Mid k) -> Option.iter Leotp.Midnode.restart (mid k)
+  | Fault.Link_down (Fault.Mid _)
+  | Fault.Link_up (Fault.Mid _)
+  | Fault.Set_plr (Fault.Mid _, _)
+  | Fault.Set_bw_mbps (Fault.Mid _, _)
+  | Fault.Set_dup (Fault.Mid _, _)
+  | Fault.Set_reorder (Fault.Mid _, _, _)
+  | Fault.Crash (Fault.Hop _)
+  | Fault.Restart (Fault.Hop _) -> ());
+  if Trace.on () then
+    Trace.emit (Trace.Fault { what = Fault.event_to_string ev })
+
+let observed ~engine ~links ?trace ?on_reports ?(sweep = fun ~now:_ -> ())
+    ~label f =
+  let self = !Invariants.self_check in
+  let checker =
+    if self || Option.is_some on_reports then Some (Invariants.create ())
+    else None
+  in
+  let recorder =
+    match trace with
+    | Some _ as t -> t
+    | None ->
+      (* Sink-only recorder: invariants fold incrementally, so a one-slot
+         undigested ring keeps both memory and per-event cost flat while
+         the sinks still see every event. *)
+      if Option.is_some checker then
+        Some (Trace.create ~capacity:1 ~digesting:false ())
+      else None
+  in
+  match recorder with
+  | None -> f ()
+  | Some r ->
+    Option.iter (fun c -> Trace.add_sink r (Invariants.sink c)) checker;
+    Trace.with_recorder r
+      ~clock:(fun () -> Engine.now engine)
+      (fun () ->
+        let result = f () in
+        let now = Engine.now engine in
+        sweep ~now;
+        List.iter Link.trace_final links;
+        (match checker with
+        | None -> ()
+        | Some c ->
+          let reports = Invariants.finalize ~now c in
+          (match on_reports with Some k -> k reports | None -> ());
+          if self && not (Invariants.all_ok reports) then
+            raise
+              (Invariants.Violation
+                 (Printf.sprintf "%s: invariant violation\n%s" label
+                    (Invariants.to_string reports))));
+        result)
+
 let run_chain ?(seed = 42) ?bytes ?(duration = 60.0) ?(warmup = 10.0)
-    ?bottleneck ?(bandwidth_schedule = []) ~hops protocol =
+    ?bottleneck ?(bandwidth_schedule = []) ?(faults = []) ?trace ?on_reports
+    ~hops protocol =
   Leotp_net.Packet.reset_ids ();
   Node.reset_ids ();
   let engine = Engine.create () in
@@ -114,6 +209,16 @@ let run_chain ?(seed = 42) ?bytes ?(duration = 60.0) ?(warmup = 10.0)
       Leotp_net.Link.set_bandwidth d.Topology.rev bw)
     bandwidth_schedule;
   let n = Array.length chain.Topology.nodes - 1 in
+  let midnodes = ref [] in
+  if faults <> [] then
+    Fault.install engine
+      ~apply:(apply_fault ~hops:chain.Topology.hops ~midnodes)
+      faults;
+  observed ~engine ~links:(chain_links chain) ?trace ?on_reports
+    ~sweep:(fun ~now ->
+      List.iter (fun m -> Leotp.Midnode.sweep_pit m ~now) !midnodes)
+    ~label:(protocol_name protocol)
+  @@ fun () ->
   let metrics =
     match protocol with
     | Tcp cc ->
@@ -145,6 +250,7 @@ let run_chain ?(seed = 42) ?bytes ?(duration = 60.0) ?(warmup = 10.0)
         Leotp.Session.over_chain engine ~config:cfg ~chain ~flow:1
           ?total_bytes:bytes ()
       in
+      midnodes := session.Leotp.Session.midnodes;
       Leotp.Session.start session;
       session.Leotp.Session.metrics
     | Leotp_partial (cfg, coverage) ->
@@ -154,6 +260,7 @@ let run_chain ?(seed = 42) ?bytes ?(duration = 60.0) ?(warmup = 10.0)
           ~coverage_rng:(Leotp_util.Rng.substream rng "coverage")
           ()
       in
+      midnodes := session.Leotp.Session.midnodes;
       Leotp.Session.start session;
       session.Leotp.Session.metrics
   in
@@ -187,6 +294,19 @@ let run_flows_dumbbell ?(seed = 42) ?(duration = 600.0) ~access_delays
       ~bottleneck:(to_spec bottleneck)
   in
   let floor i = (2.0 *. List.nth access_delays i) +. bottleneck.delay in
+  let all_midnodes = ref [] in
+  let links =
+    db.Topology.bottleneck.Topology.fwd :: db.Topology.bottleneck.Topology.rev
+    :: List.concat_map
+         (fun (d : Topology.duplex) -> [ d.Topology.fwd; d.Topology.rev ])
+         (Array.to_list db.Topology.sender_links
+         @ Array.to_list db.Topology.receiver_links)
+  in
+  observed ~engine ~links
+    ~sweep:(fun ~now ->
+      List.iter (fun m -> Leotp.Midnode.sweep_pit m ~now) !all_midnodes)
+    ~label:("dumbbell:" ^ protocol_name protocol)
+  @@ fun () ->
   let all_metrics =
     match protocol with
     | Tcp cc ->
@@ -212,6 +332,7 @@ let run_flows_dumbbell ?(seed = 42) ?(duration = 600.0) ~access_delays
             Leotp.Midnode.create engine ~config:cfg ~node:db.Topology.right ();
           ]
       in
+      all_midnodes := midnodes;
       List.init n (fun i ->
           (* Data flows sender -> receiver: the sender node is the
              Producer, the receiver node the Consumer. *)
@@ -250,3 +371,13 @@ let run_flows_dumbbell ?(seed = 42) ?(duration = 600.0) ~access_delays
       all_metrics
   in
   (summaries, series)
+
+let run_faulted ?seed ?bytes ?duration ?warmup ?(faults = []) ?trace ~hops
+    protocol =
+  let reports = ref [] in
+  let summary =
+    run_chain ?seed ?bytes ?duration ?warmup ~faults ?trace
+      ~on_reports:(fun r -> reports := r)
+      ~hops protocol
+  in
+  (summary, !reports)

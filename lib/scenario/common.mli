@@ -33,6 +33,23 @@ type summary = {
   congestion_drops : int;  (** droptail losses across the path's links *)
 }
 
+val observed :
+  engine:Leotp_sim.Engine.t ->
+  links:Leotp_net.Link.t list ->
+  ?trace:Leotp_net.Trace.t ->
+  ?on_reports:(Invariants.report list -> unit) ->
+  ?sweep:(now:float -> unit) ->
+  label:string ->
+  (unit -> 'a) ->
+  'a
+(** Run [f] under a packet-trace recorder.  A recorder is installed when
+    the caller passes [trace], asks for invariant [on_reports], or
+    {!Invariants.self_check} is set (then a one-slot sink-only ring is
+    used); otherwise [f] just runs.  After [f]: [sweep ~now] (e.g. PIT
+    end-of-run expiry), {!Leotp_net.Link.trace_final} on every link,
+    invariant finalization.  In self-check mode a failed invariant raises
+    {!Invariants.Violation} tagged with [label]. *)
+
 val run_chain :
   ?seed:int ->
   ?bytes:int ->
@@ -40,6 +57,9 @@ val run_chain :
   ?warmup:float ->
   ?bottleneck:int * link_params ->
   ?bandwidth_schedule:(int * Leotp_net.Bandwidth.t) list ->
+  ?faults:Leotp_sim.Fault.schedule ->
+  ?trace:Leotp_net.Trace.t ->
+  ?on_reports:(Invariants.report list -> unit) ->
   hops:link_params list ->
   protocol ->
   summary
@@ -48,7 +68,26 @@ val run_chain :
     over [warmup, duration).  [bottleneck] replaces hop [i]'s parameters;
     [bandwidth_schedule] overrides the bandwidth model of selected hops
     (e.g. square-wave bottlenecks).  Propagation floor for the queuing
-    statistic is the sum of hop delays. *)
+    statistic is the sum of hop delays.
+
+    [faults] installs a {!Leotp_sim.Fault} schedule: [Hop i] targets the
+    chain's hop [i mod n] (both directions), [Mid k] the session's
+    midnode [k mod m] (ignored for protocols without midnodes).  [trace]
+    records the packet trace; [on_reports] receives the five invariant
+    verdicts (see {!observed}). *)
+
+val run_faulted :
+  ?seed:int ->
+  ?bytes:int ->
+  ?duration:float ->
+  ?warmup:float ->
+  ?faults:Leotp_sim.Fault.schedule ->
+  ?trace:Leotp_net.Trace.t ->
+  hops:link_params list ->
+  protocol ->
+  summary * Invariants.report list
+(** {!run_chain} with the invariant checker always attached; returns the
+    verdicts instead of raising. *)
 
 val uniform_hops : n:int -> link_params -> link_params list
 

@@ -280,27 +280,43 @@ let fig13 ?(quick = false) () =
     in
     schedule 1;
     let chain = Leotp_net.Dynamic_path.chain dp in
-    let metrics =
-      match proto with
-      | Common.Tcp cc ->
-        let n = Array.length chain.Leotp_net.Topology.nodes - 1 in
-        let session =
-          Leotp_tcp.Session.connect engine
-            ~src_node:chain.Leotp_net.Topology.nodes.(0)
-            ~dst_node:chain.Leotp_net.Topology.nodes.(n)
-            ~flow:1 ~cc ~source:Leotp_tcp.Sender.Unlimited ()
-        in
-        Leotp_tcp.Session.start session;
-        session.Leotp_tcp.Session.metrics
-      | Common.Leotp cfg ->
-        let session =
-          Leotp.Session.over_chain engine ~config:cfg ~chain ~flow:1 ()
-        in
-        Leotp.Session.start session;
-        session.Leotp.Session.metrics
-      | _ -> invalid_arg "fig13"
+    let links =
+      Array.fold_right
+        (fun (d : Leotp_net.Topology.duplex) acc ->
+          d.Leotp_net.Topology.fwd :: d.Leotp_net.Topology.rev :: acc)
+        chain.Leotp_net.Topology.hops []
     in
-    Leotp_sim.Engine.run ~until:duration engine;
+    let midnodes = ref [] in
+    let metrics =
+      Common.observed ~engine ~links
+        ~sweep:(fun ~now ->
+          List.iter (fun m -> Leotp.Midnode.sweep_pit m ~now) !midnodes)
+        ~label:(Printf.sprintf "fig13:%s" (Common.protocol_name proto))
+      @@ fun () ->
+      let metrics =
+        match proto with
+        | Common.Tcp cc ->
+          let n = Array.length chain.Leotp_net.Topology.nodes - 1 in
+          let session =
+            Leotp_tcp.Session.connect engine
+              ~src_node:chain.Leotp_net.Topology.nodes.(0)
+              ~dst_node:chain.Leotp_net.Topology.nodes.(n)
+              ~flow:1 ~cc ~source:Leotp_tcp.Sender.Unlimited ()
+          in
+          Leotp_tcp.Session.start session;
+          session.Leotp_tcp.Session.metrics
+        | Common.Leotp cfg ->
+          let session =
+            Leotp.Session.over_chain engine ~config:cfg ~chain ~flow:1 ()
+          in
+          midnodes := session.Leotp.Session.midnodes;
+          Leotp.Session.start session;
+          session.Leotp.Session.metrics
+        | _ -> invalid_arg "fig13"
+      in
+      Leotp_sim.Engine.run ~until:duration engine;
+      metrics
+    in
     Runner.note_sim_seconds (Leotp_sim.Engine.now engine);
     Leotp_util.Units.bytes_per_sec_to_mbps
       (Leotp_util.Timeseries.window_sum

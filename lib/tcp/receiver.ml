@@ -66,6 +66,10 @@ let handle_data t pkt =
          [delivered_bytes] from inside it. *)
       let pos = t.delivered in
       t.delivered <- prefix;
+      if Leotp_net.Trace.on () then
+        Leotp_net.Trace.emit
+          (Leotp_net.Trace.Deliver
+             { node = Node.id t.node; flow = t.flow; pos; len = prefix - pos });
       t.on_deliver ~pos ~len:(prefix - pos) ~first_sent ~retx
     end;
     ignore fresh;
@@ -77,6 +81,10 @@ let handle_data t pkt =
     (match t.expected_bytes with
     | Some n when t.delivered >= n && not t.completed ->
       t.completed <- true;
+      if Leotp_net.Trace.on () then
+        Leotp_net.Trace.emit
+          (Leotp_net.Trace.Complete
+             { node = Node.id t.node; flow = t.flow; bytes = t.delivered });
       Flow_metrics.set_finished t.metrics now;
       t.on_complete ()
     | _ -> ())

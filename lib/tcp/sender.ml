@@ -39,6 +39,10 @@ type t = {
   mutable bw_clock : float;
   mutable bw_delivered : int;
   mutable rto_timer : Engine.timer option;
+  mutable rto_armed_at : float;
+  mutable rto_floor : float;
+      (** min (SRTT + 4*RTTVAR, armed timeout) at arm time, for the trace
+          invariant that the RTO never fires early *)
   mutable pump_timer : Engine.timer option;
   mutable next_send_time : float;
   mutable finished : bool;
@@ -78,6 +82,8 @@ let create engine ~node ~dst ~flow ~cc ?(mss = Wire.default_mss)
       bw_clock = now;
       bw_delivered = 0;
       rto_timer = None;
+      rto_armed_at = now;
+      rto_floor = 0.0;
       pump_timer = None;
       next_send_time = now;
       finished = false;
@@ -127,15 +133,28 @@ let cancel_rto t =
 
 let rec arm_rto t =
   cancel_rto t;
-  if not t.finished then
+  if not t.finished then begin
+    let timeout = Leotp_util.Rto.rto t.rto in
+    t.rto_armed_at <- Engine.now t.engine;
+    t.rto_floor <-
+      (match (Leotp_util.Rto.srtt t.rto, Leotp_util.Rto.rttvar t.rto) with
+      | Some s, Some v -> Float.min (s +. (4.0 *. v)) timeout
+      | _ -> 0.0);
     t.rto_timer <-
-      Some
-        (Engine.schedule t.engine ~after:(Leotp_util.Rto.rto t.rto) (fun () ->
-             on_rto_fire t))
+      Some (Engine.schedule t.engine ~after:timeout (fun () -> on_rto_fire t))
+  end
 
 and on_rto_fire t =
   t.rto_timer <- None;
   if (not t.finished) && not (IntMap.is_empty t.segments) then begin
+    if Leotp_net.Trace.on () then
+      Leotp_net.Trace.emit
+        (Leotp_net.Trace.Rto_fire
+           {
+             who = "tcp:" ^ Node.name t.node;
+             elapsed = Engine.now t.engine -. t.rto_armed_at;
+             floor = t.rto_floor;
+           });
     Leotp_util.Rto.backoff t.rto;
     t.cc.Cc.on_rto ~now:(Engine.now t.engine);
     (* Everything outstanding and un-SACKed is presumed lost (Linux

@@ -72,3 +72,8 @@ let evict_lru t =
   | None -> None
 
 let iter f t = Hashtbl.iter (fun k node -> f k node.value) t.table
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

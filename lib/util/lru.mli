@@ -21,3 +21,6 @@ val evict_lru : ('k, 'v) t -> ('k * 'v) option
 (** Remove and return the least-recently-used entry. *)
 
 val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry. *)

@@ -1,0 +1,272 @@
+(* Fault-injection subsystem: schedule round-trips, crash / flap recovery
+   of the LEOTP engines, invariant checking under randomized fault
+   schedules, and bit-identical trace digests across runs and across
+   runner parallelism. *)
+
+module Fault = Leotp_sim.Fault
+module Trace = Leotp_net.Trace
+module Common = Leotp_scenario.Common
+module Invariants = Leotp_scenario.Invariants
+module Runner = Leotp_scenario.Runner
+
+let hops4 () = Common.uniform_hops ~n:4 (Common.link ~bw:20.0 ~delay:0.01 ())
+let leotp = Common.Leotp Leotp.Config.default
+
+let assert_invariants label reports =
+  if not (Invariants.all_ok reports) then
+    Alcotest.failf "%s:\n%s" label (Invariants.to_string reports)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule serialization *)
+
+let test_spec_parse () =
+  let spec = "1.5@down:hop2;2@up:hop2;3@plr:hop0=0.05;4@crash:mid1" in
+  match Fault.of_string spec with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok sched ->
+    Alcotest.(check int) "events" 4 (List.length sched);
+    let ev = List.hd sched in
+    Alcotest.(check (float 1e-12)) "time" 1.5 ev.Fault.time;
+    (match ev.Fault.action with
+    | Fault.Link_down (Fault.Hop 2) -> ()
+    | _ -> Alcotest.fail "expected down:hop2");
+    (match (List.nth sched 3).Fault.action with
+    | Fault.Crash (Fault.Mid 1) -> ()
+    | _ -> Alcotest.fail "expected crash:mid1")
+
+let test_spec_errors () =
+  List.iter
+    (fun bad ->
+      match Fault.of_string bad with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" bad
+      | Error _ -> ())
+    [
+      "nonsense";
+      "1.0@frobnicate:hop1";
+      "1.0@down:gateway3";
+      "x@down:hop1";
+      "1.0@plr:hop1";  (* missing argument *)
+      "1.0@down:hop1=3";  (* unexpected argument *)
+    ]
+
+let spec_roundtrip_prop =
+  let open QCheck2 in
+  Test.make ~name:"fault spec round-trips through to_string/of_string"
+    ~count:100
+    Gen.(pair (int_range 0 10_000) (int_range 1 40))
+    (fun (seed, n) ->
+      let rng = Leotp_util.Rng.create ~seed in
+      let sched = Fault.random ~rng ~duration:60.0 ~n () in
+      List.length sched >= n
+      && Fault.of_string (Fault.to_string sched) = Ok sched)
+
+let random_schedule_sorted_prop =
+  let open QCheck2 in
+  Test.make ~name:"random schedules are sorted and within the run" ~count:100
+    Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Leotp_util.Rng.create ~seed in
+      let duration = 30.0 in
+      let sched = Fault.random ~rng ~duration ~n:12 () in
+      let times = List.map (fun e -> e.Fault.time) sched in
+      List.for_all (fun t -> t >= 0.0 && t <= duration) times
+      && List.sort compare times = times)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery scenarios *)
+
+(* A midnode crash mid-transfer loses the cache, PIT and per-flow soft
+   state; the consumer's end-to-end TR path must still complete the
+   fixed transfer, and every invariant must hold across the crash. *)
+let test_crash_mid_transfer () =
+  let faults =
+    match Fault.of_string "2.0@crash:mid1;6.0@restart:mid1" with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  let summary, reports =
+    Common.run_faulted ~bytes:(4 * 1024 * 1024) ~duration:40.0 ~warmup:0.0
+      ~faults ~hops:(hops4 ()) leotp
+  in
+  assert_invariants "crash mid-transfer" reports;
+  (match summary.Common.completion_time with
+  | Some t ->
+    if t <= 0.0 then Alcotest.failf "nonsense completion time %g" t
+  | None -> Alcotest.fail "transfer did not complete after midnode crash");
+  Alcotest.(check bool)
+    "crash forced retransmissions" true
+    (summary.Common.retransmissions >= 0)
+
+(* Reference run without the crash: the faulted transfer completes too,
+   just later (never earlier than the fault-free one). *)
+let test_crash_costs_time () =
+  let bytes = 4 * 1024 * 1024 in
+  let clean, clean_reports =
+    Common.run_faulted ~bytes ~duration:40.0 ~warmup:0.0 ~hops:(hops4 ())
+      leotp
+  in
+  assert_invariants "clean reference" clean_reports;
+  let faults =
+    match Fault.of_string "1.0@crash:mid1;8.0@restart:mid1" with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  let faulted, reports =
+    Common.run_faulted ~bytes ~duration:40.0 ~warmup:0.0 ~faults
+      ~hops:(hops4 ()) leotp
+  in
+  assert_invariants "crash cost" reports;
+  match (clean.Common.completion_time, faulted.Common.completion_time) with
+  | Some c, Some f ->
+    if f +. 1e-9 < c then
+      Alcotest.failf "crashed run finished earlier (%g) than clean run (%g)" f c
+  | _ -> Alcotest.fail "both runs should complete"
+
+(* Link flap during the transfer (the Fig 13 handover shape): traffic
+   stops while the hop is down and resumes after it comes back up. *)
+let test_link_flap_recovery () =
+  let faults =
+    match Fault.of_string "5.0@down:hop2;6.5@up:hop2" with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  let summary, reports =
+    Common.run_faulted ~duration:20.0 ~warmup:0.0 ~faults ~hops:(hops4 ())
+      leotp
+  in
+  assert_invariants "link flap" reports;
+  let delivered ~lo ~hi =
+    Leotp_util.Timeseries.window_sum summary.Common.delivery ~lo ~hi
+  in
+  Alcotest.(check bool)
+    "delivery before the flap" true
+    (delivered ~lo:0.0 ~hi:5.0 > 0.0);
+  (* Recovery: the post-repair window moves at least as many bytes as a
+     starved link would; concretely, something must arrive. *)
+  Alcotest.(check bool)
+    "delivery resumes after repair" true
+    (delivered ~lo:7.0 ~hi:20.0 > 0.0);
+  Alcotest.(check bool)
+    "downtime throttles delivery" true
+    (delivered ~lo:5.0 ~hi:6.5 < delivered ~lo:7.0 ~hi:8.5 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Invariants under randomized schedules *)
+
+let test_invariants_random_schedule () =
+  let rng = Leotp_util.Rng.create ~seed:1234 in
+  let duration = 25.0 in
+  let faults = Fault.random ~rng ~duration ~n:100 () in
+  Alcotest.(check bool) "at least 100 events" true (List.length faults >= 100);
+  let _summary, reports =
+    Common.run_faulted ~duration ~warmup:0.0 ~faults ~hops:(hops4 ()) leotp
+  in
+  assert_invariants "random 100-event schedule" reports
+
+(* The invariant checker itself must reject corrupt traces (guards
+   against the checker silently passing everything). *)
+let test_checker_rejects_bad_trace () =
+  let t = Invariants.create () in
+  let feed seq event = Invariants.sink t { Trace.seq; time = 0.1; event } in
+  feed 0 (Trace.Deliver { node = 1; flow = 1; pos = 0; len = 100 });
+  feed 1 (Trace.Deliver { node = 1; flow = 1; pos = 250; len = 100 });
+  (* gap! *)
+  let reports = Invariants.finalize ~now:0.2 t in
+  if Invariants.all_ok reports then
+    Alcotest.fail "checker accepted an out-of-order delivery";
+  let bad =
+    List.filter (fun r -> not r.Invariants.ok) reports
+    |> List.map (fun r -> r.Invariants.invariant)
+  in
+  Alcotest.(check (list string)) "only delivery-order fails"
+    [ "delivery-order" ] bad
+
+let test_checker_rejects_unbalanced_link () =
+  let t = Invariants.create () in
+  let feed seq event = Invariants.sink t { Trace.seq; time = 0.1; event } in
+  feed 0 (Trace.Link_enq { link = "l"; pkt = 1; size = 100 });
+  feed 1 (Trace.Link_enq { link = "l"; pkt = 2; size = 100 });
+  feed 2 (Trace.Link_deliver { link = "l"; pkt = 1; size = 100 });
+  (* pkt 2 vanished: final claims everything was delivered *)
+  feed 3
+    (Trace.Link_final
+       {
+         link = "l";
+         offered = 2;
+         delivered = 1;
+         dropped = 0;
+         dups = 0;
+         queued = 0;
+         in_flight = 0;
+       });
+  let reports = Invariants.finalize ~now:0.2 t in
+  let bad =
+    List.filter (fun r -> not r.Invariants.ok) reports
+    |> List.map (fun r -> r.Invariants.invariant)
+  in
+  Alcotest.(check (list string)) "conservation fails"
+    [ "link-conservation" ] bad
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: digests across repeated runs and across --jobs *)
+
+let digest_of_run seed =
+  let rng = Leotp_util.Rng.create ~seed in
+  let faults = Fault.random ~rng ~duration:12.0 ~n:10 () in
+  let trace = Trace.create ~capacity:1 () in
+  let _summary, reports =
+    Common.run_faulted ~duration:12.0 ~warmup:0.0 ~faults ~trace
+      ~hops:(hops4 ()) leotp
+  in
+  assert_invariants (Printf.sprintf "digest run seed %d" seed) reports;
+  Trace.digest trace
+
+let test_digest_replay_identical () =
+  let d1 = digest_of_run 77 and d2 = digest_of_run 77 in
+  Alcotest.(check string) "same seed, same digest" d1 d2;
+  let d3 = digest_of_run 78 in
+  Alcotest.(check bool) "different seed, different digest" true (d1 <> d3)
+
+let test_digest_across_jobs () =
+  let seeds = [ 11; 22; 33; 44 ] in
+  let run () = Runner.map (List.map (fun s () -> digest_of_run s) seeds) in
+  Runner.set_jobs 1;
+  let sequential = run () in
+  Runner.set_jobs 4;
+  let parallel = run () in
+  Runner.set_jobs 1;
+  Alcotest.(check (list string)) "jobs 1 = jobs 4" sequential parallel
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "leotp_faults"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parse" `Quick test_spec_parse;
+          Alcotest.test_case "parse errors" `Quick test_spec_errors;
+          qc spec_roundtrip_prop;
+          qc random_schedule_sorted_prop;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "crash mid-transfer" `Quick
+            test_crash_mid_transfer;
+          Alcotest.test_case "crash costs time" `Quick test_crash_costs_time;
+          Alcotest.test_case "link flap" `Quick test_link_flap_recovery;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "random 100-event schedule" `Quick
+            test_invariants_random_schedule;
+          Alcotest.test_case "rejects bad delivery" `Quick
+            test_checker_rejects_bad_trace;
+          Alcotest.test_case "rejects unbalanced link" `Quick
+            test_checker_rejects_unbalanced_link;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "replay digest" `Quick test_digest_replay_identical;
+          Alcotest.test_case "jobs 1 vs 4" `Quick test_digest_across_jobs;
+        ] );
+    ]

@@ -19,7 +19,7 @@ let setup () =
 (* PIT unit tests *)
 
 let test_pit_register_block () =
-  let pit = Leotp.Pit.create ~expiry:1.0 in
+  let pit = Leotp.Pit.create ~expiry:1.0 () in
   Alcotest.(check bool) "first forwards" true
     (Leotp.Pit.register pit ~now:0.0 ~flow:1 ~lo:0 ~hi:100 ~consumer:7);
   Alcotest.(check bool) "duplicate blocked" false
@@ -29,7 +29,7 @@ let test_pit_register_block () =
   Alcotest.(check int) "two pending" 2 (Leotp.Pit.pending pit)
 
 let test_pit_satisfy () =
-  let pit = Leotp.Pit.create ~expiry:1.0 in
+  let pit = Leotp.Pit.create ~expiry:1.0 () in
   ignore (Leotp.Pit.register pit ~now:0.0 ~flow:1 ~lo:0 ~hi:100 ~consumer:7);
   ignore (Leotp.Pit.register pit ~now:0.1 ~flow:1 ~lo:0 ~hi:100 ~consumer:8);
   let waiting = Leotp.Pit.satisfy pit ~now:0.2 ~flow:1 ~lo:0 ~hi:100 in
@@ -39,7 +39,7 @@ let test_pit_satisfy () =
   Alcotest.(check int) "empty" 0 (Leotp.Pit.pending pit)
 
 let test_pit_expiry () =
-  let pit = Leotp.Pit.create ~expiry:1.0 in
+  let pit = Leotp.Pit.create ~expiry:1.0 () in
   ignore (Leotp.Pit.register pit ~now:0.0 ~flow:1 ~lo:0 ~hi:100 ~consumer:7);
   (* After expiry a new registration forwards again... *)
   Alcotest.(check bool) "re-forward after expiry" true

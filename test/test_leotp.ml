@@ -43,7 +43,7 @@ let test_wire_sizes () =
 (* Cache *)
 
 let test_cache_roundtrip () =
-  let c = Cache.create ~config in
+  let c = Cache.create ~config () in
   Cache.insert c ~flow:1 ~lo:0 ~hi:1400 ~first_sent:1.0 ~retx:false;
   (match Cache.lookup c ~flow:1 ~lo:0 ~hi:1400 with
   | Some (fs, retx) ->
@@ -61,7 +61,7 @@ let test_cache_roundtrip () =
   Alcotest.(check int) "misses" 2 st.Cache.misses
 
 let test_cache_cross_block () =
-  let c = Cache.create ~config in
+  let c = Cache.create ~config () in
   (* 4096-byte blocks: [3000, 6000) spans blocks 0 and 1. *)
   Cache.insert c ~flow:1 ~lo:3000 ~hi:6000 ~first_sent:2.0 ~retx:true;
   (match Cache.lookup c ~flow:1 ~lo:3000 ~hi:6000 with
@@ -76,7 +76,7 @@ let test_cache_cross_block () =
 
 let test_cache_eviction () =
   let small = { config with Config.cache_capacity = 10_000 } in
-  let c = Cache.create ~config:small in
+  let c = Cache.create ~config:small () in
   for i = 0 to 9 do
     Cache.insert c ~flow:1 ~lo:(i * 4096) ~hi:((i + 1) * 4096) ~first_sent:0.0
       ~retx:false
@@ -94,7 +94,7 @@ let test_cache_eviction () =
     (Cache.lookup c ~flow:1 ~lo:0 ~hi:4096 = None)
 
 let test_cache_drop_flow () =
-  let c = Cache.create ~config in
+  let c = Cache.create ~config () in
   Cache.insert c ~flow:1 ~lo:0 ~hi:1400 ~first_sent:0.0 ~retx:false;
   Cache.insert c ~flow:2 ~lo:0 ~hi:1400 ~first_sent:0.0 ~retx:false;
   Cache.drop_flow c ~flow:1;
@@ -106,7 +106,7 @@ let cache_model_prop =
   Test.make ~name:"cache lookup consistent with inserted ranges" ~count:100
     Gen.(list_size (int_range 1 30) (pair (int_range 0 20) (int_range 1 8)))
     (fun inserts ->
-      let c = Cache.create ~config in
+      let c = Cache.create ~config () in
       let model = Hashtbl.create 16 in
       List.iter
         (fun (block, len) ->

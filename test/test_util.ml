@@ -525,6 +525,32 @@ let test_windowed_max () =
     "after expiry" (Some 8.0)
     (Windowed_min.get w ~now:6.5)
 
+let windowed_max_prop =
+  let open QCheck2 in
+  Test.make ~name:"windowed max = naive max over window" ~count:200
+    Gen.(
+      list_size (int_range 1 50)
+        (pair (float_range 0.0 1.0) (float_range 0.0 100.0)))
+    (fun steps ->
+      let w = Windowed_min.create_max ~window:2.0 in
+      let now = ref 0.0 in
+      let hist = ref [] in
+      List.for_all
+        (fun (dt, v) ->
+          now := !now +. dt;
+          Windowed_min.add w ~now:!now v;
+          hist := (!now, v) :: !hist;
+          let expect =
+            List.filter_map
+              (fun (ts, x) -> if ts >= !now -. 2.0 then Some x else None)
+              !hist
+            |> List.fold_left Float.max Float.neg_infinity
+          in
+          match Windowed_min.get w ~now:!now with
+          | Some m -> Float.abs (m -. expect) < 1e-9
+          | None -> false)
+        steps)
+
 let windowed_min_prop =
   let open QCheck2 in
   Test.make ~name:"windowed min = naive min over window" ~count:200
@@ -637,7 +663,16 @@ let lru_model_prop =
   let open QCheck2 in
   Test.make ~name:"lru matches a naive model" ~count:200
     Gen.(list_size (int_range 1 80)
-           (pair (oneofl [ `Put; `Find; `Remove; `Evict ]) (int_range 0 9)))
+           (pair
+              (frequency
+                 [
+                   (4, return `Put);
+                   (3, return `Find);
+                   (2, return `Remove);
+                   (2, return `Evict);
+                   (1, return `Clear);
+                 ])
+              (int_range 0 9)))
     (fun ops ->
       let l = Lru.create () in
       (* Model: association list, most recent first. *)
@@ -665,7 +700,10 @@ let lru_model_prop =
               if ek <> mk then ok := false;
               model := List.remove_assoc mk !model
             | None, [] -> ()
-            | _ -> ok := false))
+            | _ -> ok := false)
+          | `Clear ->
+            Lru.clear l;
+            model := [])
         ops;
       !ok && Lru.length l = List.length !model)
 
@@ -751,6 +789,7 @@ let () =
           Alcotest.test_case "min" `Quick test_windowed_min;
           Alcotest.test_case "max" `Quick test_windowed_max;
           qc windowed_min_prop;
+          qc windowed_max_prop;
         ] );
       ( "rng",
         [
