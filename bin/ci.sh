@@ -1,9 +1,15 @@
 #!/bin/sh
-# CI smoke check: build + full test suite, then an end-to-end bench run
-# (fixed quick subset, 2 worker domains) that exercises the parallel
-# runner and the BENCH_*.json perf records.
+# CI smoke check: lint + build + full test suite, then an end-to-end
+# bench run (fixed quick subset, 2 worker domains) that exercises the
+# parallel runner and the BENCH_*.json perf records.
 set -eu
 cd "$(dirname "$0")/.."
+
+# Static analysis first: determinism & hygiene rules (see LINT.md).
+# Fails on any error-severity finding; LINT.json sits next to the
+# BENCH_*.json records for trend tracking.
+dune build @lint
+dune exec bin/leotp_lint.exe -- --quiet --json LINT.json lib bench bin
 
 dune build @runtest
 

@@ -1,0 +1,52 @@
+(* leotp-lint CLI: scan .ml trees, print text findings, optionally write
+   a JSON report, exit non-zero iff any error-severity finding.
+
+   Usage: leotp_lint.exe [--json FILE] [--rules] [PATH ...]
+   Default paths: lib bench bin (relative to the cwd). *)
+
+module Finding = Leotp_lint.Finding
+module Rules = Leotp_lint.Rules
+module Engine = Leotp_lint.Engine
+
+let () =
+  let json_out = ref None in
+  let list_rules = ref false in
+  let quiet = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--json",
+        Arg.String (fun s -> json_out := Some s),
+        "FILE write a JSON report to FILE" );
+      ("--rules", Arg.Set list_rules, " list rule ids with rationale and exit");
+      ("--quiet", Arg.Set quiet, " suppress per-finding text output");
+    ]
+  in
+  Arg.parse spec
+    (fun p -> paths := p :: !paths)
+    "leotp_lint [--json FILE] [--rules] [--quiet] [PATH ...]";
+  if !list_rules then begin
+    List.iter
+      (fun (r : Rules.t) ->
+        Printf.printf "%-32s %-8s %s\n" r.id
+          (Finding.severity_to_string r.severity)
+          r.doc)
+      Rules.all;
+    exit 0
+  end;
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bench"; "bin" ] | ps -> ps
+  in
+  let { Engine.files; findings } = Engine.scan paths in
+  if not !quiet then
+    List.iter (fun f -> print_endline (Finding.to_text f)) findings;
+  (match !json_out with
+  | Some file ->
+    Out_channel.with_open_bin file (fun oc ->
+        Out_channel.output_string oc (Finding.report_json ~files findings))
+  | None -> ());
+  let errors = Finding.count Finding.Error findings in
+  let warnings = Finding.count Finding.Warning findings in
+  Printf.printf "leotp-lint: %d file(s), %d error(s), %d warning(s)\n" files
+    errors warnings;
+  exit (if errors > 0 then 1 else 0)

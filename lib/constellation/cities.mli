@@ -1,0 +1,10 @@
+(** Ground-station sites: the 100 most populous metropolitan areas
+    (paper §V-A).  Coordinates are approximate city centers. *)
+
+type t = { name : string; lat : float; lon : float }
+
+val all : t array
+val count : int
+
+val find : string -> t option
+val find_exn : string -> t

@@ -1,0 +1,22 @@
+(** Inter-hop rate coordination (paper §III-C, eqs 9-10): the Requester
+    advertises to its upstream Responder the inflow that brings the
+    sending buffer back to its target length within one hopRTT on top of
+    the current outflow. *)
+
+val rate_bp :
+  config:Config.t ->
+  buffer_len:int ->
+  next_hop_rate:float ->
+  hop_rtt:float ->
+  float
+(** Eq (9), in the draining form: [next_hop_rate + (BL_tar - BL) /
+    hopRTT], clamped at 0. *)
+
+val advertised_rate :
+  config:Config.t ->
+  cc:Hop_cc.t ->
+  now:float ->
+  buffer_len:int ->
+  next_hop_rate:float ->
+  float
+(** Eq (10): [min (cwnd / hopRTT, rate_bp)]. *)

@@ -1,6 +1,11 @@
 (** LEOTP protocol parameters (paper §III-IV) and ablation switches
     (Table II). *)
 
+(* Pure data: a record of protocol parameters whose every field is the
+   public surface; an .mli would duplicate the whole definition. *)
+[@@@leotp.allow "missing-interface"]
+
+
 (** Table II's four configurations:
     A = full LEOTP; B = hop-by-hop congestion control but no cache (hence
     no in-network retransmission); C = in-network retransmission but

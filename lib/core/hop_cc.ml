@@ -54,7 +54,7 @@ let adjust t ~now =
   if interval > 0.0 then begin
     let sample = float_of_int t.bytes_since_adjust /. interval in
     t.thr_ewma <-
-      (if t.thr_ewma = 0.0 then sample
+      (if Float.equal t.thr_ewma 0.0 then sample
        else (0.7 *. t.thr_ewma) +. (0.3 *. sample));
     Leotp_util.Windowed_min.add t.thr_max ~now t.thr_ewma
   end;

@@ -268,7 +268,11 @@ let crash t =
   if not t.crashed then begin
     t.crashed <- true;
     t.crash_count <- t.crash_count + 1;
-    Hashtbl.iter (fun _ fs -> Send_buffer.clear fs.buffer) t.flows;
+    (* Order-insensitive: each per-flow buffer is cleared independently
+       and no event or trace record is emitted per entry. *)
+    (Hashtbl.iter [@leotp.allow "ordered-iteration"])
+      (fun _ fs -> Send_buffer.clear fs.buffer)
+      t.flows;
     Hashtbl.reset t.flows;
     Cache.clear t.cache;
     Pit.clear t.pit;
@@ -321,5 +325,5 @@ let debug_flow t ~flow =
       (upstream_rate t fs)
 
 let cache t = t.cache
-let flows t = Hashtbl.fold (fun k _ acc -> k :: acc) t.flows []
+let flows t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.flows [])
 let pit_blocked t = t.pit_blocked

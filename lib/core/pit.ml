@@ -32,15 +32,16 @@ let remove_emitting t key =
          { node = t.label; flow; lo; hi; pending = Hashtbl.length t.table })
   end
 
+(* Hashtbl fold order is representation-dependent; sort so the trace
+   (and its digest) only depends on the entries themselves. *)
 let expire_before t ~now =
   let stale =
-    Hashtbl.fold
-      (fun k e acc -> if fresh t ~now e then acc else k :: acc)
-      t.table []
+    List.sort compare
+      (Hashtbl.fold
+         (fun k e acc -> if fresh t ~now e then acc else k :: acc)
+         t.table [])
   in
-  (* Hashtbl fold order is representation-dependent; sort so the trace
-     (and its digest) only depends on the entries themselves. *)
-  List.iter (remove_emitting t) (List.sort compare stale)
+  List.iter (remove_emitting t) stale
 
 let register t ~now ~flow ~lo ~hi ~consumer =
   t.ops <- t.ops + 1;
@@ -94,5 +95,5 @@ let satisfy t ~now ~flow ~lo ~hi =
 let pending t = Hashtbl.length t.table
 
 let clear t =
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] in
-  List.iter (remove_emitting t) (List.sort compare keys)
+  let keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table []) in
+  List.iter (remove_emitting t) keys

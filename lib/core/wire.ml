@@ -12,6 +12,11 @@
     feed the measurement pipeline only.  None of them are charged wire
     bytes. *)
 
+(* Wire-format variant: every constructor and field is the public
+   surface; an .mli would duplicate the whole definition. *)
+[@@@leotp.allow "missing-interface"]
+
+
 type name = { flow : int; lo : int; hi : int }
 
 type Leotp_net.Packet.payload +=

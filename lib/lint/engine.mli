@@ -1,0 +1,19 @@
+(** Analyzer driver: parse, run rules, apply [[@leotp.allow]]
+    suppressions, report. *)
+
+val lint_source : path:string -> ?mli_exists:bool -> string -> Finding.t list
+(** Lint one compilation unit given as a string.  [path] determines the
+    rule scope (lib/ vs bench/ vs bin/) and is echoed in findings; pass
+    [~mli_exists] to enable the missing-interface check (omitted for
+    in-memory fixtures).  A file that does not parse yields a single
+    ["parse-error"] finding rather than an exception. *)
+
+val lint_file : string -> Finding.t list
+(** Read and lint one file; [mli_exists] is taken from the file system. *)
+
+type report = { files : int; findings : Finding.t list }
+
+val scan : string list -> report
+(** Recursively lint every [.ml] under the given files/directories
+    (skipping [_build], dot-dirs and the like), in sorted order so the
+    report is deterministic. *)

@@ -1,0 +1,64 @@
+type severity = Warning | Error
+
+let severity_to_string = function Warning -> "warning" | Error -> "error"
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_text f =
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col
+    (severity_to_string f.severity)
+    f.rule f.message
+
+(* Minimal JSON string escaping: the report only ever contains paths,
+   rule ids and fixed message text, but be safe about quotes/controls. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (json_escape f.rule)
+    (severity_to_string f.severity)
+    (json_escape f.file) f.line f.col (json_escape f.message)
+
+let count sev findings =
+  List.length (List.filter (fun f -> f.severity = sev) findings)
+
+let report_json ~files findings =
+  let body = String.concat ",\n  " (List.map to_json findings) in
+  Printf.sprintf
+    {|{"version":1,"files":%d,"errors":%d,"warnings":%d,"findings":[%s%s%s]}
+|}
+    files (count Error findings) (count Warning findings)
+    (if findings = [] then "" else "\n  ")
+    body
+    (if findings = [] then "" else "\n")

@@ -1,0 +1,28 @@
+(** A single analyzer diagnostic: which rule fired, where, and how bad. *)
+
+type severity = Warning | Error
+
+val severity_to_string : severity -> string
+
+type t = {
+  rule : string;  (** rule id, e.g. ["no-wall-clock"] *)
+  severity : severity;
+  file : string;  (** path as given to the engine *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+}
+
+val compare : t -> t -> int
+(** Order by file, then line, then column, then rule id. *)
+
+val to_text : t -> string
+(** [file:line:col: [severity] rule-id: message] — one line, no newline. *)
+
+val to_json : t -> string
+(** One finding as a JSON object. *)
+
+val count : severity -> t list -> int
+
+val report_json : files:int -> t list -> string
+(** Whole-run JSON report: version, file/issue counts, findings array. *)

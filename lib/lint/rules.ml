@@ -1,0 +1,407 @@
+(* Rule registry for leotp-lint.
+
+   Every rule is purely syntactic (parsetree only, no typing pass), so
+   each one is a cheap best-effort approximation of the property we
+   actually care about; the [@leotp.allow "rule-id"] escape hatch exists
+   precisely because a syntactic check cannot prove order-insensitivity
+   or type a comparison.  Rules are scoped: protocol code under lib/ is
+   held to stricter standards than the bench/bin harness (which
+   legitimately reads wall clocks and prints to stdout). *)
+
+open Ppxlib
+
+type scope = Lib | Bench | Bin | Other
+
+let scope_of_path path =
+  let parts = String.split_on_char '/' path in
+  let parts = List.filter (fun p -> p <> "" && p <> ".") parts in
+  if List.mem "lib" parts then Lib
+  else if List.mem "bench" parts then Bench
+  else if List.mem "bin" parts then Bin
+  else Other
+
+type emit = loc:Location.t -> string -> unit
+
+type t = {
+  id : string;
+  severity : Finding.severity;
+  doc : string;
+  applies : scope -> bool;
+  check : emit:emit -> structure -> unit;
+}
+
+let lib_only = function Lib -> true | Bench | Bin | Other -> false
+let everywhere _ = true
+
+let ident_name (lid : Longident.t) =
+  String.concat "." (Longident.flatten_exn lid)
+
+(* Visit every value identifier in the structure. *)
+let iter_idents f st =
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> f (ident_name txt) e.pexp_loc
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#structure st
+
+(* A rule that flags any use of the listed identifiers, with a
+   per-identifier message. *)
+let banned_idents ~id ~severity ~doc ~applies table =
+  {
+    id;
+    severity;
+    doc;
+    applies;
+    check =
+      (fun ~emit st ->
+        iter_idents
+          (fun name loc ->
+            match List.assoc_opt name table with
+            | Some msg -> emit ~loc msg
+            | None -> ())
+          st);
+  }
+
+(* -- Rule 1: no-wall-clock ------------------------------------------- *)
+
+let no_wall_clock =
+  banned_idents ~id:"no-wall-clock" ~severity:Finding.Error
+    ~doc:
+      "lib/ must use simulated time (Engine.now); wall-clock reads make \
+       traces and digests differ between runs"
+    ~applies:lib_only
+    [
+      ( "Unix.gettimeofday",
+        "wall-clock read in protocol code; use Engine.now (simulated time)" );
+      ( "Unix.time",
+        "wall-clock read in protocol code; use Engine.now (simulated time)" );
+      ( "Sys.time",
+        "process CPU-time read in protocol code; use Engine.now or the \
+         Runner perf counters" );
+    ]
+
+(* -- Rule 2: no-unseeded-random -------------------------------------- *)
+
+let no_unseeded_random =
+  {
+    id = "no-unseeded-random";
+    severity = Finding.Error;
+    doc =
+      "the global Random generator (and Random.self_init) is unseeded, \
+       shared across domains and order-sensitive; thread a Leotp_util.Rng \
+       / Random.State value instead";
+    applies = everywhere;
+    check =
+      (fun ~emit st ->
+        iter_idents
+          (fun name loc ->
+            match String.split_on_char '.' name with
+            | [ "Random"; "State" ] | "Random" :: "State" :: _ -> ()
+            | [ "Random"; "self_init" ] ->
+              emit ~loc
+                "Random.self_init seeds from the environment; every run \
+                 must derive its generator from the experiment seed"
+            | [ "Random"; _ ] ->
+              emit ~loc
+                "global Random generator is shared mutable state; thread \
+                 a Leotp_util.Rng (Random.State) through instead"
+            | _ -> ())
+          st);
+  }
+
+(* -- Rule 3: ordered-iteration --------------------------------------- *)
+
+let hashtbl_order_fns = [ "Hashtbl.iter"; "Hashtbl.fold" ]
+let sort_fns = [ "List.sort"; "List.stable_sort"; "List.sort_uniq" ]
+
+let same_start (a : Location.t) (b : Location.t) =
+  a.loc_start.pos_cnum = b.loc_start.pos_cnum
+  && a.loc_start.pos_fname = b.loc_start.pos_fname
+
+(* Hashtbl iteration order is representation-dependent, so results that
+   escape (lists of keys, printed lines, trace events) depend on
+   insertion history and hashing.  The one idiom we can recognise as
+   safe syntactically is sorting the collected result *immediately*:
+   [List.sort cmp (Hashtbl.fold f tbl init)].  Anything else needs an
+   explicit [@leotp.allow "ordered-iteration"] with a justification. *)
+let ordered_iteration =
+  {
+    id = "ordered-iteration";
+    severity = Finding.Error;
+    doc =
+      "Hashtbl.iter/fold order is nondeterministic; sort the result \
+       in-place (List.sort over the fold) or justify with an allow";
+    applies = lib_only;
+    check =
+      (fun ~emit st ->
+        let sanctioned = ref [] in
+        let uses = ref [] in
+        let it =
+          object
+            inherit Ast_traverse.iter as super
+
+            method! expression e =
+              (match e.pexp_desc with
+              | Pexp_apply
+                  ({ pexp_desc = Pexp_ident { txt = sorter; _ }; _ }, args)
+                when List.mem (ident_name sorter) sort_fns ->
+                List.iter
+                  (fun ((_, arg) : arg_label * expression) ->
+                    match arg.pexp_desc with
+                    | Pexp_apply
+                        (({ pexp_desc = Pexp_ident { txt; _ }; _ } as fn), _)
+                      when List.mem (ident_name txt) hashtbl_order_fns ->
+                      sanctioned := fn.pexp_loc :: !sanctioned
+                    | _ -> ())
+                  args
+              | Pexp_ident { txt; _ }
+                when List.mem (ident_name txt) hashtbl_order_fns ->
+                uses := e.pexp_loc :: !uses
+              | _ -> ());
+              super#expression e
+          end
+        in
+        it#structure st;
+        List.iter
+          (fun loc ->
+            if not (List.exists (same_start loc) !sanctioned) then
+              emit ~loc
+                "Hashtbl iteration order is nondeterministic; sort the \
+                 collected result (List.sort over the fold) or add a \
+                 justified [@leotp.allow \"ordered-iteration\"]")
+          (List.rev !uses));
+  }
+
+(* -- Rule 4: no-global-mutable-state --------------------------------- *)
+
+let mutable_creators =
+  [
+    "ref";
+    "Hashtbl.create";
+    "Buffer.create";
+    "Queue.create";
+    "Stack.create";
+    "Array.make";
+    "Bytes.create";
+    "Mutex.create";
+    "Atomic.make";
+  ]
+
+let rec creator_of_rhs (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, _) -> creator_of_rhs inner
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    let n = ident_name txt in
+    if List.mem n mutable_creators then Some n else None
+  | _ -> None
+
+(* Only *top-level* bindings are flagged: a ref local to a function is
+   per-call state, but a module-level ref/Hashtbl is shared by every
+   Domain_pool job and breaks --jobs N determinism.  Recurses into
+   nested top-level modules but not into expressions. *)
+let no_global_mutable_state =
+  let rec check_items ~emit items =
+    List.iter
+      (fun (si : structure_item) ->
+        match si.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : value_binding) ->
+              match creator_of_rhs vb.pvb_expr with
+              | Some n ->
+                emit ~loc:vb.pvb_loc
+                  (Printf.sprintf
+                     "top-level mutable state (%s) is shared across \
+                      Domain_pool jobs and breaks --jobs N determinism; \
+                      thread it through function arguments or add a \
+                      justified [@leotp.allow \"no-global-mutable-state\"]"
+                     n)
+              | None -> ())
+            vbs
+        | Pstr_module { pmb_expr; _ } -> check_module_expr ~emit pmb_expr
+        | Pstr_recmodule mbs ->
+          List.iter (fun mb -> check_module_expr ~emit mb.pmb_expr) mbs
+        | Pstr_include { pincl_mod; _ } -> check_module_expr ~emit pincl_mod
+        | _ -> ())
+      items
+  and check_module_expr ~emit (me : module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure items -> check_items ~emit items
+    | Pmod_constraint (me, _) -> check_module_expr ~emit me
+    | Pmod_functor (_, me) -> check_module_expr ~emit me
+    | _ -> ()
+  in
+  {
+    id = "no-global-mutable-state";
+    severity = Finding.Error;
+    doc =
+      "module-level ref/Hashtbl/Buffer/... in lib/ is shared across \
+       Domain_pool jobs; state must be threaded through values";
+    applies = lib_only;
+    check = (fun ~emit st -> check_items ~emit st);
+  }
+
+(* -- Rule 5: no-direct-print ----------------------------------------- *)
+
+let no_direct_print =
+  let msg =
+    "direct stdout/stderr write in lib/; route output through \
+     Leotp_scenario.Report (or Logs) so formatting lives in one module"
+  in
+  banned_idents ~id:"no-direct-print" ~severity:Finding.Error
+    ~doc:
+      "lib/ must not print directly; all experiment output goes through \
+       Leotp_scenario.Report or Logs"
+    ~applies:lib_only
+    (List.map
+       (fun f -> (f, msg))
+       [
+         "Printf.printf";
+         "Printf.eprintf";
+         "Format.printf";
+         "Format.eprintf";
+         "print_endline";
+         "print_string";
+         "print_newline";
+         "print_char";
+         "print_int";
+         "print_float";
+         "prerr_endline";
+         "prerr_string";
+         "prerr_newline";
+         "Stdlib.print_endline";
+         "Stdlib.print_string";
+         "Stdlib.print_newline";
+         "Stdlib.Printf.printf";
+       ])
+
+(* -- Rule 6: no-polymorphic-compare-on-float ------------------------- *)
+
+let poly_compare_fns =
+  [ "="; "<>"; "=="; "!="; "compare"; "Stdlib.compare"; "Stdlib.=" ]
+
+(* Functions of the Float module that do *not* return float (so their
+   result is safe to compare polymorphically). *)
+let float_fns_not_float =
+  [
+    "Float.equal";
+    "Float.compare";
+    "Float.is_nan";
+    "Float.is_finite";
+    "Float.is_integer";
+    "Float.to_int";
+    "Float.to_string";
+    "Float.sign_bit";
+    "Float.classify_float";
+  ]
+
+let float_constants =
+  [
+    "Float.infinity";
+    "Float.neg_infinity";
+    "Float.nan";
+    "Float.pi";
+    "Float.max_float";
+    "Float.min_float";
+    "Float.epsilon";
+    "infinity";
+    "neg_infinity";
+    "nan";
+    "max_float";
+    "min_float";
+    "epsilon_float";
+  ]
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-." ]
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Syntactic evidence that an expression is a float: a float literal, a
+   float type annotation, float arithmetic, a Float.* call that returns
+   float, or a well-known float constant. *)
+let floatish (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint
+      (_, { ptyp_desc = Ptyp_constr ({ txt = Lident "float"; _ }, []); _ }) ->
+    true
+  | Pexp_ident { txt; _ } -> List.mem (ident_name txt) float_constants
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    let n = ident_name txt in
+    List.mem n float_ops
+    || n = "abs_float" || n = "float_of_int"
+    || (starts_with ~prefix:"Float." n && not (List.mem n float_fns_not_float))
+  | _ -> false
+
+let no_poly_float_compare =
+  {
+    id = "no-polymorphic-compare-on-float";
+    severity = Finding.Error;
+    doc =
+      "polymorphic =/compare on floats is boxed and nan-unsound; use \
+       Float.equal / Float.compare";
+    applies = lib_only;
+    check =
+      (fun ~emit st ->
+        let it =
+          object
+            inherit Ast_traverse.iter as super
+
+            method! expression e =
+              (match e.pexp_desc with
+              | Pexp_apply
+                  (({ pexp_desc = Pexp_ident { txt; _ }; _ } as fn), args)
+                when List.mem (ident_name txt) poly_compare_fns
+                     && List.length args >= 2
+                     && List.exists (fun (_, a) -> floatish a) args ->
+                emit ~loc:fn.pexp_loc
+                  (Printf.sprintf
+                     "polymorphic %s on a float operand (boxed, \
+                      nan-unsound); use Float.equal / Float.compare"
+                     (ident_name txt))
+              | _ -> ());
+              super#expression e
+          end
+        in
+        it#structure st);
+  }
+
+(* -- Rule 7: missing-interface --------------------------------------- *)
+
+(* The AST check is a no-op: the engine implements this rule from the
+   file system (does [foo.mli] sit next to [foo.ml]?).  It is registered
+   here so that --rules, the docs and allow-validation see it. *)
+let missing_interface_id = "missing-interface"
+
+let missing_interface =
+  {
+    id = missing_interface_id;
+    severity = Finding.Warning;
+    doc =
+      "every module under lib/ should have an .mli so its public \
+       surface is explicit";
+    applies = lib_only;
+    check = (fun ~emit:_ _ -> ());
+  }
+
+let all =
+  [
+    no_wall_clock;
+    no_unseeded_random;
+    ordered_iteration;
+    no_global_mutable_state;
+    no_direct_print;
+    no_poly_float_compare;
+    missing_interface;
+  ]
+
+let known_ids = List.map (fun r -> r.id) all

@@ -1,0 +1,29 @@
+(** The leotp-lint rule registry.
+
+    Rules are syntactic (parsetree-level) checks with a severity and a
+    path scope.  [Error]-severity findings fail the build; [Warning]
+    findings are advisory.  Every rule can be silenced with
+    [[@leotp.allow "rule-id"]] on a binding/expression or
+    [[@@@leotp.allow "rule-id"]] for the whole file. *)
+
+type scope = Lib | Bench | Bin | Other
+
+val scope_of_path : string -> scope
+(** Classify a '/'-separated path by its first recognised component. *)
+
+type emit = loc:Ppxlib.Location.t -> string -> unit
+
+type t = {
+  id : string;
+  severity : Finding.severity;
+  doc : string;  (** one-line rationale, shown by [--rules] *)
+  applies : scope -> bool;
+  check : emit:emit -> Ppxlib.Parsetree.structure -> unit;
+}
+
+val missing_interface_id : string
+(** The one rule not driven by the AST: the engine checks for a sibling
+    [.mli] on the file system and reports under this id. *)
+
+val all : t list
+val known_ids : string list

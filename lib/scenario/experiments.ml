@@ -33,9 +33,9 @@ let fig02 ?(quick = false) () =
   in
   List.iter
     (fun (name, rows) ->
-      Printf.printf "  %-10s" name;
-      List.iter (fun (n, t) -> Printf.printf "  %2d hops: %5.2f" n t) rows;
-      print_newline ())
+      Report.row "  %-10s" name;
+      List.iter (fun (n, t) -> Report.row "  %2d hops: %5.2f" n t) rows;
+      Report.newline ())
     results;
   results
 
@@ -60,9 +60,9 @@ let fig03 () =
   let results = [ ("end-to-end", stats_of e2e); ("hop-by-hop", stats_of hbh) ] in
   List.iter
     (fun (name, stats) ->
-      Printf.printf "  %-12s" name;
-      List.iter (fun (k, v) -> Printf.printf "  %s=%5.0fms" k (v *. 1000.0)) stats;
-      print_newline ())
+      Report.row "  %-12s" name;
+      List.iter (fun (k, v) -> Report.row "  %s=%5.0fms" k (v *. 1000.0)) stats;
+      Report.newline ())
     results;
   results
 
@@ -91,7 +91,7 @@ let fig04 ?(quick = false) () =
   in
   List.iter
     (fun (name, (tput, owd)) ->
-      Printf.printf "  %-16s tput=%5.2f Mbps  mean OWD=%6.1f ms\n" name tput
+      Report.row "  %-16s tput=%5.2f Mbps  mean OWD=%6.1f ms\n" name tput
         (owd *. 1000.0))
     results;
   results
@@ -126,12 +126,12 @@ let fig05 ?(quick = false) () =
   in
   List.iter
     (fun (name, rows) ->
-      Printf.printf "  %-8s" name;
+      Report.row "  %-8s" name;
       List.iter
         (fun (p, q, drops) ->
-          Printf.printf "  %3.0fms: q=%5.1fms loss=%d" (p *. 1000.0) (q *. 1000.0) drops)
+          Report.row "  %3.0fms: q=%5.1fms loss=%d" (p *. 1000.0) (q *. 1000.0) drops)
         rows;
-      print_newline ())
+      Report.newline ())
     results;
   results
 
@@ -161,13 +161,13 @@ let fig10 ?(quick = false) () =
   in
   List.iter
     (fun (name, rows) ->
-      Printf.printf "  %-8s" name;
+      Report.row "  %-8s" name;
       List.iter
         (fun (plr, mean, p99) ->
-          Printf.printf "  plr=%.3f: mean=%5.1fms p99=%5.1fms" plr
+          Report.row "  plr=%.3f: mean=%5.1fms p99=%5.1fms" plr
             (mean *. 1000.0) (p99 *. 1000.0))
         rows;
-      print_newline ())
+      Report.newline ())
     results;
   results
 
@@ -195,9 +195,9 @@ let fig11 ?(quick = false) () =
   in
   List.iter
     (fun (name, rows) ->
-      Printf.printf "  %-8s" name;
-      List.iter (fun (plr, mb) -> Printf.printf "  plr=%.3f: %.1f MB" plr mb) rows;
-      print_newline ())
+      Report.row "  %-8s" name;
+      List.iter (fun (plr, mb) -> Report.row "  plr=%.3f: %.1f MB" plr mb) rows;
+      Report.newline ())
     results;
   results
 
@@ -227,9 +227,9 @@ let fig12 ?(quick = false) () =
   in
   List.iter
     (fun (name, rows) ->
-      Printf.printf "  %-10s" name;
-      List.iter (fun (plr, t) -> Printf.printf "  %.2f%%: %5.2f" (plr *. 100.0) t) rows;
-      print_newline ())
+      Report.row "  %-10s" name;
+      List.iter (fun (plr, t) -> Report.row "  %.2f%%: %5.2f" (plr *. 100.0) t) rows;
+      Report.newline ())
     results;
   results
 
@@ -330,9 +330,9 @@ let fig13 ?(quick = false) () =
   in
   List.iter
     (fun (name, rows) ->
-      Printf.printf "  %-8s" name;
-      List.iter (fun (i, t) -> Printf.printf "  %4.0fs: %5.2f" i t) rows;
-      print_newline ())
+      Report.row "  %-8s" name;
+      List.iter (fun (i, t) -> Report.row "  %4.0fs: %5.2f" i t) rows;
+      Report.newline ())
     results;
   results
 
@@ -378,7 +378,7 @@ let fig14 ?(quick = false) () =
   in
   List.iter
     (fun (name, (tput, q)) ->
-      Printf.printf "  %-14s tput=%5.2f Mbps  queuing=%6.1f ms\n" name tput
+      Report.row "  %-14s tput=%5.2f Mbps  queuing=%6.1f ms\n" name tput
         (q *. 1000.0))
     results;
   results
@@ -423,7 +423,7 @@ let fig15 ?(quick = false) () =
   in
   List.iter
     (fun (label, jain, rates) ->
-      Printf.printf "  %-16s jain=%.3f  rates=[%s] Mbps\n" label jain
+      Report.row "  %-16s jain=%.3f  rates=[%s] Mbps\n" label jain
         (String.concat "; " (List.map (Printf.sprintf "%.2f") rates)))
     results;
   results

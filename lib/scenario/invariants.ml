@@ -4,7 +4,9 @@ type report = { invariant : string; ok : bool; detail : string }
 
 exception Violation of string
 
-let self_check = ref false
+(* Set once at startup by the golden-figure self-check harness, before
+   any jobs run; never written concurrently. *)
+let self_check = ref false [@@leotp.allow "no-global-mutable-state"]
 
 (* Per-link event-stream counters plus the link's own final snapshot. *)
 type link_acc = {
@@ -177,15 +179,15 @@ let finalize ?(eps = eps_default) ~now t =
     List.iter
       (fun (name, (a : pit_acc)) ->
         (match a.first_error with Some e -> errors := e :: !errors | None -> ());
-        Hashtbl.iter
-          (fun _ born ->
+        List.iter
+          (fun (_, born) ->
             incr entries;
             if now -. born > a.expiry +. eps then
               errors :=
                 Printf.sprintf "%s: entry leaked past expiry (age %.3f > %.3f)"
                   name (now -. born) a.expiry
                 :: !errors)
-          a.open_entries)
+          (sorted_hashtbl_bindings a.open_entries))
       (sorted_hashtbl_bindings t.pits);
     if t.pit_satisfy_stale > 0 then
       errors :=

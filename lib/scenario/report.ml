@@ -1,5 +1,10 @@
 (** Paper-style row printers shared by the bench harness and examples. *)
 
+(* This module is the one place in lib/ that may write to stdout: every
+   other module formats its experiment output through these helpers, so
+   the no-direct-print lint rule is allowed here and only here. *)
+[@@@leotp.allow "no-direct-print"]
+
 let ms s = s *. 1000.0
 
 let header title =
@@ -8,6 +13,7 @@ let header title =
 let subheader s = Printf.printf "--- %s ---\n" s
 
 let row fmt = Printf.printf fmt
+let newline () = print_newline ()
 
 let summary_line (s : Common.summary) =
   Printf.printf

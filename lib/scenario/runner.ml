@@ -17,6 +17,13 @@ type counters = {
       (** bytes allocated while running jobs, summed across worker domains *)
 }
 
+(* This module *is* the process-wide job-runner singleton: the mutex,
+   the pool handle and the perf counters exist once per process by
+   design, all access is serialized through [protected], and jobs reset
+   their domain-local state on entry — so the shared state here cannot
+   leak into job results (verified by the parallel-determinism test). *)
+[@@@leotp.allow "no-global-mutable-state"]
+
 let lock = Mutex.create ()
 let jobs_setting = ref 1
 let pool : Leotp_util.Domain_pool.t option ref = ref None

@@ -113,7 +113,7 @@ let run_pair ?(quick = false) ?(seed = 42) ~src ~dst ~isls protocol =
   Dynamic_path.schedule dp
     (List.filter_map
        (fun (t, h) ->
-         if t = 0.0 then None
+         if Float.equal t 0.0 then None
          else begin
            let s = to_snapshot ~uplink_bw h in
            let s = if Array.length s > max_hops then Array.sub s 0 max_hops else s in
@@ -187,7 +187,7 @@ let fig16 ?(quick = false) () =
   in
   List.iter
     (fun (name, r) ->
-      Printf.printf
+      Report.row
         "  %-8s tput=%5.2f Mbps  owd(avg)=%6.1fms  queuing(avg)=%6.1fms  p99=%6.1fms\n"
         name r.summary.Common.goodput_mbps
         (Stats.mean r.summary.Common.owd *. 1000.0)
@@ -211,7 +211,7 @@ let fig17 ?(quick = false) () =
   in
   List.iter
     (fun (name, r) ->
-      Printf.printf
+      Report.row
         "  %-8s tput=%5.2f Mbps  owd(avg)=%6.1fms  queuing(avg)=%6.1fms  p99=%6.1fms (hops~%.1f)\n"
         name r.summary.Common.goodput_mbps
         (Stats.mean r.summary.Common.owd *. 1000.0)
@@ -260,7 +260,7 @@ let fig18 ?(quick = false) () =
   in
   List.iter
     (fun (pair, proto, owd, tput) ->
-      Printf.printf "  %-20s %-16s owd=%6.1fms  tput=%5.2f Mbps\n" pair proto
+      Report.row "  %-20s %-16s owd=%6.1fms  tput=%5.2f Mbps\n" pair proto
         (owd *. 1000.0) tput)
     results;
   results
@@ -295,7 +295,7 @@ let table2 ?(quick = false) () =
   in
   List.iter
     (fun (pair, label, tput, owd) ->
-      Printf.printf "  %-20s %s  tput=%5.2f Mbps  owd=%6.1f ms\n" pair label
+      Report.row "  %-20s %s  tput=%5.2f Mbps  owd=%6.1f ms\n" pair label
         tput owd)
     results;
   results

@@ -1,0 +1,31 @@
+(** Shared congestion-controller record and window constants.
+
+    Each algorithm module ({!Bbr}, {!Cubic}, ...) builds one of these
+    records; {!Cc} re-exports the types and dispatches [create].  Kept
+    separate so implementations can depend on it without a cycle. *)
+
+type ack_info = {
+  now : float;
+  acked_bytes : int;  (** bytes newly acknowledged *)
+  rtt_sample : float option;  (** seconds, from the timestamp echo *)
+  bw_sample : float option;  (** delivery-rate sample, bytes/second *)
+  inflight : int;  (** bytes in flight after processing this ack *)
+}
+
+type t = {
+  name : string;
+  on_ack : ack_info -> unit;
+  on_loss : now:float -> inflight:int -> unit;
+      (** One call per loss episode (at most once per RTT). *)
+  on_rto : now:float -> unit;
+  cwnd : unit -> float;  (** bytes *)
+  pacing_rate : unit -> float option;  (** bytes/second *)
+}
+
+val fmss : int -> float
+
+val initial_window : int -> float
+(** 10 segments, in bytes (RFC 6928). *)
+
+val min_window : int -> float
+(** 2 segments, in bytes. *)

@@ -1,0 +1,12 @@
+(** Delay-based slow-start exit (HyStart, Ha & Rhee 2011): leave slow
+    start as soon as the RTT inflates past the propagation floor by
+    max(4 ms, floor/8), instead of one full RTT after the queue starts
+    building. *)
+
+type t
+
+val create : unit -> t
+
+val should_exit : t -> rtt_sample:float option -> bool
+(** Feed every ACK's RTT sample; [true] once the RTT is inflated.  The
+    caller is responsible for acting only while still in slow start. *)

@@ -1,0 +1,11 @@
+(** PCC Vivace (Dong et al., NSDI'18), simplified online-learning model:
+    per-monitor-interval utility U = thr^0.9 - b*thr*max(0, dRTT/dt) -
+    c*thr*loss, with paired probe MIs deciding gradient-style rate
+    steps. *)
+
+val utility : thr_bps:float -> rtt_grad:float -> loss_rate:float -> float
+(** The Vivace utility of one monitor interval (throughput in bytes/s,
+    RTT gradient in s/s, loss rate in [0,1]); exposed for the
+    conformance tests. *)
+
+val create : mss:int -> now:float -> Cc_intf.t

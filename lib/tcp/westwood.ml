@@ -34,7 +34,7 @@ let create ~mss ~now:_ =
         if s.cwnd < s.ssthresh && Hystart.should_exit hystart ~rtt_sample:info.rtt_sample
         then s.ssthresh <- s.cwnd;
         (match info.bw_sample with
-        | Some b -> s.bwe <- if s.bwe = 0.0 then b else (0.9 *. s.bwe) +. (0.1 *. b)
+        | Some b -> s.bwe <- if Float.equal s.bwe 0.0 then b else (0.9 *. s.bwe) +. (0.1 *. b)
         | None -> ());
         let acked = float_of_int info.acked_bytes in
         if s.cwnd < s.ssthresh then s.cwnd <- s.cwnd +. acked

@@ -5,6 +5,11 @@
     application-level data-retrieval delay (including retransmission and,
     for Split TCP, proxy queuing), which is the paper's OWD metric. *)
 
+(* Open-extension wire constructors: the payload cases are the public
+   surface; an .mli would duplicate the whole definition. *)
+[@@@leotp.allow "missing-interface"]
+
+
 type Leotp_net.Packet.payload +=
   | Data_seg of {
       seq : int;  (** first byte of the range *)

@@ -71,7 +71,18 @@ let evict_lru t =
     Some (node.key, node.value)
   | None -> None
 
-let iter f t = Hashtbl.iter (fun k node -> f k node.value) t.table
+(* Walk the recency list (MRU first) rather than the hash table: the
+   visit order is then a deterministic function of the cache history,
+   not of hashing, so callers (e.g. Cache.drop_flow) stay replayable. *)
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some node ->
+      let next = node.next in
+      f node.key node.value;
+      go next
+  in
+  go t.head
 
 let clear t =
   Hashtbl.reset t.table;

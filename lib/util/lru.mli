@@ -21,6 +21,8 @@ val evict_lru : ('k, 'v) t -> ('k * 'v) option
 (** Remove and return the least-recently-used entry. *)
 
 val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Visits entries most-recently-used first (deterministic: recency
+    order, never hash order).  [f] may remove the visited entry. *)
 
 val clear : ('k, 'v) t -> unit
 (** Drop every entry. *)

@@ -92,7 +92,7 @@ let jain_index xs =
     let n = float_of_int (List.length xs) in
     let s = List.fold_left ( +. ) 0.0 xs in
     let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
-    if s2 = 0.0 then 1.0 else s *. s /. (n *. s2)
+    if Float.equal s2 0.0 then 1.0 else s *. s /. (n *. s2)
 
 module Welford = struct
   type t = { mutable n : int; mutable mean : float; mutable m2 : float }

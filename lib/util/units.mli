@@ -1,0 +1,23 @@
+(** Unit conversions used throughout the simulator.
+
+    Internal conventions: time in seconds, sizes in bytes, rates in
+    bytes/second, distances in meters.  The paper quotes link rates in
+    Mbps (decimal megabits) and delays in milliseconds. *)
+
+val bits_per_byte : float
+
+val speed_of_light : float
+(** m/s (used for ISL propagation delays). *)
+
+val mbps_to_bytes_per_sec : float -> float
+val bytes_per_sec_to_mbps : float -> float
+val ms_to_sec : float -> float
+val sec_to_ms : float -> float
+val km_to_m : float -> float
+val mb_to_bytes : int -> int
+
+val earth_radius : float
+(** Earth's mean radius, meters. *)
+
+val earth_mu : float
+(** Standard gravitational parameter of Earth, m^3/s^2. *)

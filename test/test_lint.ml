@@ -1,0 +1,286 @@
+(* Fixture tests for the leotp-lint static analyzer: for every rule one
+   known-bad snippet must be flagged at the right location, one clean
+   snippet must pass, and [@leotp.allow] must silence exactly the named
+   rule. *)
+
+module Finding = Leotp_lint.Finding
+module Engine = Leotp_lint.Engine
+module Rules = Leotp_lint.Rules
+
+let lint ?(path = "lib/core/fixture.ml") ?mli_exists src =
+  Engine.lint_source ~path ?mli_exists src
+
+let rules_of fs = List.map (fun f -> f.Finding.rule) fs
+
+let find rule fs = List.filter (fun f -> f.Finding.rule = rule) fs
+
+let check_flags ~rule ~line src =
+  let fs = lint src in
+  match find rule fs with
+  | [ f ] ->
+    Alcotest.(check int) (rule ^ " line") line f.Finding.line;
+    Alcotest.(check string) (rule ^ " file") "lib/core/fixture.ml" f.Finding.file
+  | [] -> Alcotest.failf "%s: not flagged in %S" rule src
+  | fs ->
+    Alcotest.failf "%s: flagged %d times in %S" rule (List.length fs) src
+
+let check_clean ~rule src =
+  let fs = find rule (lint src) in
+  if fs <> [] then
+    Alcotest.failf "%s: flagged clean snippet %S at line %d" rule src
+      (List.hd fs).Finding.line
+
+(* ------------------------------------------------------------------ *)
+(* Rule 1: no-wall-clock *)
+
+let test_wall_clock () =
+  check_flags ~rule:"no-wall-clock" ~line:2
+    "let a = 1\nlet t () = Unix.gettimeofday ()";
+  check_flags ~rule:"no-wall-clock" ~line:1 "let cpu () = Sys.time ()";
+  check_flags ~rule:"no-wall-clock" ~line:1 "let t () = Unix.time ()";
+  check_clean ~rule:"no-wall-clock" "let t engine = Engine.now engine";
+  (* localtime etc. are not wall-clock *reads*; only the three are banned *)
+  check_clean ~rule:"no-wall-clock" "let s t = Unix.localtime t"
+
+let test_wall_clock_scope () =
+  (* The bench/bin harness may read wall clocks (perf timing). *)
+  let src = "let t () = Unix.gettimeofday ()" in
+  Alcotest.(check (list string))
+    "bench exempt" []
+    (rules_of (lint ~path:"bench/main.ml" src));
+  Alcotest.(check (list string))
+    "bin exempt" []
+    (rules_of (lint ~path:"bin/leotp_sim.ml" src))
+
+(* ------------------------------------------------------------------ *)
+(* Rule 2: no-unseeded-random *)
+
+let test_unseeded_random () =
+  check_flags ~rule:"no-unseeded-random" ~line:1
+    "let () = Random.self_init ()";
+  check_flags ~rule:"no-unseeded-random" ~line:2
+    "let a = 2\nlet roll () = Random.int 6";
+  check_clean ~rule:"no-unseeded-random"
+    "let roll st = Random.State.int st 6";
+  (* applies outside lib/ too: the harness must also stay seeded *)
+  let fs = lint ~path:"bench/main.ml" "let x () = Random.float 1.0" in
+  Alcotest.(check bool)
+    "flagged in bench" true
+    (List.mem "no-unseeded-random" (rules_of fs))
+
+(* ------------------------------------------------------------------ *)
+(* Rule 3: ordered-iteration *)
+
+let test_ordered_iteration () =
+  check_flags ~rule:"ordered-iteration" ~line:1
+    "let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []";
+  check_flags ~rule:"ordered-iteration" ~line:2
+    "let f g t =\n  Hashtbl.iter (fun k v -> g k v) t";
+  (* sorting the folded result immediately is recognised as safe *)
+  check_clean ~rule:"ordered-iteration"
+    "let keys t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])";
+  check_clean ~rule:"ordered-iteration" "let n t = Hashtbl.length t";
+  (* sorting *something else* does not sanction the fold *)
+  check_flags ~rule:"ordered-iteration" ~line:1
+    "let f t l = List.sort compare l |> List.map (fun k -> Hashtbl.fold (fun _ _ a -> a) t k)"
+
+(* ------------------------------------------------------------------ *)
+(* Rule 4: no-global-mutable-state *)
+
+let test_global_mutable () =
+  check_flags ~rule:"no-global-mutable-state" ~line:1 "let count = ref 0";
+  check_flags ~rule:"no-global-mutable-state" ~line:2
+    "let a = 1\nlet tbl : (int, int) Hashtbl.t = Hashtbl.create 7";
+  check_flags ~rule:"no-global-mutable-state" ~line:2
+    "module Inner = struct\n  let buf = Buffer.create 16\nend";
+  (* refs local to a function are per-call state, not global *)
+  check_clean ~rule:"no-global-mutable-state"
+    "let fresh () = ref 0\nlet use () = let r = ref 1 in !r";
+  check_clean ~rule:"no-global-mutable-state" "let default_size = 64"
+
+(* ------------------------------------------------------------------ *)
+(* Rule 5: no-direct-print *)
+
+let test_direct_print () =
+  check_flags ~rule:"no-direct-print" ~line:1
+    {|let f () = Printf.printf "x=%d" 3|};
+  check_flags ~rule:"no-direct-print" ~line:2
+    {|let a = 0
+let g () = print_endline "hi"|};
+  check_clean ~rule:"no-direct-print" {|let f () = Report.row "x=%d" 3|};
+  check_clean ~rule:"no-direct-print" {|let s = Printf.sprintf "x=%d" 3|};
+  (* bench/bin print directly by design *)
+  Alcotest.(check (list string))
+    "bench exempt" []
+    (rules_of (lint ~path:"bench/main.ml" {|let f () = print_endline "ok"|}))
+
+(* ------------------------------------------------------------------ *)
+(* Rule 6: no-polymorphic-compare-on-float *)
+
+let test_poly_float_compare () =
+  let rule = "no-polymorphic-compare-on-float" in
+  check_flags ~rule ~line:1 "let f x = x = 1.0";
+  check_flags ~rule ~line:1 "let f a b = compare (a *. 2.0) b";
+  check_flags ~rule ~line:1 "let f x = x <> Float.infinity";
+  check_clean ~rule "let f x = Float.equal x 1.0";
+  check_clean ~rule "let f x = Float.compare x 1.0 < 0";
+  check_clean ~rule "let f x = x = 1";
+  (* < and <= on floats are left alone (no nan-equality trap) *)
+  check_clean ~rule "let f x = x < 1.0"
+
+(* ------------------------------------------------------------------ *)
+(* Rule 7: missing-interface *)
+
+let test_missing_interface () =
+  let src = "let x = 1" in
+  let fs = lint ~mli_exists:false src in
+  Alcotest.(check (list string)) "warns" [ "missing-interface" ] (rules_of fs);
+  (match fs with
+  | [ f ] ->
+    Alcotest.(check string)
+      "severity" "warning"
+      (Finding.severity_to_string f.Finding.severity)
+  | _ -> Alcotest.fail "expected exactly one finding");
+  Alcotest.(check (list string))
+    "mli present" []
+    (rules_of (lint ~mli_exists:true src));
+  Alcotest.(check (list string))
+    "unknown fs state" []
+    (rules_of (lint src));
+  Alcotest.(check (list string))
+    "bench exempt" []
+    (rules_of (lint ~path:"bench/main.ml" ~mli_exists:false src));
+  Alcotest.(check (list string))
+    "file-level allow" []
+    (rules_of
+       (lint ~mli_exists:false
+          "[@@@leotp.allow \"missing-interface\"]\nlet x = 1"))
+
+(* ------------------------------------------------------------------ *)
+(* Suppression *)
+
+let test_allow_expression () =
+  (* expression-scoped allow silences exactly that occurrence *)
+  Alcotest.(check (list string))
+    "silenced" []
+    (rules_of
+       (lint
+          {|let t () = (Unix.gettimeofday () [@leotp.allow "no-wall-clock"])|}));
+  (* ... but not a second, unannotated occurrence *)
+  let fs =
+    lint
+      {|let t () = (Unix.gettimeofday () [@leotp.allow "no-wall-clock"])
+let u () = Unix.gettimeofday ()|}
+  in
+  (match find "no-wall-clock" fs with
+  | [ f ] -> Alcotest.(check int) "line" 2 f.Finding.line
+  | fs -> Alcotest.failf "expected 1 surviving finding, got %d" (List.length fs))
+
+let test_allow_binding () =
+  Alcotest.(check (list string))
+    "binding allow" []
+    (rules_of
+       (lint {|let count = ref 0 [@@leotp.allow "no-global-mutable-state"]|}))
+
+let test_allow_names_one_rule () =
+  (* an allow for rule A must not silence rule B in the same scope *)
+  let fs =
+    lint
+      {|let t () = (Printf.printf "%f" (Unix.gettimeofday ())) [@leotp.allow "no-wall-clock"]|}
+  in
+  Alcotest.(check bool)
+    "wall-clock silenced" true
+    (find "no-wall-clock" fs = []);
+  Alcotest.(check bool)
+    "direct-print survives" true
+    (find "no-direct-print" fs <> [])
+
+let test_allow_file_level () =
+  Alcotest.(check (list string))
+    "file-level" []
+    (rules_of
+       (lint
+          {|[@@@leotp.allow "no-wall-clock"]
+let t () = Unix.gettimeofday ()
+let u () = Unix.gettimeofday ()|}))
+
+let test_allow_malformed_and_unknown () =
+  let fs = lint {|let t () = (Unix.gettimeofday () [@leotp.allow])|} in
+  Alcotest.(check bool)
+    "malformed reported" true
+    (find "malformed-allow" fs <> []);
+  Alcotest.(check bool)
+    "rule still fires" true
+    (find "no-wall-clock" fs <> []);
+  let fs = lint {|let x = (1 [@leotp.allow "no-such-rule"])|} in
+  match find "unknown-rule" fs with
+  | [ f ] -> Alcotest.(check bool) "warning" true (f.Finding.severity = Warning)
+  | _ -> Alcotest.fail "unknown rule id not reported"
+
+(* ------------------------------------------------------------------ *)
+(* Engine plumbing *)
+
+let test_parse_error () =
+  match lint "let let let" with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "parse-error" f.Finding.rule;
+    Alcotest.(check bool) "error" true (f.Finding.severity = Error)
+  | fs -> Alcotest.failf "expected 1 parse-error, got %d findings" (List.length fs)
+
+let test_json_report () =
+  let fs = lint "let t () = Unix.gettimeofday ()" in
+  let json = Finding.report_json ~files:1 fs in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "rule id" true (contains {|"rule":"no-wall-clock"|});
+  Alcotest.(check bool) "file" true (contains {|"file":"lib/core/fixture.ml"|});
+  Alcotest.(check bool) "errors count" true (contains {|"errors":1|})
+
+let test_registry_docs () =
+  (* every advertised rule id is non-empty and unique; doc strings exist *)
+  let ids = Rules.known_ids in
+  Alcotest.(check int) "7 rules" 7 (List.length ids);
+  Alcotest.(check int) "unique"
+    (List.length ids)
+    (List.length (List.sort_uniq String.compare ids));
+  List.iter
+    (fun (r : Rules.t) ->
+      Alcotest.(check bool) (r.id ^ " documented") true (String.length r.doc > 0))
+    Rules.all
+
+let () =
+  Alcotest.run "leotp_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "no-wall-clock" `Quick test_wall_clock;
+          Alcotest.test_case "no-wall-clock scope" `Quick test_wall_clock_scope;
+          Alcotest.test_case "no-unseeded-random" `Quick test_unseeded_random;
+          Alcotest.test_case "ordered-iteration" `Quick test_ordered_iteration;
+          Alcotest.test_case "no-global-mutable-state" `Quick
+            test_global_mutable;
+          Alcotest.test_case "no-direct-print" `Quick test_direct_print;
+          Alcotest.test_case "no-polymorphic-compare-on-float" `Quick
+            test_poly_float_compare;
+          Alcotest.test_case "missing-interface" `Quick test_missing_interface;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "expression allow" `Quick test_allow_expression;
+          Alcotest.test_case "binding allow" `Quick test_allow_binding;
+          Alcotest.test_case "allow names one rule" `Quick
+            test_allow_names_one_rule;
+          Alcotest.test_case "file-level allow" `Quick test_allow_file_level;
+          Alcotest.test_case "malformed / unknown" `Quick
+            test_allow_malformed_and_unknown;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "json report" `Quick test_json_report;
+          Alcotest.test_case "registry" `Quick test_registry_docs;
+        ] );
+    ]
