@@ -337,7 +337,7 @@ let () =
   parse args;
   if !perf_smoke then quick := true;
   Runner.set_jobs !jobs;
-  if !check then Invariants.self_check := true;
+  if !check then Atomic.set Invariants.self_check true;
   if !faults_spec <> None || !trace_flag then begin
     let ok =
       run_fault_lab ~quick:!quick ~out_dir:!out_dir ~spec:!faults_spec

@@ -5,13 +5,20 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-# Static analysis first: determinism & hygiene rules (see LINT.md).
-# Fails on any error-severity finding; LINT.json sits next to the
-# BENCH_*.json records for trend tracking.
+# Static analysis first: determinism & hygiene rules plus the --race
+# interprocedural domain-safety pass (see LINT.md).  Fails on any
+# error-severity finding; LINT.json sits next to the BENCH_*.json
+# records for trend tracking.
 dune build @lint
-dune exec bin/leotp_lint.exe -- --quiet --json LINT.json lib bench bin
+dune exec bin/leotp_lint.exe -- --race --quiet --json LINT.json lib bench bin
 
 dune build @runtest
+
+# Dynamic backstop for the static race pass: it cannot follow thunks
+# stored in data structures (Runner.map job lists), so re-run the
+# parallel-determinism tests on 2 worker domains as well.
+LEOTP_TEST_JOBS=2 dune exec test/test_scenario.exe -- test harness
+LEOTP_TEST_JOBS=2 dune exec test/test_faults.exe -- test determinism
 
 out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT

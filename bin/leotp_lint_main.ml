@@ -1,20 +1,42 @@
 (* leotp-lint CLI: scan .ml trees, print text findings, optionally write
-   a JSON report, exit non-zero iff any error-severity finding.
+   a JSON report.
 
-   Usage: leotp_lint.exe [--json FILE] [--rules] [PATH ...]
-   Default paths: lib bench bin (relative to the cwd). *)
+   Usage: leotp_lint.exe [--race] [--json FILE] [--rules] [PATH ...]
+   Default paths: lib bench bin (relative to the cwd).
+
+   Exit codes (bin/ci.sh relies on this contract):
+     0  clean, or warning-severity findings only
+     1  at least one error-severity finding
+     2  internal failure: unreadable/unparseable input or a crash in
+        the analyzer itself *)
 
 module Finding = Leotp_lint.Finding
 module Rules = Leotp_lint.Rules
 module Engine = Leotp_lint.Engine
+module Race = Leotp_lint.Race
+
+let usage =
+  "leotp_lint [--race] [--json FILE] [--rules] [--quiet] [PATH ...]\n\
+   Static determinism/hygiene analysis (see LINT.md).  Default paths: \
+   lib bench bin.\n\n\
+   Exit codes: 0 = no error-severity findings (warnings allowed);\n\
+   \            1 = error-severity findings;\n\
+   \            2 = internal/parse failure (unreadable or unparseable \
+   input,\n\
+   \                or an analyzer crash).\n\n\
+   Options:"
 
 let () =
   let json_out = ref None in
   let list_rules = ref false in
   let quiet = ref false in
+  let race = ref false in
   let paths = ref [] in
   let spec =
     [
+      ( "--race",
+        Arg.Set race,
+        " also run the interprocedural domain-safety (race) pass" );
       ( "--json",
         Arg.String (fun s -> json_out := Some s),
         "FILE write a JSON report to FILE" );
@@ -22,9 +44,7 @@ let () =
       ("--quiet", Arg.Set quiet, " suppress per-finding text output");
     ]
   in
-  Arg.parse spec
-    (fun p -> paths := p :: !paths)
-    "leotp_lint [--json FILE] [--rules] [--quiet] [PATH ...]";
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
   if !list_rules then begin
     List.iter
       (fun (r : Rules.t) ->
@@ -37,16 +57,31 @@ let () =
   let paths =
     match List.rev !paths with [] -> [ "lib"; "bench"; "bin" ] | ps -> ps
   in
-  let { Engine.files; findings } = Engine.scan paths in
-  if not !quiet then
-    List.iter (fun f -> print_endline (Finding.to_text f)) findings;
-  (match !json_out with
-  | Some file ->
-    Out_channel.with_open_bin file (fun oc ->
-        Out_channel.output_string oc (Finding.report_json ~files findings))
-  | None -> ());
-  let errors = Finding.count Finding.Error findings in
-  let warnings = Finding.count Finding.Warning findings in
-  Printf.printf "leotp-lint: %d file(s), %d error(s), %d warning(s)\n" files
-    errors warnings;
-  exit (if errors > 0 then 1 else 0)
+  match
+    let { Engine.files; findings } = Engine.scan paths in
+    let findings =
+      if !race then
+        List.sort_uniq Finding.compare (Race.scan paths @ findings)
+      else findings
+    in
+    (files, findings)
+  with
+  | exception e ->
+    Printf.eprintf "leotp-lint: internal failure: %s\n" (Printexc.to_string e);
+    exit 2
+  | files, findings ->
+    if not !quiet then
+      List.iter (fun f -> print_endline (Finding.to_text f)) findings;
+    (match !json_out with
+    | Some file ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (Finding.report_json ~files findings))
+    | None -> ());
+    let errors = Finding.count Finding.Error findings in
+    let warnings = Finding.count Finding.Warning findings in
+    Printf.printf "leotp-lint: %d file(s), %d error(s), %d warning(s)\n" files
+      errors warnings;
+    let parse_failures =
+      List.exists (fun f -> f.Finding.rule = "parse-error") findings
+    in
+    exit (if parse_failures then 2 else if errors > 0 then 1 else 0)

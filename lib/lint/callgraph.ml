@@ -1,0 +1,353 @@
+(* Module-qualified call graph of one compilation unit, for the
+   leotp-race pass.
+
+   Purely syntactic, like every other leotp-lint analysis: each
+   top-level (possibly nested-module) function binding becomes a [def]
+   carrying the raw identifier references of its body; closures passed
+   to a domain-spawning sink (Domain.spawn, Domain_pool.submit/run/map)
+   become synthetic entrypoint defs of their own.  Resolution of raw
+   references against defs/globals across files happens in Race, via
+   [resolves].
+
+   Guard regions are recorded as character ranges: everything inside an
+   argument of Guarded.with_/await/get/set or an Atomic /
+   Atomic_counter operation, and everything sequenced after a
+   Mutex.lock (the `Mutex.lock l; ...` / `Fun.protect ~finally:unlock`
+   idiom), is considered to run inside a critical section; references
+   in those ranges are marked [guarded]. *)
+
+open Ppxlib
+
+type reference = {
+  name : string;  (** dotted path exactly as written, e.g. "Runner.map" *)
+  loc : Location.t;
+  guarded : bool;
+}
+
+type def = {
+  qname : string;
+      (** module-qualified, file module included: "Runner.set_jobs" *)
+  scope : string list;  (** enclosing module path, e.g. ["Runner"] *)
+  loc : Location.t;
+  entry : bool;  (** a closure passed straight to a domain-spawning sink *)
+  refs : reference list;
+}
+
+type global = {
+  gqname : string;
+  gloc : Location.t;
+  creator : string;  (** "ref", "Hashtbl.create", "[| |]", "mutable-field" *)
+}
+
+type t = {
+  file : string;
+  module_name : string;
+  defs : def list;
+  globals : global list;
+  bindings : (string * Location.t) list;
+      (** every named top-level value binding, mutable or not
+          (set-field targets are resolved against these) *)
+  entry_names : reference list;
+      (** named functions passed to a spawning sink *)
+  setfields : reference list;
+      (** receivers of [x.f <- e]: evidence that [x] is mutable *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Names and matching *)
+
+let ident_name (lid : Longident.t) =
+  match Longident.flatten_exn lid with
+  | exception _ -> "_"
+  | parts -> String.concat "." parts
+
+let module_name_of_path path =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename path))
+
+let split name = String.split_on_char '.' name
+
+let rec is_suffix ~suffix l =
+  let ls = List.length suffix and ll = List.length l in
+  if ll < ls then false
+  else if ll = ls then l = suffix
+  else match l with [] -> false | _ :: tl -> is_suffix ~suffix tl
+
+let rec drop_last = function
+  | [] | [ _ ] -> []
+  | x :: tl -> x :: drop_last tl
+
+(* Does the raw reference [written], appearing inside module path
+   [scope], plausibly denote the definition/global [qname]?  Bare names
+   resolve only along the enclosing-module chain (OCaml scoping);
+   dotted names match by segment suffix in either direction, because
+   library-qualified references (Leotp_scenario.Runner.map) are longer
+   than our file-level qnames (Runner.map), while references into a
+   nested module (Inner.f) are shorter (Mod.Inner.f). *)
+let resolves ~scope ~written ~qname =
+  let ws = split written and qs = split qname in
+  match ws with
+  | [ _ ] ->
+    let rec chain prefix =
+      prefix @ ws = qs || (prefix <> [] && chain (drop_last prefix))
+    in
+    chain scope
+  | _ -> is_suffix ~suffix:ws qs || is_suffix ~suffix:qs ws
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic classifications *)
+
+let ends_with_any names n =
+  let segs = split n in
+  List.exists (fun s -> is_suffix ~suffix:(split s) segs) names
+
+(* Creators whose result is shared-mutable when bound at top level.
+   Atomic.make and Mutex.create are deliberately absent: an
+   ['a Atomic.t] only admits atomic operations, and a mutex *is* a
+   guard, not a hazard. *)
+let mutable_creators =
+  [
+    "ref";
+    "Hashtbl.create";
+    "Queue.create";
+    "Stack.create";
+    "Buffer.create";
+    "Bytes.create";
+    "Bytes.make";
+    "Array.make";
+    "Array.init";
+    "Array.create_float";
+  ]
+
+let rec creator_of_rhs (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, _) -> creator_of_rhs inner
+  | Pexp_array _ -> Some "[| |]"
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    let n = ident_name txt in
+    if List.mem n mutable_creators then Some n else None
+  | _ -> None
+
+(* Application heads that move their function argument onto another
+   domain: those arguments are domain entrypoints. *)
+let spawn_sinks =
+  [ "Domain.spawn"; "Domain_pool.submit"; "Domain_pool.run"; "Domain_pool.map" ]
+
+(* Application heads whose arguments run inside a critical section or
+   are atomic operations.  Module *aliases* are only recognised when
+   the alias keeps the module's own name (module Guarded =
+   Leotp_util.Guarded); a rename hides the guard and the access will be
+   flagged — prefer same-name aliases. *)
+let guard_fns =
+  [
+    "Guarded.with_";
+    "Guarded.await";
+    "Guarded.get";
+    "Guarded.set";
+    "Guarded.create";
+    "Atomic.get";
+    "Atomic.set";
+    "Atomic.make";
+    "Atomic.exchange";
+    "Atomic.incr";
+    "Atomic.decr";
+    "Atomic.fetch_and_add";
+    "Atomic.compare_and_set";
+  ]
+
+let is_guard_fn n =
+  ends_with_any guard_fns n
+  ||
+  (* Atomic_counter.incr / Atomic_counter.Sum.add / ... — every
+     operation of the counter module is atomic by construction. *)
+  List.exists (fun seg -> seg = "Atomic_counter") (split n)
+
+let is_spawn_sink n = ends_with_any spawn_sinks n
+let is_mutex_lock n = ends_with_any [ "Mutex.lock" ] n
+
+let is_function (e : expression) =
+  match e.pexp_desc with Pexp_function _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Per-binding body analysis *)
+
+type range = { start_c : int; end_c : int }
+
+let range_of (loc : Location.t) =
+  { start_c = loc.loc_start.pos_cnum; end_c = loc.loc_end.pos_cnum }
+
+let contains r (loc : Location.t) =
+  r.start_c <= loc.loc_start.pos_cnum && loc.loc_start.pos_cnum <= r.end_c
+
+type body_facts = {
+  mutable idents : (string * Location.t) list;
+  mutable guards : range list;
+  mutable entries : Location.t list;  (** literal closures passed to sinks *)
+  mutable entry_name_refs : (string * Location.t) list;
+  mutable setfield_refs : (string * Location.t) list;
+}
+
+let facts_of_body (body : expression) =
+  let fx =
+    {
+      idents = [];
+      guards = [];
+      entries = [];
+      entry_name_refs = [];
+      setfield_refs = [];
+    }
+  in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+          fx.idents <- (ident_name txt, e.pexp_loc) :: fx.idents
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+          let n = ident_name txt in
+          if is_guard_fn n then
+            List.iter
+              (fun ((_, a) : arg_label * expression) ->
+                fx.guards <- range_of a.pexp_loc :: fx.guards)
+              args;
+          if is_spawn_sink n then
+            List.iter
+              (fun ((_, a) : arg_label * expression) ->
+                if is_function a then
+                  fx.entries <- a.pexp_loc :: fx.entries
+                else
+                  match a.pexp_desc with
+                  | Pexp_ident { txt; _ } ->
+                    fx.entry_name_refs <-
+                      (ident_name txt, a.pexp_loc) :: fx.entry_name_refs
+                  | _ -> ())
+              args
+        | Pexp_sequence (e1, e2) -> (
+          match e1.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+            when is_mutex_lock (ident_name txt) ->
+            fx.guards <- range_of e2.pexp_loc :: fx.guards
+          | _ -> ())
+        | Pexp_setfield (recv, _, _) -> (
+          match recv.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+            fx.setfield_refs <-
+              (ident_name txt, recv.pexp_loc) :: fx.setfield_refs
+          | _ -> ())
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression body;
+  fx
+
+(* ------------------------------------------------------------------ *)
+(* Structure walk *)
+
+let binding_name (vb : value_binding) =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
+  | _ -> None
+
+let of_structure ~path st =
+  let module_name = module_name_of_path path in
+  let defs = ref [] in
+  let globals = ref [] in
+  let bindings = ref [] in
+  let entry_names = ref [] in
+  let setfields = ref [] in
+  let no_guard (n, loc) = { name = n; loc; guarded = false } in
+  let rec items scope sis = List.iter (item scope) sis
+  and item scope (si : structure_item) =
+    match si.pstr_desc with
+    | Pstr_value (_, vbs) -> List.iter (binding scope) vbs
+    | Pstr_module { pmb_name = { txt = Some name; _ }; pmb_expr; _ } ->
+      module_expr (scope @ [ name ]) pmb_expr
+    | Pstr_module { pmb_name = { txt = None; _ }; _ } -> ()
+    | Pstr_recmodule mbs ->
+      List.iter
+        (fun (mb : module_binding) ->
+          match mb.pmb_name.txt with
+          | Some name -> module_expr (scope @ [ name ]) mb.pmb_expr
+          | None -> ())
+        mbs
+    | Pstr_include { pincl_mod; _ } -> module_expr scope pincl_mod
+    | _ -> ()
+  and module_expr scope (me : module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure sis -> items scope sis
+    | Pmod_constraint (me, _) -> module_expr scope me
+    | Pmod_functor (_, me) -> module_expr scope me
+    | _ -> ()
+  and binding scope (vb : value_binding) =
+    let qname =
+      match binding_name vb with
+      | Some n ->
+        let q = String.concat "." (scope @ [ n ]) in
+        bindings := (q, vb.pvb_loc) :: !bindings;
+        q
+      | None ->
+        Printf.sprintf "%s.<top:%d>" (String.concat "." scope)
+          vb.pvb_loc.loc_start.pos_lnum
+    in
+    (match creator_of_rhs vb.pvb_expr with
+    | Some creator ->
+      globals := { gqname = qname; gloc = vb.pvb_loc; creator } :: !globals
+    | None -> ());
+    let fx = facts_of_body vb.pvb_expr in
+    entry_names := List.map no_guard fx.entry_name_refs @ !entry_names;
+    setfields := List.map no_guard fx.setfield_refs @ !setfields;
+    let guarded loc = List.exists (fun r -> contains r loc) fx.guards in
+    let entry_ranges = List.map range_of fx.entries in
+    let in_entry loc = List.exists (fun r -> contains r loc) entry_ranges in
+    let refs_where pred =
+      List.filter_map
+        (fun (n, loc) ->
+          if pred loc then Some { name = n; loc; guarded = guarded loc }
+          else None)
+        (List.rev fx.idents)
+    in
+    (* The binding itself is a node only if it is a function (its body
+       runs when called); a plain top-level value's RHS runs once at
+       module init, on the main domain, and is never re-entered. *)
+    if is_function vb.pvb_expr then
+      defs :=
+        {
+          qname;
+          scope;
+          loc = vb.pvb_loc;
+          entry = false;
+          refs = refs_where (fun loc -> not (in_entry loc));
+        }
+        :: !defs;
+    (* Each literal closure handed to a spawn sink is its own
+       entrypoint node, carrying exactly the refs of its body. *)
+    List.iter
+      (fun (eloc : Location.t) ->
+        let er = range_of eloc in
+        defs :=
+          {
+            qname =
+              Printf.sprintf "%s.<entry:%d:%d>" qname eloc.loc_start.pos_lnum
+                (eloc.loc_start.pos_cnum - eloc.loc_start.pos_bol);
+            scope;
+            loc = eloc;
+            entry = true;
+            refs = refs_where (fun loc -> contains er loc);
+          }
+          :: !defs)
+      fx.entries
+  in
+  items [ module_name ] st;
+  {
+    file = path;
+    module_name;
+    defs = List.rev !defs;
+    globals = List.rev !globals;
+    bindings = List.rev !bindings;
+    entry_names = List.rev !entry_names;
+    setfields = List.rev !setfields;
+  }

@@ -1,0 +1,72 @@
+(** Syntactic, module-qualified call graph of one compilation unit —
+    the substrate of the leotp-race pass (see {!Race}).
+
+    Nodes are top-level function bindings (recursing through nested
+    modules, module constraints and functor bodies) plus one synthetic
+    {e entrypoint} node per literal closure passed to a domain-spawning
+    sink ([Domain.spawn], [Domain_pool.submit]/[run]/[map]).  Each node
+    carries the raw identifier references of its body, tagged with
+    whether they sit inside a recognised critical section
+    ([Guarded.with_]/[await]/[get]/[set] argument, an [Atomic] /
+    [Atomic_counter] operation, or code sequenced after a
+    [Mutex.lock]).  Cross-file name resolution is left to the caller
+    via {!resolves}. *)
+
+type reference = {
+  name : string;  (** dotted path exactly as written, e.g. "Runner.map" *)
+  loc : Ppxlib.Location.t;
+  guarded : bool;  (** inside a recognised critical section / atomic op *)
+}
+
+type def = {
+  qname : string;
+      (** module-qualified, file module included: ["Runner.set_jobs"];
+          entrypoint closures get ["<parent>.<entry:LINE:COL>"] *)
+  scope : string list;  (** enclosing module path, e.g. [["Runner"]] *)
+  loc : Ppxlib.Location.t;
+  entry : bool;  (** a closure passed straight to a domain-spawning sink *)
+  refs : reference list;
+}
+
+type global = {
+  gqname : string;
+  gloc : Ppxlib.Location.t;
+  creator : string;
+      (** which constructor made it mutable: ["ref"],
+          ["Hashtbl.create"], ["[| |]"], ... or ["mutable-field"] when
+          inferred from a [x.f <- e] assignment *)
+}
+
+type t = {
+  file : string;
+  module_name : string;
+  defs : def list;
+  globals : global list;
+      (** top-level bindings whose right-hand side is a known mutable
+          creator.  [Atomic.make] and [Mutex.create] are deliberately
+          not tracked: atomics only admit atomic operations, and a
+          mutex is a guard. *)
+  bindings : (string * Ppxlib.Location.t) list;
+      (** every named top-level value binding, mutable or not *)
+  entry_names : reference list;
+      (** named functions passed to a spawning sink *)
+  setfields : reference list;
+      (** receivers of [x.f <- e]: evidence that a binding holds a
+          mutable record *)
+}
+
+val of_structure : path:string -> Ppxlib.structure -> t
+(** Build the graph for one parsed unit; [path] determines the file
+    module name (["lib/scenario/runner.ml"] → ["Runner"]). *)
+
+val module_name_of_path : string -> string
+
+val resolves : scope:string list -> written:string -> qname:string -> bool
+(** Best-effort name resolution: does [written], appearing inside
+    module path [scope], plausibly denote [qname]?  Bare names resolve
+    along the enclosing-module chain only; dotted names match by
+    segment suffix in either direction (so both
+    ["Leotp_scenario.Runner.map"] and ["Runner.map"] reach
+    ["Runner.map"], and ["Inner.f"] reaches ["Mod.Inner.f"]).
+    Over-approximates on collisions; the race pass reports per-file
+    witnesses, so collisions surface visibly rather than silently. *)

@@ -106,18 +106,23 @@ let parse_error ~path msg =
   { Finding.rule = "parse-error"; severity = Error; file = path; line = 1;
     col = 0; message = msg }
 
-let lint_source ~path ?mli_exists contents =
+let parse_impl ~path contents =
   let lexbuf = Lexing.from_string contents in
   Lexing.set_filename lexbuf path;
   match Parse.implementation lexbuf with
+  | st -> Ok st
   | exception exn ->
     let msg =
       match Location.Error.of_exn exn with
       | Some e -> Location.Error.message e
       | None -> Printexc.to_string exn
     in
-    [ parse_error ~path ("file does not parse: " ^ msg) ]
-  | st ->
+    Error msg
+
+let lint_source ~path ?mli_exists contents =
+  match parse_impl ~path contents with
+  | Error msg -> [ parse_error ~path ("file does not parse: " ^ msg) ]
+  | Ok st ->
     let scope = Rules.scope_of_path path in
     let allows = collect_allows st in
     let raw = ref [] in
@@ -209,4 +214,9 @@ let scan paths =
         else [ parse_error ~path:f "no such file or directory" ])
       files
   in
-  { files = List.length files; findings = List.sort Finding.compare findings }
+  (* sort_uniq: identical findings from re-scanned files collapse, and
+     repeated runs emit byte-identical reports. *)
+  {
+    files = List.length files;
+    findings = List.sort_uniq Finding.compare findings;
+  }

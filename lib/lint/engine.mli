@@ -15,5 +15,26 @@ type report = { files : int; findings : Finding.t list }
 
 val scan : string list -> report
 (** Recursively lint every [.ml] under the given files/directories
-    (skipping [_build], dot-dirs and the like), in sorted order so the
-    report is deterministic. *)
+    (skipping [_build], dot-dirs and the like), in sorted order and with
+    exact-duplicate findings collapsed, so the report is deterministic
+    and byte-identical across runs. *)
+
+(** {2 Shared plumbing for other passes (Race)} *)
+
+val parse_impl :
+  path:string -> string -> (Ppxlib.structure, string) result
+(** Parse one implementation with positions attributed to [path]. *)
+
+val ml_files_under : string -> string list
+(** Every [.ml] file under a root (the walk {!scan} uses): skips
+    [_build], dot-dirs, [_opam], [node_modules]. *)
+
+type allows
+(** Collected [[@leotp.allow]] suppressions of one unit. *)
+
+val collect_allows : Ppxlib.structure -> allows
+
+val suppressed :
+  allows -> rule:string -> loc:Ppxlib.Location.t -> bool
+(** Is [rule] allowed at [loc] — by a file-level [[@@@leotp.allow]] or
+    an item/expression allow whose range contains [loc]? *)

@@ -11,6 +11,11 @@ type t = {
   message : string;
 }
 
+let severity_rank = function Error -> 0 | Warning -> 1
+
+(* Primary order is (file, line, col, rule-id) — the report contract —
+   with severity and message as final tie-breakers so the order is
+   total and [List.sort_uniq] deduplicates exact duplicates only. *)
 let compare a b =
   let c = String.compare a.file b.file in
   if c <> 0 then c
@@ -19,7 +24,13 @@ let compare a b =
     if c <> 0 then c
     else
       let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c
+        else
+          let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+          if c <> 0 then c else String.compare a.message b.message
 
 let to_text f =
   Printf.sprintf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col

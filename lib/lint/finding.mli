@@ -14,7 +14,9 @@ type t = {
 }
 
 val compare : t -> t -> int
-(** Order by file, then line, then column, then rule id. *)
+(** Order by file, then line, then column, then rule id (severity and
+    message break remaining ties, so the order is total and
+    [List.sort_uniq] collapses exact duplicates only). *)
 
 val to_text : t -> string
 (** [file:line:col: [severity] rule-id: message] — one line, no newline. *)

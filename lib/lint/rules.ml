@@ -393,6 +393,27 @@ let missing_interface =
     check = (fun ~emit:_ _ -> ());
   }
 
+(* -- Rule 8: domain-unsafe-access ------------------------------------ *)
+
+(* Like missing-interface, the AST check here is a no-op: the real
+   analysis is interprocedural (entrypoint reachability across files)
+   and lives in Race, run via `leotp_lint.exe --race`.  Registering the
+   id here makes --rules list it and lets allow-validation accept
+   [@leotp.allow "domain-unsafe-access"]. *)
+let domain_unsafe_access_id = "domain-unsafe-access"
+
+let domain_unsafe_access =
+  {
+    id = domain_unsafe_access_id;
+    severity = Finding.Error;
+    doc =
+      "top-level mutable state reachable from a Domain_pool/Domain.spawn \
+       entrypoint must be accessed inside Guarded/Atomic/Mutex critical \
+       sections (interprocedural; run with --race)";
+    applies = everywhere;
+    check = (fun ~emit:_ _ -> ());
+  }
+
 let all =
   [
     no_wall_clock;
@@ -402,6 +423,7 @@ let all =
     no_direct_print;
     no_poly_float_compare;
     missing_interface;
+    domain_unsafe_access;
   ]
 
 let known_ids = List.map (fun r -> r.id) all

@@ -148,7 +148,7 @@ let apply_fault ~hops ~midnodes (ev : Fault.event) =
 
 let observed ~engine ~links ?trace ?on_reports ?(sweep = fun ~now:_ -> ())
     ~label f =
-  let self = !Invariants.self_check in
+  let self = Atomic.get Invariants.self_check in
   let checker =
     if self || Option.is_some on_reports then Some (Invariants.create ())
     else None

@@ -4,9 +4,12 @@ type report = { invariant : string; ok : bool; detail : string }
 
 exception Violation of string
 
-(* Set once at startup by the golden-figure self-check harness, before
-   any jobs run; never written concurrently. *)
-let self_check = ref false [@@leotp.allow "no-global-mutable-state"]
+(* Set once at startup by the golden-figure self-check harness; atomic
+   because worker domains read it mid-run (see Common.observed).  The
+   allow covers determinism, not safety: flipping it mid-sweep would
+   change which runs are checked, so harnesses set it before any jobs
+   start. *)
+let self_check = Atomic.make false [@@leotp.allow "no-global-mutable-state"]
 
 (* Per-link event-stream counters plus the link's own final snapshot. *)
 type link_acc = {

@@ -38,9 +38,11 @@ val to_string : report list -> string
 
 exception Violation of string
 
-val self_check : bool ref
+val self_check : bool Atomic.t
 (** When set, every {!Common.observed} scenario attaches a checker and
-    raises {!Violation} at the end of the run if any invariant fails. *)
+    raises {!Violation} at the end of the run if any invariant fails.
+    Atomic (it is read from worker domains); set it before the first
+    job runs so every run of a sweep is checked alike. *)
 
 val check : ?eps:float -> now:float -> label:string -> t -> unit
 (** Finalize and raise {!Violation} (prefixed with [label]) unless all

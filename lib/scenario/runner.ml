@@ -8,7 +8,16 @@
    their start, so output is bit-identical whatever the parallelism.
 
    The runner also aggregates per-job perf counters (simulated seconds,
-   allocation) for the bench harness's BENCH_*.json records. *)
+   allocation) for the bench harness's BENCH_*.json records.
+
+   This module *is* the process-wide job-runner singleton, but all of
+   its shared state lives in Guarded / Atomic_counter cells, so every
+   cross-domain access is a critical section or an atomic op by
+   construction — verified by `leotp_lint.exe --race`, not by a blanket
+   allow. *)
+
+module Guarded = Leotp_util.Guarded
+module Atomic_counter = Leotp_util.Atomic_counter
 
 type counters = {
   jobs_run : int;
@@ -17,52 +26,45 @@ type counters = {
       (** bytes allocated while running jobs, summed across worker domains *)
 }
 
-(* This module *is* the process-wide job-runner singleton: the mutex,
-   the pool handle and the perf counters exist once per process by
-   design, all access is serialized through [protected], and jobs reset
-   their domain-local state on entry — so the shared state here cannot
-   leak into job results (verified by the parallel-determinism test). *)
-[@@@leotp.allow "no-global-mutable-state"]
+type pool_state = {
+  mutable jobs : int;
+  mutable pool : Leotp_util.Domain_pool.t option;
+}
 
-let lock = Mutex.create ()
-let jobs_setting = ref 1
-let pool : Leotp_util.Domain_pool.t option ref = ref None
-let c_jobs = ref 0
-let c_sim = ref 0.0
-let c_alloc = ref 0.0
+let state = Guarded.create { jobs = 1; pool = None }
+let c_jobs = Atomic_counter.create ()
+let c_sim = Atomic_counter.Sum.create ()
+let c_alloc = Atomic_counter.Sum.create ()
 
-let protected f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
-
-let jobs () = !jobs_setting
+let jobs () = Guarded.with_ state (fun s -> s.jobs)
 
 let set_jobs n =
   if n < 1 then invalid_arg "Runner.set_jobs: need n >= 1";
   let old =
-    protected (fun () ->
-        if n = !jobs_setting then None
+    Guarded.with_ state (fun s ->
+        if n = s.jobs then None
         else begin
-          let old = !pool in
-          pool := None;
-          jobs_setting := n;
+          let old = s.pool in
+          s.pool <- None;
+          s.jobs <- n;
           old
         end)
   in
   Option.iter Leotp_util.Domain_pool.shutdown old
 
 let reset_counters () =
-  protected (fun () ->
-      c_jobs := 0;
-      c_sim := 0.0;
-      c_alloc := 0.0)
+  Atomic_counter.reset c_jobs;
+  Atomic_counter.Sum.reset c_sim;
+  Atomic_counter.Sum.reset c_alloc
 
 let counters () =
-  protected (fun () ->
-      { jobs_run = !c_jobs; sim_seconds = !c_sim; alloc_bytes = !c_alloc })
+  {
+    jobs_run = Atomic_counter.get c_jobs;
+    sim_seconds = Atomic_counter.Sum.get c_sim;
+    alloc_bytes = Atomic_counter.Sum.get c_alloc;
+  }
 
-let note_sim_seconds s =
-  if s > 0.0 then protected (fun () -> c_sim := !c_sim +. s)
+let note_sim_seconds s = if s > 0.0 then Atomic_counter.Sum.add c_sim s
 
 (* [Gc.allocated_bytes] is domain-local, and each job runs entirely on
    one domain, so the delta is exact even under --jobs N. *)
@@ -70,22 +72,21 @@ let instrumented f () =
   let a0 = Gc.allocated_bytes () in
   let r = f () in
   let a1 = Gc.allocated_bytes () in
-  protected (fun () ->
-      incr c_jobs;
-      c_alloc := !c_alloc +. (a1 -. a0));
+  Atomic_counter.incr c_jobs;
+  Atomic_counter.Sum.add c_alloc (a1 -. a0);
   r
 
 let get_pool n =
-  protected (fun () ->
-      match !pool with
+  Guarded.with_ state (fun s ->
+      match s.pool with
       | Some p -> p
       | None ->
         let p = Leotp_util.Domain_pool.create ~size:n in
-        pool := Some p;
+        s.pool <- Some p;
         p)
 
 let map thunks =
-  match !jobs_setting with
+  match jobs () with
   | 1 -> List.map (fun f -> instrumented f ()) thunks
   | n ->
     let p = get_pool n in

@@ -2,98 +2,91 @@
 
    Built for embarrassingly-parallel experiment sweeps: tasks are
    closures that own all their state (engine, rng, topology), so the
-   only shared structure is the queue itself, protected by one mutex. *)
+   only shared structures are the work queue and the per-[map] result
+   aggregate — both held in a Guarded.t, so every cross-domain access
+   is a critical section by construction (and analyses as such under
+   leotp-race). *)
 
 type task = unit -> unit
 
+type state = {
+  tasks : task Queue.t;
+  mutable shutting_down : bool;
+}
+
 type t = {
   size : int;
-  tasks : task Queue.t;
-  mutex : Mutex.t;
-  work_available : Condition.t;
-  mutable shutting_down : bool;
+  state : state Guarded.t;
   mutable workers : unit Domain.t list;
+      (* spawned once in [create], joined and cleared in [shutdown];
+         only ever touched by the owning (submitting) domain *)
 }
 
 let size t = t.size
 
-let rec worker_loop t =
-  Mutex.lock t.mutex;
-  while Queue.is_empty t.tasks && not t.shutting_down do
-    Condition.wait t.work_available t.mutex
-  done;
-  if Queue.is_empty t.tasks then Mutex.unlock t.mutex (* shutting down *)
-  else begin
-    let task = Queue.pop t.tasks in
-    Mutex.unlock t.mutex;
+let rec worker_loop state =
+  match
+    Guarded.await state (fun s ->
+        match Queue.take_opt s.tasks with
+        | Some task -> Some (Some task)
+        | None -> if s.shutting_down then Some None else None)
+  with
+  | None -> () (* shutting down *)
+  | Some task ->
     (* Tasks are expected to trap their own exceptions ([map] wraps them
        in [Result]); a raise here must not kill the worker. *)
     (try task () with _ -> ());
-    worker_loop t
-  end
+    worker_loop state
 
 let create ~size =
   if size < 1 then invalid_arg "Domain_pool.create: size must be >= 1";
-  let t =
-    {
-      size;
-      tasks = Queue.create ();
-      mutex = Mutex.create ();
-      work_available = Condition.create ();
-      shutting_down = false;
-      workers = [];
-    }
+  let state =
+    Guarded.create { tasks = Queue.create (); shutting_down = false }
   in
-  t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
-  t
+  {
+    size;
+    state;
+    workers =
+      List.init size (fun _ -> Domain.spawn (fun () -> worker_loop state));
+  }
 
 let submit t task =
-  Mutex.lock t.mutex;
-  if t.shutting_down then begin
-    Mutex.unlock t.mutex;
-    invalid_arg "Domain_pool.submit: pool is shut down"
-  end;
-  Queue.push task t.tasks;
-  Condition.signal t.work_available;
-  Mutex.unlock t.mutex
+  Guarded.with_ t.state (fun s ->
+      if s.shutting_down then
+        invalid_arg "Domain_pool.submit: pool is shut down";
+      Queue.push task s.tasks)
 
 let shutdown t =
-  Mutex.lock t.mutex;
-  t.shutting_down <- true;
-  Condition.broadcast t.work_available;
-  Mutex.unlock t.mutex;
+  Guarded.with_ t.state (fun s -> s.shutting_down <- true);
   List.iter Domain.join t.workers;
   t.workers <- []
+
+(* Result aggregation for [map]: workers fill disjoint slots and
+   decrement [remaining] inside the critical section; the caller awaits
+   [remaining = 0]. *)
+type 'r agg = {
+  out : 'r option array;
+  mutable remaining : int;
+}
 
 let map t f xs =
   let arr = Array.of_list xs in
   let n = Array.length arr in
   if n = 0 then []
   else begin
-    let out = Array.make n None in
-    let remaining = ref n in
-    let m = Mutex.create () in
-    let all_done = Condition.create () in
+    let agg = Guarded.create { out = Array.make n None; remaining = n } in
     Array.iteri
       (fun i x ->
         submit t (fun () ->
             let r = try Ok (f x) with e -> Error e in
-            Mutex.lock m;
-            out.(i) <- Some r;
-            decr remaining;
-            if !remaining = 0 then Condition.signal all_done;
-            Mutex.unlock m))
+            Guarded.with_ agg (fun a ->
+                a.out.(i) <- Some r;
+                a.remaining <- a.remaining - 1)))
       arr;
-    Mutex.lock m;
-    while !remaining > 0 do
-      Condition.wait all_done m
-    done;
-    Mutex.unlock m;
-    Array.to_list
-      (Array.map
-         (function
-           | Some (Ok v) -> v
-           | Some (Error e) -> raise e
-           | None -> assert false)
-         out)
+    Guarded.await agg (fun a -> if a.remaining = 0 then Some a.out else None)
+    |> Array.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+    |> Array.to_list
   end

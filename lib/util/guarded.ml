@@ -1,0 +1,42 @@
+(* A value bundled with the mutex (and condition variable) that guards
+   it.  The payload is only ever reachable through [with_]/[await], so
+   an unlocked access is unrepresentable — which is exactly the shape
+   the leotp-race static pass recognises as safe (see LINT.md, "Domain
+   safety"). *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  changed : Condition.t;
+  mutable value : 'a;
+}
+
+let create value =
+  { mutex = Mutex.create (); changed = Condition.create (); value }
+
+(* Every exit from a critical section broadcasts: [with_] may have
+   changed the payload, and a spurious wakeup in [await] only re-checks
+   the predicate.  Broadcasting before unlock keeps the pair atomic. *)
+let leave t =
+  Condition.broadcast t.changed;
+  Mutex.unlock t.mutex
+
+let with_ t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> leave t) (fun () -> f t.value)
+
+let await t f =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> leave t)
+    (fun () ->
+      let rec loop () =
+        match f t.value with
+        | Some r -> r
+        | None ->
+          Condition.wait t.changed t.mutex;
+          loop ()
+      in
+      loop ())
+
+let get t = with_ t (fun v -> v)
+let set t v = with_ t (fun _ -> t.value <- v)

@@ -228,14 +228,23 @@ let test_digest_replay_identical () =
   Alcotest.(check bool) "different seed, different digest" true (d1 <> d3)
 
 let test_digest_across_jobs () =
+  let njobs =
+    match
+      Option.bind (Sys.getenv_opt "LEOTP_TEST_JOBS") int_of_string_opt
+    with
+    | Some n when n >= 2 -> n
+    | _ -> 4
+  in
   let seeds = [ 11; 22; 33; 44 ] in
   let run () = Runner.map (List.map (fun s () -> digest_of_run s) seeds) in
   Runner.set_jobs 1;
   let sequential = run () in
-  Runner.set_jobs 4;
+  Runner.set_jobs njobs;
   let parallel = run () in
   Runner.set_jobs 1;
-  Alcotest.(check (list string)) "jobs 1 = jobs 4" sequential parallel
+  Alcotest.(check (list string))
+    (Printf.sprintf "jobs 1 = jobs %d" njobs)
+    sequential parallel
 
 let () =
   let qc = QCheck_alcotest.to_alcotest in

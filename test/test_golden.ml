@@ -117,7 +117,7 @@ let test_fig15 () =
 let () =
   (* Every scenario in this binary runs with the five protocol invariants
      checked; a violation raises and fails the figure's test case. *)
-  Leotp_scenario.Invariants.self_check := true;
+  Atomic.set Leotp_scenario.Invariants.self_check true;
   Alcotest.run "leotp_golden"
     [
       ( "figures",

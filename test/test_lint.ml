@@ -242,7 +242,7 @@ let test_json_report () =
 let test_registry_docs () =
   (* every advertised rule id is non-empty and unique; doc strings exist *)
   let ids = Rules.known_ids in
-  Alcotest.(check int) "7 rules" 7 (List.length ids);
+  Alcotest.(check int) "8 rules" 8 (List.length ids);
   Alcotest.(check int) "unique"
     (List.length ids)
     (List.length (List.sort_uniq String.compare ids));

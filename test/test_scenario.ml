@@ -127,12 +127,21 @@ let test_starlink_isls_long_path () =
   Alcotest.(check bool) "delivers across the Pacific" true
     (r.Leotp_scenario.Starlink.summary.C.goodput_mbps > 2.0)
 
+(* Worker-domain count for the determinism tests: 4 by default, but
+   overridable so bin/ci.sh can re-run the dynamic backstop with a
+   different parallelism (LEOTP_TEST_JOBS=2) than the dev default. *)
+let determinism_jobs () =
+  match Option.bind (Sys.getenv_opt "LEOTP_TEST_JOBS") int_of_string_opt with
+  | Some n when n >= 2 -> n
+  | _ -> 4
+
 let test_runner_parallel_determinism () =
-  (* The acceptance bar for bench --jobs N: a sweep run on 4 worker
+  (* The acceptance bar for bench --jobs N: a sweep run on N worker
      domains must produce results byte-identical to the sequential run
      (every job owns its engine/rng and resets domain-local id counters,
      so exact float equality is required, not approximate). *)
   let module R = Leotp_scenario.Runner in
+  let njobs = determinism_jobs () in
   let sweep () =
     R.grid
       [ leotp; C.Tcp Cc.Cubic ]
@@ -150,7 +159,7 @@ let test_runner_parallel_determinism () =
   in
   R.set_jobs 1;
   let sequential = sweep () in
-  R.set_jobs 4;
+  R.set_jobs njobs;
   let parallel = sweep () in
   R.set_jobs 1;
   Alcotest.(check int) "same cell count" (List.length sequential)
@@ -158,7 +167,7 @@ let test_runner_parallel_determinism () =
   List.iteri
     (fun i (s, p) ->
       Alcotest.(check bool)
-        (Printf.sprintf "cell %d identical (seq vs jobs=4)" i)
+        (Printf.sprintf "cell %d identical (seq vs jobs=%d)" i njobs)
         true (s = p))
     (List.combine sequential parallel)
 

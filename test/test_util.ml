@@ -336,6 +336,67 @@ let test_domain_pool_domain_local_state () =
   Domain_pool.shutdown pool
 
 (* ------------------------------------------------------------------ *)
+(* Guarded / Atomic_counter *)
+
+let test_guarded_counts_across_domains () =
+  (* 4 domains x 1000 increments through with_: no lost updates. *)
+  let cell = Guarded.create (ref 0) in
+  let worker () =
+    for _ = 1 to 1000 do
+      Guarded.with_ cell (fun r -> incr r)
+    done
+  in
+  let ds = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost updates" 4000 (Guarded.with_ cell (fun r -> !r))
+
+let test_guarded_await () =
+  (* await blocks until a producer domain pushes enough elements. *)
+  let q = Guarded.create (Queue.create ()) in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to 10 do
+          Guarded.with_ q (fun q -> Queue.push i q)
+        done)
+  in
+  let sum = ref 0 and got = ref 0 in
+  while !got < 10 do
+    let v = Guarded.await q (fun q -> Queue.take_opt q) in
+    incr got;
+    sum := !sum + v
+  done;
+  Domain.join producer;
+  Alcotest.(check int) "all consumed" 55 !sum
+
+let test_guarded_get_set () =
+  let g = Guarded.create 1 in
+  Guarded.set g 42;
+  Alcotest.(check int) "set/get" 42 (Guarded.get g);
+  (* with_ releases the lock on exception *)
+  (try Guarded.with_ g (fun _ -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "usable after raise" 42 (Guarded.get g)
+
+let test_atomic_counter () =
+  let c = Atomic_counter.create () in
+  let s = Atomic_counter.Sum.create () in
+  let worker () =
+    for _ = 1 to 1000 do
+      Atomic_counter.incr c;
+      Atomic_counter.Sum.add s 0.5
+    done
+  in
+  let ds = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "int counter" 4000 (Atomic_counter.get c);
+  check_float "float sum" 2000.0 (Atomic_counter.Sum.get s);
+  Atomic_counter.reset c;
+  Atomic_counter.Sum.reset s;
+  Alcotest.(check int) "reset" 0 (Atomic_counter.get c);
+  check_float "sum reset" 0.0 (Atomic_counter.Sum.get s);
+  Atomic_counter.add c 7;
+  Alcotest.(check int) "add" 7 (Atomic_counter.get c)
+
+(* ------------------------------------------------------------------ *)
 (* Stats *)
 
 let test_stats_basic () =
@@ -760,6 +821,14 @@ let () =
           Alcotest.test_case "exceptions" `Quick test_domain_pool_exception;
           Alcotest.test_case "domain-local state" `Quick
             test_domain_pool_domain_local_state;
+        ] );
+      ( "guarded",
+        [
+          Alcotest.test_case "cross-domain counts" `Quick
+            test_guarded_counts_across_domains;
+          Alcotest.test_case "await" `Quick test_guarded_await;
+          Alcotest.test_case "get/set/raise" `Quick test_guarded_get_set;
+          Alcotest.test_case "atomic counter" `Quick test_atomic_counter;
         ] );
       ( "stats",
         [
