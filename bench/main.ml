@@ -30,6 +30,7 @@ module Common = Leotp_scenario.Common
 module Invariants = Leotp_scenario.Invariants
 module Fault = Leotp_sim.Fault
 module Trace = Leotp_net.Trace
+module Fuzz = Leotp_scenario.Fuzz
 
 (* ------------------------------------------------------------------ *)
 (* Fig 19: Midnode CPU overhead, as per-packet processing cost          *)
@@ -267,14 +268,60 @@ let run_fault_lab ~quick ~out_dir ~spec ~trace_wanted =
   print_endline (Invariants.to_string reports);
   Invariants.all_ok reports
 
+(* ------------------------------------------------------------------ *)
+(* Fuzz mode: random scenarios through the differential oracle
+   (Leotp_check) and invariant checker, failures shrunk to a replay
+   spec.  Deterministic in --seed; cells parallelize under --jobs. *)
+
+let print_failure (f : Fuzz.failure) =
+  Printf.printf "  FAIL %-10s seed=%d  (%d shrink runs)\n" f.Fuzz.protocol
+    f.Fuzz.spec.Fuzz.seed f.Fuzz.shrink_runs;
+  List.iter (fun p -> Printf.printf "    %s\n" p) f.Fuzz.problems;
+  Printf.printf "    replay: --fuzz-replay '%s'\n"
+    (Fuzz.replay_to_string ~protocol:f.Fuzz.protocol f.Fuzz.spec)
+
+let run_fuzz ~cases ~seed =
+  Printf.printf
+    "\n=== fuzz: %d cases x (leotp + 7 TCP variants), seed %d ===\n%!" cases
+    seed;
+  let wall0 = Unix.gettimeofday () in
+  let out = Fuzz.run ~seed ~cases () in
+  Printf.printf
+    "  %d runs, %d ack events checked by the oracle, %d failure(s) in %.1fs\n"
+    out.Fuzz.runs out.Fuzz.oracle_acks
+    (List.length out.Fuzz.failures)
+    (Unix.gettimeofday () -. wall0);
+  List.iter print_failure out.Fuzz.failures;
+  out.Fuzz.failures = []
+
+let run_fuzz_replay spec =
+  match Fuzz.replay spec with
+  | Error e ->
+    Printf.eprintf "--fuzz-replay: %s\n" e;
+    exit 1
+  | Ok (protocol, s, problems) ->
+    Printf.printf "\n=== fuzz replay: %s, seed %d ===\n" protocol s.Fuzz.seed;
+    if problems = [] then begin
+      print_endline "  clean: no oracle divergence, no invariant failure";
+      true
+    end
+    else begin
+      List.iter (fun p -> Printf.printf "  %s\n" p) problems;
+      false
+    end
+
 let usage () =
   Printf.eprintf
     "usage: main.exe [--quick] [--jobs N] [--out-dir DIR] [--perf-smoke]\n\
-    \       [--check] [--faults SPEC] [--trace] [EXPERIMENT...]\n\
+    \       [--check] [--faults SPEC] [--trace] [--fuzz N] [--seed S]\n\
+    \       [--fuzz-replay SPEC] [EXPERIMENT...]\n\
      known experiments: %s\n\
      --check        attach the invariant checker to every scenario (fail on violation)\n\
      --faults SPEC  run the fault lab; SPEC = '<t>@<verb>:<target>[=args];...' or random:SEED:N\n\
-     --trace        run the fault lab and export its packet trace as JSONL\n"
+     --trace        run the fault lab and export its packet trace as JSONL\n\
+     --fuzz N       run N random scenarios through the protocol oracle (exit 1 on divergence)\n\
+     --seed S       root seed for --fuzz (default 7)\n\
+     --fuzz-replay SPEC  re-run one spec printed by a failing --fuzz\n"
     (String.concat ", " (List.map fst all_experiments));
   exit 1
 
@@ -287,6 +334,9 @@ let () =
   let check = ref false in
   let faults_spec = ref None in
   let trace_flag = ref false in
+  let fuzz_cases = ref None in
+  let fuzz_seed = ref 7 in
+  let fuzz_replay = ref None in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -304,6 +354,25 @@ let () =
       parse rest
     | "--perf-smoke" :: rest ->
       perf_smoke := true;
+      parse rest
+    | "--fuzz" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        fuzz_cases := Some n;
+        parse rest
+      | _ ->
+        Printf.eprintf "--fuzz expects a positive integer, got %S\n" n;
+        usage ())
+    | "--seed" :: s :: rest -> (
+      match int_of_string_opt s with
+      | Some s ->
+        fuzz_seed := s;
+        parse rest
+      | _ ->
+        Printf.eprintf "--seed expects an integer, got %S\n" s;
+        usage ())
+    | "--fuzz-replay" :: spec :: rest ->
+      fuzz_replay := Some spec;
       parse rest
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
@@ -338,6 +407,17 @@ let () =
   if !perf_smoke then quick := true;
   Runner.set_jobs !jobs;
   if !check then Atomic.set Invariants.self_check true;
+  (match !fuzz_replay with
+  | Some spec -> exit (if run_fuzz_replay spec then 0 else 1)
+  | None -> ());
+  (match !fuzz_cases with
+  | Some cases ->
+    let ok = run_fuzz ~cases ~seed:!fuzz_seed in
+    if not ok then exit 1;
+    (* Like the fault lab, --fuzz replaces the experiment sweep unless
+       experiments were selected alongside it. *)
+    if !selected = [] && !faults_spec = None && not !trace_flag then exit 0
+  | None -> ());
   if !faults_spec <> None || !trace_flag then begin
     let ok =
       run_fault_lab ~quick:!quick ~out_dir:!out_dir ~spec:!faults_spec

@@ -36,4 +36,10 @@ done
 dune exec bench/main.exe -- --quick --out-dir "$out_dir" \
   --faults random:7:12
 
+# Oracle fuzz sweep: 25 random scenarios x (LEOTP + every TCP variant)
+# replayed against the differential sender model and per-CC semantic
+# oracles (see EXPERIMENTS.md).  Exits non-zero on any divergence,
+# printing a --fuzz-replay spec for each shrunk failure.
+dune exec bench/main.exe -- --fuzz 25 --seed 7 --jobs 2
+
 echo "ci.sh: OK"

@@ -1,4 +1,5 @@
 type drop_reason = Tail | Error | Flush | Down
+type seg_state = Seg_sent | Seg_retx | Seg_lost
 
 type event =
   | Link_enq of { link : string; pkt : int; size : int }
@@ -37,6 +38,27 @@ type event =
   | Deliver of { node : int; flow : int; pos : int; len : int }
   | Complete of { node : int; flow : int; bytes : int }
   | Rto_fire of { who : string; elapsed : float; floor : float }
+  | Ack_processed of {
+      who : string;
+      flow : int;
+      cc : string;
+      phase : string;
+      cum_ack : int;
+      sacks : (int * int) list;
+      rtt : float option;
+      snd_una : int;
+      inflight : int;
+      lost_pending : int;
+      cwnd : float;
+      rto : float;
+    }
+  | Seg_state of {
+      who : string;
+      flow : int;
+      seq : int;
+      len : int;
+      state : seg_state;
+    }
   | Fault of { what : string }
   | Note of { what : string }
 
@@ -141,6 +163,36 @@ let json_of_event = function
   | Rto_fire { who; elapsed; floor } ->
     Printf.sprintf "\"ev\":\"rto_fire\",\"who\":%S,\"elapsed\":%s,\"floor\":%s"
       who (fl elapsed) (fl floor)
+  | Ack_processed
+      {
+        who;
+        flow;
+        cc;
+        phase;
+        cum_ack;
+        sacks;
+        rtt;
+        snd_una;
+        inflight;
+        lost_pending;
+        cwnd;
+        rto;
+      } ->
+    Printf.sprintf
+      "\"ev\":\"ack_processed\",\"who\":%S,\"flow\":%d,\"cc\":%S,\"phase\":%S,\"cum_ack\":%d,\"sacks\":[%s],\"rtt\":%s,\"snd_una\":%d,\"inflight\":%d,\"lost_pending\":%d,\"cwnd\":%s,\"rto\":%s"
+      who flow cc phase cum_ack
+      (String.concat ","
+         (List.map (fun (lo, hi) -> Printf.sprintf "[%d,%d]" lo hi) sacks))
+      (match rtt with Some r -> fl r | None -> "null")
+      snd_una inflight lost_pending (fl cwnd) (fl rto)
+  | Seg_state { who; flow; seq; len; state } ->
+    Printf.sprintf
+      "\"ev\":\"seg_state\",\"who\":%S,\"flow\":%d,\"seq\":%d,\"len\":%d,\"state\":%S"
+      who flow seq len
+      (match state with
+      | Seg_sent -> "sent"
+      | Seg_retx -> "retx"
+      | Seg_lost -> "lost")
   | Fault { what } -> Printf.sprintf "\"ev\":\"fault\",\"what\":%S" what
   | Note { what } -> Printf.sprintf "\"ev\":\"note\",\"what\":%S" what
 

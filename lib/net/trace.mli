@@ -10,6 +10,11 @@
 
 type drop_reason = Tail | Error | Flush | Down
 
+type seg_state = Seg_sent | Seg_retx | Seg_lost
+(** Sender-side segment lifecycle, for the {!Ack_processed}/{!Seg_state}
+    differential oracle (Leotp_check): a segment is transmitted, possibly
+    retransmitted, and may be declared lost in between. *)
+
 type event =
   | Link_enq of { link : string; pkt : int; size : int }
   | Link_drop of { link : string; pkt : int; reason : drop_reason }
@@ -50,6 +55,30 @@ type event =
   | Complete of { node : int; flow : int; bytes : int }
   | Rto_fire of { who : string; elapsed : float; floor : float }
       (** [floor] = min (SRTT + 4*RTTVAR, armed timeout) at arm time *)
+  | Ack_processed of {
+      who : string;
+      flow : int;
+      cc : string;  (** congestion-controller name *)
+      phase : string;  (** controller phase (e.g. BBR gain-cycle state) *)
+      cum_ack : int;
+      sacks : (int * int) list;
+      rtt : float option;  (** RTT sample taken from this ack, if any *)
+      snd_una : int;  (** sender state claimed {i after} processing *)
+      inflight : int;
+      lost_pending : int;
+      cwnd : float;
+      rto : float;  (** timeout the sender would arm now *)
+    }
+      (** One TCP sender finished processing one ACK: the ack's content
+          plus the sender's resulting bookkeeping, checked against the
+          reference model by [Leotp_check.Oracle]. *)
+  | Seg_state of {
+      who : string;
+      flow : int;
+      seq : int;
+      len : int;
+      state : seg_state;
+    }  (** Sender segment transition: (re)transmitted or declared lost. *)
   | Fault of { what : string }
   | Note of { what : string }
 

@@ -170,7 +170,10 @@ let sink t (r : Trace.record) =
     t.rto_events <- t.rto_events + 1;
     if elapsed +. eps_default < floor && t.rto_violation = None then
       t.rto_violation <- Some (who, elapsed, floor)
-  | Trace.Fault _ | Trace.Note _ -> ()
+  (* Ack_processed / Seg_state feed the differential oracle
+     (Leotp_check.Oracle), a separate sink. *)
+  | Trace.Ack_processed _ | Trace.Seg_state _ | Trace.Fault _ | Trace.Note _ ->
+    ()
 
 let sorted_hashtbl_bindings tbl =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

@@ -145,4 +145,11 @@ let create ~mss ~now =
       (fun () ->
         let b = bw () in
         if b <= 0.0 then None else Some (s.pacing_gain *. b));
+    phase =
+      (fun () ->
+        match s.mode with
+        | Startup -> "startup"
+        | Drain -> "drain"
+        | Probe_bw -> Printf.sprintf "probe_bw:%d" s.cycle_index
+        | Probe_rtt -> "probe_rtt");
   }

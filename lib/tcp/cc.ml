@@ -13,6 +13,7 @@ type t = Cc_intf.t = {
   on_rto : now:float -> unit;
   cwnd : unit -> float;
   pacing_rate : unit -> float option;
+  phase : unit -> string;
 }
 
 type algo = Newreno | Cubic | Hybla | Westwood | Vegas | Bbr | Pcc

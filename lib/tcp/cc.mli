@@ -21,6 +21,9 @@ type t = {
   on_rto : now:float -> unit;
   cwnd : unit -> float;  (** bytes *)
   pacing_rate : unit -> float option;  (** bytes/second *)
+  phase : unit -> string;
+      (** Controller phase, for the semantic trace oracle (see
+          {!Cc_intf.t}). *)
 }
 
 type algo =

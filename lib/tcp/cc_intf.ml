@@ -17,6 +17,7 @@ type t = {
   on_rto : now:float -> unit;
   cwnd : unit -> float;
   pacing_rate : unit -> float option;
+  phase : unit -> string;
 }
 
 let fmss mss = float_of_int mss

@@ -20,6 +20,11 @@ type t = {
   on_rto : now:float -> unit;
   cwnd : unit -> float;  (** bytes *)
   pacing_rate : unit -> float option;  (** bytes/second *)
+  phase : unit -> string;
+      (** Current controller phase, for the semantic trace oracle
+          (Leotp_check): loss-based algorithms report ["ss"]/["ca"], BBR
+          its gain-cycle state (["startup"], ["drain"], ["probe_bw:<i>"],
+          ["probe_rtt"]), PCC its probe direction. *)
 }
 
 val fmss : int -> float

@@ -51,4 +51,5 @@ let create ~mss ~now:_ =
         s.cwnd <- s.mss);
     cwnd = (fun () -> s.cwnd);
     pacing_rate = (fun () -> None);
+    phase = (fun () -> if s.cwnd < s.ssthresh then "ss" else "ca");
   }

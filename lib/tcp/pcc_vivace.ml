@@ -142,4 +142,10 @@ let create ~mss ~now =
           | Probe_down -> 1.0 -. eps
         in
         Some (gain *. s.rate));
+    phase =
+      (fun () ->
+        match s.phase with
+        | Starting -> "starting"
+        | Probe_up -> "probe_up"
+        | Probe_down -> "probe_down");
   }

@@ -77,7 +77,7 @@ let handle_data t pkt =
     let cum = t.delivered in
     Node.send t.node
       (Wire.ack_packet ~src:(Node.id t.node) ~dst:t.src ~flow:t.flow
-         ~cum_ack:cum ~sacks:(sack_blocks t ~cum) ~ts_echo:sent_at);
+         ~cum_ack:cum ~sacks:(sack_blocks t ~cum) ~ts_echo:(Some sent_at));
     (match t.expected_bytes with
     | Some n when t.delivered >= n && not t.completed ->
       t.completed <- true;

@@ -108,11 +108,20 @@ let available_bytes t =
 
 let total_bytes t = match t.source with Fixed n -> Some n | _ -> None
 
+let trace_who t = "tcp:" ^ Node.name t.node
+
+let trace_seg t seg state =
+  if Leotp_net.Trace.on () then
+    Leotp_net.Trace.emit
+      (Leotp_net.Trace.Seg_state
+         { who = trace_who t; flow = t.flow; seq = seg.seq; len = seg.len; state })
+
 let mark_lost t seg =
   if (not seg.lost) && not seg.sacked then begin
     seg.lost <- true;
     t.lost_pending <- t.lost_pending + 1;
-    t.inflight <- max 0 (t.inflight - seg.len)
+    t.inflight <- max 0 (t.inflight - seg.len);
+    trace_seg t seg Leotp_net.Trace.Seg_lost
   end
 
 (* Ordered scan with early exit. *)
@@ -183,6 +192,8 @@ and send_segment t seg ~retx =
   else seg.first_sent <- now;
   seg.last_sent <- now;
   t.inflight <- t.inflight + seg.len;
+  trace_seg t seg
+    (if retx then Leotp_net.Trace.Seg_retx else Leotp_net.Trace.Seg_sent);
   let first_sent, upstream_retx = t.first_sent_of ~pos:seg.seq ~len:seg.len in
   let fin =
     match total_bytes t with Some n -> seg.seq + seg.len >= n | None -> false
@@ -274,12 +285,22 @@ and schedule_pump t ~at =
              t.pump_timer <- None;
              pump t))
 
+let cancel_pump t =
+  (* Clear the field as well as cancelling: a cancelled-but-present timer
+     would still be reported armed by [debug_state] and would make
+     [schedule_pump] skip [Engine.is_pending] bookkeeping. *)
+  match t.pump_timer with
+  | Some timer ->
+    Engine.cancel timer;
+    t.pump_timer <- None
+  | None -> ()
+
 let finish t =
   if not t.finished then begin
     t.finished <- true;
     Flow_metrics.set_finished t.metrics (Engine.now t.engine);
     cancel_rto t;
-    (match t.pump_timer with Some timer -> Engine.cancel timer | None -> ());
+    cancel_pump t;
     t.on_complete ()
   end
 
@@ -288,7 +309,12 @@ let handle_ack t pkt =
   | Wire.Ack_seg { cum_ack; sacks; ts_echo } when not t.finished ->
     let now = Engine.now t.engine in
     let rtt_sample =
-      if ts_echo > 0.0 && now > ts_echo then Some (now -. ts_echo) else None
+      (* [>=], not [>]: a segment echoed within the same simulated instant
+         is a (zero) sample, and a [ts_echo] of exactly 0.0 is a valid
+         echo of a packet sent at simulation start. *)
+      match ts_echo with
+      | Some ts when now >= ts -> Some (now -. ts)
+      | Some _ | None -> None
     in
     (match rtt_sample with
     | Some r -> Leotp_util.Rto.observe t.rto r
@@ -297,12 +323,30 @@ let handle_ack t pkt =
     (* Cumulative progress: drop every segment entirely below cum_ack. *)
     if cum_ack > t.snd_una then begin
       let below, at, above = IntMap.split cum_ack t.segments in
+      (* A segment straddling cum_ack (seq < cum_ack < seq + len) lands in
+         [below], but only its head is acknowledged: split it and keep the
+         tail (with the segment's loss/sack state) outstanding.  Dropping
+         it whole under-counts inflight and silently un-sends the tail. *)
+      let above =
+        match IntMap.max_binding_opt below with
+        | Some (seq, seg) when seq + seg.len > cum_ack ->
+          let head = cum_ack - seq in
+          let tail = { seg with seq = cum_ack; len = seg.len - head } in
+          if not seg.sacked then begin
+            acked_bytes := !acked_bytes + head;
+            if not seg.lost then t.inflight <- max 0 (t.inflight - head)
+          end;
+          IntMap.add cum_ack tail above
+        | Some _ | None -> above
+      in
       IntMap.iter
         (fun _ seg ->
-          if not seg.sacked then acked_bytes := !acked_bytes + seg.len;
-          if seg.lost then t.lost_pending <- max 0 (t.lost_pending - 1)
-          else if not seg.sacked then
-            t.inflight <- max 0 (t.inflight - seg.len))
+          if seg.seq + seg.len <= cum_ack then begin
+            if not seg.sacked then acked_bytes := !acked_bytes + seg.len;
+            if seg.lost then t.lost_pending <- max 0 (t.lost_pending - 1)
+            else if not seg.sacked then
+              t.inflight <- max 0 (t.inflight - seg.len)
+          end)
         below;
       t.segments <-
         (match at with
@@ -389,6 +433,25 @@ let handle_ack t pkt =
           bw_sample;
           inflight = t.inflight;
         };
+    (* Emitted before [pump] so the oracle sees the post-ack claim ahead
+       of any (re)transmissions the ack unlocks. *)
+    if Leotp_net.Trace.on () then
+      Leotp_net.Trace.emit
+        (Leotp_net.Trace.Ack_processed
+           {
+             who = trace_who t;
+             flow = t.flow;
+             cc = t.cc.Cc.name;
+             phase = t.cc.Cc.phase ();
+             cum_ack;
+             sacks;
+             rtt = rtt_sample;
+             snd_una = t.snd_una;
+             inflight = t.inflight;
+             lost_pending = t.lost_pending;
+             cwnd = t.cc.Cc.cwnd ();
+             rto = Leotp_util.Rto.rto t.rto;
+           });
     (match total_bytes t with
     | Some n when t.snd_una >= n -> finish t
     | _ -> if IntMap.is_empty t.segments then cancel_rto t);
@@ -405,14 +468,23 @@ let start t =
 let notify_data_available t = if t.started && not t.finished then pump t
 let finished t = t.finished
 let snd_una t = t.snd_una
+let snd_nxt t = t.snd_nxt
 let inflight t = t.inflight
+let lost_pending t = t.lost_pending
 let cwnd t = t.cc.Cc.cwnd ()
+let srtt t = Leotp_util.Rto.srtt t.rto
 let metrics t = t.metrics
 let cc_name t = t.cc.Cc.name
 
 let stop t =
   cancel_rto t;
-  match t.pump_timer with Some timer -> Engine.cancel timer | None -> ()
+  cancel_pump t
+
+let timers_idle t = t.rto_timer = None && t.pump_timer = None
+
+let timer_pending t =
+  (match t.rto_timer with Some tm -> Engine.is_pending tm | None -> false)
+  || match t.pump_timer with Some tm -> Engine.is_pending tm | None -> false
 
 let debug_state t =
   Printf.sprintf

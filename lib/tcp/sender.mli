@@ -43,12 +43,31 @@ val finished : t -> bool
 val snd_una : t -> int
 (** Lowest unacknowledged byte (= bytes reliably delivered downstream). *)
 
+val snd_nxt : t -> int
+(** Next new byte to be transmitted. *)
+
 val inflight : t -> int
+
+val lost_pending : t -> int
+(** Segments declared lost and not yet retransmitted. *)
+
 val cwnd : t -> float
+
+val srtt : t -> float option
+(** Smoothed RTT estimate; [None] until the first valid sample. *)
+
 val metrics : t -> Leotp_net.Flow_metrics.t
 val cc_name : t -> string
 val stop : t -> unit
 (** Cancel timers (end of experiment). *)
+
+val timers_idle : t -> bool
+(** Both the RTO and pump timer slots are empty (not merely cancelled).
+    Holds after {!stop} and after the flow finishes. *)
+
+val timer_pending : t -> bool
+(** Some timer is still armed in the engine ({!Leotp_sim.Engine.is_pending});
+    must be [false] once the sender has finished or been stopped. *)
 
 (**/**)
 

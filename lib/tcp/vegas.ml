@@ -73,4 +73,5 @@ let create ~mss ~now =
         s.cwnd <- s.mss);
     cwnd = (fun () -> s.cwnd);
     pacing_rate = (fun () -> None);
+    phase = (fun () -> if s.in_slow_start then "ss" else "ca");
   }

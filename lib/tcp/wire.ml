@@ -22,7 +22,11 @@ type Leotp_net.Packet.payload +=
   | Ack_seg of {
       cum_ack : int;  (** next byte expected *)
       sacks : (int * int) list;  (** up to 3 selectively acked ranges *)
-      ts_echo : float;  (** [sent_at] of the segment that triggered this ack *)
+      ts_echo : float option;
+          (** [sent_at] of the segment that triggered this ack.  An option,
+              not a 0.0 sentinel: a packet sent at simulation time 0.0 is a
+              perfectly valid RTT sample (it used to be silently dropped,
+              leaving the first RTO unprimed). *)
     }
 
 let header_bytes = 40

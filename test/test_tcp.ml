@@ -400,6 +400,65 @@ let test_split_owd_tracks_origin () =
     "origin-stamped OWD >= 4 hops propagation" true
     (Leotp_util.Stats.min owd >= 0.02)
 
+(* ------------------------------------------------------------------ *)
+(* Sender bookkeeping regressions (each failed before the fix). *)
+
+(* A bare sender with no route: data packets are dropped at the node and
+   the test injects acks by hand, so every assertion is deterministic. *)
+let drive_sender ?(cc = Cc.Newreno) ?(bytes = 3_000) () =
+  let engine, _ = setup () in
+  let node = Node.create ~name:"tx" in
+  let sender =
+    Sender.create engine ~node ~dst:99 ~flow:1 ~cc ~mss:1000
+      ~source:(Sender.Fixed bytes) ()
+  in
+  Sender.start sender;
+  (engine, node, sender)
+
+let ack_pkt node ~cum ?(sacks = []) ?ts_echo () =
+  Wire.ack_packet ~src:99 ~dst:(Node.id node) ~flow:1 ~cum_ack:cum ~sacks
+    ~ts_echo
+
+let test_partial_ack_straddling_segment () =
+  (* Three 1000-byte segments go out inside the initial window.  An ack
+     at 1500 lands mid-segment: the straddled segment's tail must stay
+     in flight.  Pre-fix, IntMap.split dropped the straddler entirely,
+     under-counting inflight by 500 bytes. *)
+  let engine, node, sender = drive_sender () in
+  Engine.run ~until:0.05 engine;
+  Alcotest.(check int) "three segments out" 3000 (Sender.inflight sender);
+  Sender.handle_ack sender (ack_pkt node ~cum:1500 ());
+  Alcotest.(check int) "snd_una advances" 1500 (Sender.snd_una sender);
+  Alcotest.(check int) "tail still inflight" 1500 (Sender.inflight sender)
+
+let test_rtt_sample_at_time_zero () =
+  (* The first flight is sent at t = 0.0.  An ack echoing that timestamp
+     must still yield an RTT sample; pre-fix the [ts_echo > 0.0] guard
+     silently discarded it. *)
+  let engine, node, sender = drive_sender () in
+  Engine.run ~until:0.05 engine;
+  Sender.handle_ack sender (ack_pkt node ~cum:1000 ~ts_echo:0.0 ());
+  match Sender.srtt sender with
+  | None -> Alcotest.fail "ack echoing t=0.0 produced no RTT sample"
+  | Some srtt -> Alcotest.(check (float 1e-9)) "srtt = 50ms" 0.05 srtt
+
+let test_stop_clears_timers () =
+  (* PCC paces from the first packet, so the pump timer is armed as soon
+     as the sender starts.  Pre-fix, [stop] cancelled the engine event
+     but left the handle set, so [timers_idle] stayed false forever. *)
+  let _engine, _node, sender = drive_sender ~cc:Cc.Pcc ~bytes:50_000 () in
+  Alcotest.(check bool) "pacing armed a timer" true (Sender.timer_pending sender);
+  Sender.stop sender;
+  Alcotest.(check bool) "no engine event pending" false
+    (Sender.timer_pending sender);
+  Alcotest.(check bool) "timer slots cleared" true (Sender.timers_idle sender)
+
+let test_finished_transfer_quiescent () =
+  let session, _ = run_transfer ~cc:Cc.Bbr () in
+  Alcotest.(check bool) "finished" true (Sender.finished session.Session.sender);
+  Alcotest.(check bool) "timers idle after completion" true
+    (Sender.timers_idle session.Session.sender)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "leotp_tcp"
@@ -427,6 +486,17 @@ let () =
             test_bbr_beats_cubic_under_loss;
           Alcotest.test_case "bulk utilization" `Quick test_bulk_flow_throughput;
           qc reliability_prop;
+        ] );
+      ( "sender-fixes",
+        [
+          Alcotest.test_case "partial ack straddling segment" `Quick
+            test_partial_ack_straddling_segment;
+          Alcotest.test_case "rtt sample at t=0" `Quick
+            test_rtt_sample_at_time_zero;
+          Alcotest.test_case "stop clears timers" `Quick
+            test_stop_clears_timers;
+          Alcotest.test_case "finished transfer quiescent" `Quick
+            test_finished_transfer_quiescent;
         ] );
       ( "sources",
         [

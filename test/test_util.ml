@@ -224,6 +224,46 @@ let ivs_model_queries_prop =
       && Interval_set.covers ~lo:qlo ~hi:qhi t = model_covers
       && Interval_set.gaps ~lo:qlo ~hi:qhi t = model_gaps)
 
+(* Property: the incrementally-maintained byte count stays consistent
+   with the bitmap model after EVERY operation, not just at the end of
+   the sequence — an incremental-update bug that a later op happens to
+   cancel out would slip past the end-of-sequence check above. *)
+let ivs_cardinal_stepwise_prop =
+  let open QCheck2 in
+  let op =
+    Gen.(
+      triple (oneofl [ `Add; `Remove ]) (int_range 0 199) (int_range 0 60))
+  in
+  Test.make ~name:"cardinal matches bitmap model after every op" ~count:300
+    Gen.(list_size (int_range 0 40) op)
+    (fun ops ->
+      let model = Array.make 260 false in
+      let ok = ref true in
+      ignore
+        (List.fold_left
+           (fun t (op, lo, len) ->
+             let hi = lo + len in
+             let t =
+               match op with
+               | `Add ->
+                 for i = lo to hi - 1 do
+                   model.(i) <- true
+                 done;
+                 Interval_set.add ~lo ~hi t
+               | `Remove ->
+                 for i = lo to hi - 1 do
+                   model.(i) <- false
+                 done;
+                 Interval_set.remove ~lo ~hi t
+             in
+             let card =
+               Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 model
+             in
+             if Interval_set.cardinal t <> card then ok := false;
+             t)
+           Interval_set.empty ops);
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Pqueue *)
 
@@ -806,6 +846,7 @@ let () =
           qc ivs_model_prop;
           qc ivs_gaps_prop;
           qc ivs_model_queries_prop;
+          qc ivs_cardinal_stepwise_prop;
         ] );
       ( "pqueue",
         [
