@@ -39,27 +39,32 @@ module Fuzz = Leotp_scenario.Fuzz
 let config = Leotp.Config.default
 let bench_mss = config.Leotp.Config.mss
 
-(* Feed a pre-built stream of 256 data packets (with [plr] of them
-   missing, which exercises SHR hole tracking and VPH generation)
-   through a fresh Midnode handler. *)
+(* Feed a stream of 256 data packets (with [plr] of them missing, which
+   exercises SHR hole tracking and VPH generation) through a fresh
+   Midnode handler.  The loss pattern is fixed once; the packets are
+   pool-acquired per iteration because every sink recycles them — a
+   pre-built list would be use-after-release on the second run. *)
 let midnode_stream ~plr () =
   let engine = Leotp_sim.Engine.create () in
   let node = Leotp_net.Node.create ~name:"mid" in
   let (_ : Leotp.Midnode.t) = Leotp.Midnode.create engine ~config ~node () in
   let rng = Leotp_util.Rng.create ~seed:1 in
-  let stream =
-    List.filter_map
-      (fun i ->
-        if Leotp_util.Rng.bernoulli rng plr then None
-        else
-          Some
-            (Leotp.Wire.data_packet ~config ~src:99 ~dst:98
-               ~name:
-                 { Leotp.Wire.flow = 7; lo = i * bench_mss; hi = (i + 1) * bench_mss }
-               ~timestamp:0.0 ~req_owd:0.001 ~first_sent:0.0 ~retx:false))
+  let kept =
+    List.filter
+      (fun _ -> not (Leotp_util.Rng.bernoulli rng plr))
       (List.init 256 Fun.id)
   in
-  fun () -> List.iter (fun pkt -> Leotp_net.Node.receive node ~from:1 pkt) stream
+  fun () ->
+    List.iter
+      (fun i ->
+        let pkt =
+          Leotp.Wire.data_packet ~config ~src:99 ~dst:98 ~flow:7
+            ~lo:(i * bench_mss)
+            ~hi:((i + 1) * bench_mss)
+            ~timestamp:0.0 ~req_owd:0.001 ~first_sent:0.0 ~retx:false
+        in
+        Leotp_net.Node.receive node ~from:1 pkt)
+      kept
 
 let cache_ops () =
   let cache = Leotp.Cache.create ~config () in
@@ -142,6 +147,8 @@ type perf = {
   major_words : float;
   promoted_words : float;
   worker_alloc_bytes : float;
+  packets_simulated : int;
+  minor_words_per_packet : float;
 }
 
 let json_of_perf p =
@@ -161,11 +168,13 @@ let json_of_perf p =
     \    \"major_words\": %.17g,\n\
     \    \"promoted_words\": %.17g\n\
     \  },\n\
-    \  \"worker_alloc_bytes\": %.17g\n\
+    \  \"worker_alloc_bytes\": %.17g,\n\
+    \  \"packets_simulated\": %d,\n\
+    \  \"minor_words_per_packet\": %.17g\n\
      }\n"
     p.id p.quick p.jobs p.wall_s p.cpu_s p.jobs_run p.sim_seconds
     p.sim_per_wall p.minor_words p.major_words p.promoted_words
-    p.worker_alloc_bytes
+    p.worker_alloc_bytes p.packets_simulated p.minor_words_per_packet
 
 let write_perf ~out_dir p =
   let path = Filename.concat out_dir (Printf.sprintf "BENCH_%s.json" p.id) in
@@ -177,7 +186,11 @@ let write_perf ~out_dir p =
 (* Run one experiment under full instrumentation.  GC minor/major words
    are the main domain's [Gc.quick_stat] deltas (allocation on worker
    domains is reported separately via [worker_alloc_bytes], which the
-   runner sums per job on whichever domain ran it). *)
+   runner sums per job on whichever domain ran it).  The per-packet
+   metric is computed from the per-job deltas only — both the byte and
+   the packet counters are read on whichever domain ran the job — so it
+   is the same number under --jobs 1 and --jobs N and the perf gate can
+   compare runs regardless of parallelism. *)
 let run_instrumented ~quick ~out_dir (id, f) =
   Runner.reset_counters ();
   let g0 = Gc.quick_stat () in
@@ -202,6 +215,11 @@ let run_instrumented ~quick ~out_dir (id, f) =
       major_words = g1.Gc.major_words -. g0.Gc.major_words;
       promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
       worker_alloc_bytes = c.Runner.alloc_bytes;
+      packets_simulated = c.Runner.packets;
+      minor_words_per_packet =
+        (if c.Runner.packets > 0 then
+           c.Runner.alloc_bytes /. 8.0 /. float_of_int c.Runner.packets
+         else 0.0);
     }
   in
   let path = write_perf ~out_dir p in
@@ -210,8 +228,89 @@ let run_instrumented ~quick ~out_dir (id, f) =
   p
 
 (* Fixed quick subset for perf sanity checks: one pure-computation
-   experiment and one simulation sweep that exercises the runner. *)
-let perf_smoke_ids = [ "fig3"; "fig12" ]
+   experiment, one simulation sweep that exercises the runner, and the
+   retransmission-latency figure whose per-packet allocation number the
+   perf gate tracks. *)
+let perf_smoke_ids = [ "fig3"; "fig10"; "fig12" ]
+
+(* ------------------------------------------------------------------ *)
+(* Perf-regression gate: compare this run's per-packet allocation
+   metric against the checked-in baselines (bench/baselines.json).
+   The parser is deliberately minimal — the file is one flat JSON
+   object of "key": number pairs (experiment ids plus "tolerance_pct"),
+   re-baselined by copying minor_words_per_packet out of a trusted
+   BENCH_<id>.json; see EXPERIMENTS.md. *)
+
+let parse_baselines path =
+  let ic = open_in path in
+  let tolerance = ref 25.0 in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       (* A line of interest looks like:   "fig10": 249.4,   *)
+       match String.index_opt line '"' with
+       | None -> ()
+       | Some q0 -> (
+         match String.index_from_opt line (q0 + 1) '"' with
+         | None -> ()
+         | Some q1 -> (
+           let key = String.sub line (q0 + 1) (q1 - q0 - 1) in
+           match String.index_from_opt line q1 ':' with
+           | None -> ()
+           | Some c -> (
+             let v =
+               String.trim
+                 (String.sub line (c + 1) (String.length line - c - 1))
+             in
+             let v =
+               if v <> "" && v.[String.length v - 1] = ',' then
+                 String.sub v 0 (String.length v - 1)
+               else v
+             in
+             match float_of_string_opt v with
+             | None -> ()
+             | Some f ->
+               if key = "tolerance_pct" then tolerance := f
+               else entries := (key, f) :: !entries)))
+     done
+   with End_of_file -> close_in ic);
+  (!tolerance, List.rev !entries)
+
+let run_gate ~path perfs =
+  let tolerance, baselines = parse_baselines path in
+  Printf.printf "\n=== perf gate (%s, tolerance +%.0f%%) ===\n" path tolerance;
+  let failures = ref [] in
+  List.iter
+    (fun p ->
+      match List.assoc_opt p.id baselines with
+      | None -> Printf.printf "  %-8s (no baseline; skipped)\n" p.id
+      | Some base ->
+        let limit = base *. (1.0 +. (tolerance /. 100.0)) in
+        let delta =
+          if base > 0.0 then
+            (p.minor_words_per_packet -. base) /. base *. 100.0
+          else 0.0
+        in
+        let ok = p.minor_words_per_packet <= limit in
+        Printf.printf "  %-8s baseline=%10.1f measured=%10.1f (%+6.1f%%) %s\n"
+          p.id base p.minor_words_per_packet delta
+          (if ok then "OK" else "FAIL");
+        if not ok then failures := (p, base) :: !failures)
+    perfs;
+  match List.rev !failures with
+  | [] -> true
+  | fs ->
+    List.iter
+      (fun (p, base) ->
+        Printf.eprintf
+          "perf gate: %s minor_words_per_packet regressed: measured %.1f \
+           exceeds baseline %.1f by more than %.0f%% — if the growth is \
+           intentional, re-baseline bench/baselines.json (see \
+           EXPERIMENTS.md)\n"
+          p.id p.minor_words_per_packet base tolerance)
+      fs;
+    false
 
 (* ------------------------------------------------------------------ *)
 (* Fault lab: one LEOTP bulk flow over a 4-hop chain under a fault
@@ -321,7 +420,9 @@ let usage () =
      --trace        run the fault lab and export its packet trace as JSONL\n\
      --fuzz N       run N random scenarios through the protocol oracle (exit 1 on divergence)\n\
      --seed S       root seed for --fuzz (default 7)\n\
-     --fuzz-replay SPEC  re-run one spec printed by a failing --fuzz\n"
+     --fuzz-replay SPEC  re-run one spec printed by a failing --fuzz\n\
+     --gate FILE    after the experiments, compare minor_words_per_packet\n\
+                    against FILE's baselines; exit 1 on regression\n"
     (String.concat ", " (List.map fst all_experiments));
   exit 1
 
@@ -337,6 +438,7 @@ let () =
   let fuzz_cases = ref None in
   let fuzz_seed = ref 7 in
   let fuzz_replay = ref None in
+  let gate = ref None in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -373,6 +475,13 @@ let () =
         usage ())
     | "--fuzz-replay" :: spec :: rest ->
       fuzz_replay := Some spec;
+      parse rest
+    | "--gate" :: path :: rest ->
+      if not (Sys.file_exists path) then begin
+        Printf.eprintf "--gate %S does not exist\n" path;
+        usage ()
+      end;
+      gate := Some path;
       parse rest
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
@@ -446,4 +555,7 @@ let () =
   if !perf_smoke then begin
     print_endline "\n=== perf smoke summary ===";
     List.iter (fun p -> print_string (json_of_perf p)) perfs
-  end
+  end;
+  match !gate with
+  | Some path -> if not (run_gate ~path perfs) then exit 1
+  | None -> ()

@@ -20,11 +20,17 @@ dune build @runtest
 LEOTP_TEST_JOBS=2 dune exec test/test_scenario.exe -- test harness
 LEOTP_TEST_JOBS=2 dune exec test/test_faults.exe -- test determinism
 
+# Perf smoke + regression gate: the quick figure subset writes its
+# BENCH_*.json records and the gate compares minor_words_per_packet
+# against the checked-in baselines (bench/baselines.json), printing a
+# before/after line per figure and exiting non-zero, naming the
+# offending metric, on any regression beyond the tolerance band.
 out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT
-dune exec bench/main.exe -- --perf-smoke --jobs 2 --out-dir "$out_dir"
+dune exec bench/main.exe -- --perf-smoke --jobs 2 --out-dir "$out_dir" \
+  --gate bench/baselines.json
 
-for id in fig3 fig12; do
+for id in fig3 fig10 fig12; do
   test -s "$out_dir/BENCH_$id.json" || {
     echo "ci.sh: missing perf record BENCH_$id.json" >&2
     exit 1

@@ -48,18 +48,17 @@ let () =
       ~total_bytes:bytes ~metrics ()
   in
   Node.set_handler producer_node (fun ~from:_ pkt ->
-      match pkt.Leotp_net.Packet.payload with
-      | Leotp.Wire.Interest _ -> Leotp.Producer.handle_interest producer pkt
-      | _ -> Node.forward producer_node ~from:0 pkt);
+      if Leotp.Wire.is_interest pkt then
+        Leotp.Producer.handle_interest producer pkt
+      else Node.forward producer_node ~from:0 pkt);
   let consumer_at node =
     let c =
       Leotp.Consumer.create engine ~config ~node
         ~producer:(Node.id producer_node) ~flow ~total_bytes:bytes ()
     in
     Node.set_handler node (fun ~from:_ pkt ->
-        match pkt.Leotp_net.Packet.payload with
-        | Leotp.Wire.Data _ -> Leotp.Consumer.handle_packet c pkt
-        | _ -> Node.forward node ~from:0 pkt);
+        if Leotp.Wire.is_data pkt then Leotp.Consumer.handle_packet c pkt
+        else Node.forward node ~from:0 pkt);
     c
   in
   let ca = consumer_at a_node in

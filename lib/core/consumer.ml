@@ -97,10 +97,9 @@ let advertised_rate t =
 
 let send_interest t ~lo ~hi ~retx =
   let now = Engine.now t.engine in
-  let name = { Wire.flow = t.flow; lo; hi } in
   let pkt =
     Wire.interest_packet ~config:t.config ~src:(Node.id t.node) ~dst:t.producer
-      ~name ~timestamp:now ~send_rate:(advertised_rate t) ~retx
+      ~flow:t.flow ~lo ~hi ~timestamp:now ~send_rate:(advertised_rate t) ~retx
   in
   t.interests_sent <- t.interests_sent + 1;
   if retx then begin
@@ -298,11 +297,8 @@ let handle_vph t ~lo ~hi =
     (overlapping_outstanding t ~lo ~hi);
   ignore (Shr.on_packet t.shr ~lo ~hi)
 
-let handle_data t ~name ~timestamp ~req_owd ~first_sent ~retx =
+let handle_data t ~lo ~hi ~first_sent ~retx =
   let now = Engine.now t.engine in
-  let lo = name.Wire.lo and hi = name.Wire.hi in
-  ignore timestamp;
-  ignore req_owd;
   (* Resolve the satisfied Interests.  The Consumer's controller (eqs 6-8)
      runs on the full pull-loop RTT — its Interest emission to Data
      arrival.  When the adjacent Midnode's cache responds this IS the
@@ -361,13 +357,18 @@ let handle_data t ~name ~timestamp ~req_owd ~first_sent ~retx =
   | _ -> ());
   pump t
 
+(* Terminal handler: the Consumer owns the delivered packet and recycles
+   it once the slot values are extracted. *)
 let handle_packet t pkt =
-  match pkt.Packet.payload with
-  | Wire.Data { name; length; timestamp; req_owd; first_sent; retx }
-    when name.Wire.flow = t.flow ->
-    if length = 0 then handle_vph t ~lo:name.Wire.lo ~hi:name.Wire.hi
-    else handle_data t ~name ~timestamp ~req_owd ~first_sent ~retx
-  | _ -> ()
+  if Wire.is_data pkt && pkt.Packet.flow = t.flow then begin
+    let lo = Wire.lo pkt and hi = Wire.hi pkt in
+    let length = Wire.length pkt in
+    let first_sent = Wire.first_sent pkt and retx = Wire.retx pkt in
+    Leotp_net.Packet_pool.release pkt;
+    if length = 0 then handle_vph t ~lo ~hi
+    else handle_data t ~lo ~hi ~first_sent ~retx
+  end
+  else Leotp_net.Packet_pool.release pkt
 
 let start t =
   if not t.started then begin

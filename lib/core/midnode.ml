@@ -1,5 +1,6 @@
 module Engine = Leotp_sim.Engine
 module Packet = Leotp_net.Packet
+module Pool = Leotp_net.Packet_pool
 module Node = Leotp_net.Node
 
 type flow_stats = {
@@ -47,18 +48,17 @@ let get_flow t ~flow ~consumer ~producer =
     let now = Engine.now t.engine in
     let fs_ref = ref None in
     (* Data leaving the sending buffer gets this hop's fresh timestamp and
-       the latest downstream Interest OWD (paper Fig 9's bookkeeping). *)
+       the latest downstream Interest OWD (paper Fig 9's bookkeeping).
+       In-place restamping consumes a fresh id, exactly like the
+       re-constructed packet it replaces. *)
     let send pkt =
-      match (pkt.Packet.payload, !fs_ref) with
-      | Wire.Data { name; first_sent; retx; _ }, Some fs ->
-        let now = Engine.now t.engine in
-        let out =
-          Wire.data_packet ~config:t.config ~src:pkt.Packet.src
-            ~dst:pkt.Packet.dst ~name ~timestamp:now
-            ~req_owd:fs.ds_interest_owd ~first_sent ~retx
-        in
-        Node.send t.node out
-      | _ -> Node.send t.node pkt
+      (match !fs_ref with
+      | Some fs when Wire.is_data pkt ->
+        Wire.restamp_data pkt
+          ~timestamp:(Engine.now t.engine)
+          ~req_owd:fs.ds_interest_owd
+      | _ -> ());
+      Node.send t.node pkt
     in
     let fs =
       {
@@ -92,8 +92,7 @@ let send_vph t fs ~lo ~hi =
      stream to suppress duplicate detection downstream (§III-B). *)
   Node.send t.node
     (Wire.vph_packet ~config:t.config ~src:fs.producer ~dst:fs.consumer
-       ~name:{ Wire.flow = fs.flow; lo; hi }
-       ~timestamp:now)
+       ~flow:fs.flow ~lo ~hi ~timestamp:now)
 
 (* Retransmission requests are split at MSS so responses stay packet
    sized. *)
@@ -106,34 +105,37 @@ let send_shr_interest t fs ~lo ~hi =
     fs.shr_interests <- fs.shr_interests + 1;
     Node.send t.node
       (Wire.interest_packet ~config:t.config ~src:fs.consumer ~dst:fs.producer
-         ~name:{ Wire.flow = fs.flow; lo = !p; hi = chunk_hi }
-         ~timestamp:now ~send_rate:(upstream_rate t fs) ~retx:true);
+         ~flow:fs.flow ~lo:!p ~hi:chunk_hi ~timestamp:now
+         ~send_rate:(upstream_rate t fs) ~retx:true);
     p := chunk_hi
   done
 
 (* Serve a cached range as MSS-sized Data packets through [emit]. *)
-let respond_from_cache t ~(name : Wire.name) ~src ~dst ~timestamp ~req_owd
-    ~retx ~emit =
+let respond_from_cache t ~flow ~lo ~hi ~src ~dst ~timestamp ~req_owd ~retx
+    ~emit =
   let mss = t.config.Config.mss in
-  let p = ref name.Wire.lo in
+  let p = ref lo in
   let all_served = ref true in
-  while !p < name.Wire.hi do
-    let chunk_hi = min name.Wire.hi (!p + mss) in
-    (match Cache.lookup t.cache ~flow:name.Wire.flow ~lo:!p ~hi:chunk_hi with
+  while !p < hi do
+    let chunk_hi = min hi (!p + mss) in
+    (match Cache.lookup t.cache ~flow ~lo:!p ~hi:chunk_hi with
     | Some (first_sent, cretx) ->
       emit
-        (Wire.data_packet ~config:t.config ~src ~dst
-           ~name:{ name with Wire.lo = !p; hi = chunk_hi }
+        (Wire.data_packet ~config:t.config ~src ~dst ~flow ~lo:!p ~hi:chunk_hi
            ~timestamp ~req_owd ~first_sent ~retx:(cretx || retx))
     | None -> all_served := false);
     p := chunk_hi
   done;
   !all_served
 
-let handle_interest t pkt (i : Wire.name) ~timestamp ~send_rate ~retx =
+let handle_interest t pkt =
+  let flow = pkt.Packet.flow in
+  let lo = Wire.lo pkt and hi = Wire.hi pkt in
+  let timestamp = Wire.timestamp pkt in
+  let send_rate = Wire.send_rate pkt in
+  let retx = Wire.retx pkt in
   let fs =
-    get_flow t ~flow:i.Wire.flow ~consumer:pkt.Packet.src
-      ~producer:pkt.Packet.dst
+    get_flow t ~flow ~consumer:pkt.Packet.src ~producer:pkt.Packet.dst
   in
   fs.consumer <- pkt.Packet.src;
   fs.producer <- pkt.Packet.dst;
@@ -142,16 +144,16 @@ let handle_interest t pkt (i : Wire.name) ~timestamp ~send_rate ~retx =
     (* Ablation C: end-to-end control; pass the Interest through but still
        try the cache. *)
     let hit =
-      Config.caches_enabled t.config
-      && Cache.contains t.cache ~flow:i.Wire.flow ~lo:i.Wire.lo ~hi:i.Wire.hi
+      Config.caches_enabled t.config && Cache.contains t.cache ~flow ~lo ~hi
     in
     if hit then begin
       fs.cache_hits <- fs.cache_hits + 1;
       ignore
-        (respond_from_cache t ~name:i ~src:pkt.Packet.dst ~dst:pkt.Packet.src
-           ~timestamp
+        (respond_from_cache t ~flow ~lo ~hi ~src:pkt.Packet.dst
+           ~dst:pkt.Packet.src ~timestamp
            ~req_owd:(Float.max 0.0 (now -. timestamp))
-           ~retx ~emit:(Node.send t.node))
+           ~retx ~emit:(Node.send t.node));
+      Pool.release pkt
     end
     else Node.send t.node pkt
   end
@@ -160,37 +162,44 @@ let handle_interest t pkt (i : Wire.name) ~timestamp ~send_rate ~retx =
     (* The downstream Requester's advertised rate drives my rate limiter. *)
     Send_buffer.set_rate fs.buffer send_rate;
     let hit =
-      Config.caches_enabled t.config
-      && Cache.contains t.cache ~flow:i.Wire.flow ~lo:i.Wire.lo ~hi:i.Wire.hi
+      Config.caches_enabled t.config && Cache.contains t.cache ~flow ~lo ~hi
     in
     if hit then begin
       fs.cache_hits <- fs.cache_hits + 1;
       ignore
-        (respond_from_cache t ~name:i ~src:pkt.Packet.dst ~dst:pkt.Packet.src
-           ~timestamp:now ~req_owd:fs.ds_interest_owd ~retx
-           ~emit:(fun data -> ignore (Send_buffer.push fs.buffer data)))
+        (respond_from_cache t ~flow ~lo ~hi ~src:pkt.Packet.dst
+           ~dst:pkt.Packet.src ~timestamp:now ~req_owd:fs.ds_interest_owd ~retx
+           ~emit:(fun data -> ignore (Send_buffer.push fs.buffer data)));
+      Pool.release pkt
     end
     else begin
       let forward =
-        Pit.register t.pit ~now ~flow:i.Wire.flow ~lo:i.Wire.lo ~hi:i.Wire.hi
-          ~consumer:pkt.Packet.src
+        Pit.register t.pit ~now ~flow ~lo ~hi ~consumer:pkt.Packet.src
       in
-      if forward || retx then
-        (* Re-originate upstream with this hop's timestamp and rate. *)
-        Node.send t.node
-          (Wire.interest_packet ~config:t.config ~src:pkt.Packet.src
-             ~dst:pkt.Packet.dst ~name:i ~timestamp:now
-             ~send_rate:(upstream_rate t fs) ~retx)
-      else t.pit_blocked <- t.pit_blocked + 1
+      if forward || retx then begin
+        (* Re-originate upstream with this hop's timestamp and rate (a
+           fresh id in place, like the re-constructed packet it
+           replaces). *)
+        Wire.reoriginate_interest pkt ~timestamp:now
+          ~send_rate:(upstream_rate t fs);
+        Node.send t.node pkt
+      end
+      else begin
+        t.pit_blocked <- t.pit_blocked + 1;
+        Pool.release pkt
+      end
     end
   end
 
-let handle_data t pkt (d : Wire.name) ~length ~timestamp ~req_owd ~first_sent
-    ~retx =
-  let fs =
-    get_flow t ~flow:d.Wire.flow ~consumer:pkt.Packet.dst
-      ~producer:pkt.Packet.src
-  in
+let handle_data t pkt =
+  let flow = pkt.Packet.flow in
+  let lo = Wire.lo pkt and hi = Wire.hi pkt in
+  let length = Wire.length pkt in
+  let timestamp = Wire.timestamp pkt in
+  let req_owd = Wire.req_owd pkt in
+  let first_sent = Wire.first_sent pkt in
+  let retx = Wire.retx pkt in
+  let fs = get_flow t ~flow ~consumer:pkt.Packet.dst ~producer:pkt.Packet.src in
   let now = Engine.now t.engine in
   let is_vph = length = 0 in
   (* Upstream hop congestion sample (not for VPHs: they carry no payload
@@ -203,8 +212,7 @@ let handle_data t pkt (d : Wire.name) ~length ~timestamp ~req_owd ~first_sent
   (* In-network retransmission machinery (disabled without caches). *)
   if Config.caches_enabled t.config then begin
     if not is_vph then begin
-      Cache.insert t.cache ~flow:d.Wire.flow ~lo:d.Wire.lo ~hi:d.Wire.hi
-        ~first_sent ~retx;
+      Cache.insert t.cache ~flow ~lo ~hi ~first_sent ~retx;
       (* Multicast fan-out: serve every other consumer waiting on this
          range (the packet itself continues to [pkt.dst]). *)
       List.iter
@@ -212,17 +220,17 @@ let handle_data t pkt (d : Wire.name) ~length ~timestamp ~req_owd ~first_sent
           if consumer <> pkt.Packet.dst then
             Node.send t.node
               (Wire.data_packet ~config:t.config ~src:pkt.Packet.src
-                 ~dst:consumer ~name:d ~timestamp:now
+                 ~dst:consumer ~flow ~lo ~hi ~timestamp:now
                  ~req_owd:fs.ds_interest_owd ~first_sent ~retx))
-        (Pit.satisfy t.pit ~now ~flow:d.Wire.flow ~lo:d.Wire.lo ~hi:d.Wire.hi)
+        (Pit.satisfy t.pit ~now ~flow ~lo ~hi)
     end;
-    let actions = Shr.on_packet fs.shr ~lo:d.Wire.lo ~hi:d.Wire.hi in
+    let actions = Shr.on_packet fs.shr ~lo ~hi in
     List.iter (fun (lo, hi) -> send_vph t fs ~lo ~hi) actions.Shr.new_holes;
     List.iter
       (fun (lo, hi) ->
         (* Serve the retransmission locally if a later packet filled the
            cache meanwhile; otherwise ask upstream. *)
-        match Cache.lookup t.cache ~flow:d.Wire.flow ~lo ~hi with
+        match Cache.lookup t.cache ~flow ~lo ~hi with
         | Some _ -> ()
         | None -> send_shr_interest t fs ~lo ~hi)
       actions.Shr.expired_holes
@@ -235,12 +243,9 @@ let handle_data t pkt (d : Wire.name) ~length ~timestamp ~req_owd ~first_sent
   else Node.send t.node pkt
 
 let handler t ~from:_ pkt =
-  match pkt.Packet.payload with
-  | Wire.Interest { name; timestamp; send_rate; retx } ->
-    handle_interest t pkt name ~timestamp ~send_rate ~retx
-  | Wire.Data { name; length; timestamp; req_owd; first_sent; retx } ->
-    handle_data t pkt name ~length ~timestamp ~req_owd ~first_sent ~retx
-  | _ -> Node.forward t.node ~from:0 pkt
+  if Wire.is_interest pkt then handle_interest t pkt
+  else if Wire.is_data pkt then handle_data t pkt
+  else Node.forward t.node ~from:0 pkt
 
 let create engine ~config ~node () =
   let t =

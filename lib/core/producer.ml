@@ -32,19 +32,17 @@ let create engine ~config ~node ~flow ?total_bytes ?available ?metrics () =
   (* The wire timestamp is "when the packet is sent by the previous node"
      (Table I), so it is stamped at drain time, not at enqueue: data can
      wait in the sending buffer, and that wait must stay invisible to the
-     hopRTT measurement (§III-C). *)
+     hopRTT measurement (§III-C).  Restamping is in place and consumes a
+     fresh id, exactly like the re-constructed packet it replaces. *)
   let send pkt =
-    let restamped =
-      match (pkt.Packet.payload, !t_ref) with
-      | Wire.Data { name; first_sent; retx; _ }, Some t ->
-        Wire.data_packet ~config:t.config ~src:pkt.Packet.src
-          ~dst:pkt.Packet.dst ~name
-          ~timestamp:(Engine.now t.engine)
-          ~req_owd:t.last_req_owd ~first_sent ~retx
-      | _ -> pkt
-    in
-    Leotp_net.Flow_metrics.on_send metrics ~bytes:restamped.Packet.size;
-    Node.send node restamped
+    (match !t_ref with
+    | Some t when Wire.is_data pkt ->
+      Wire.restamp_data pkt
+        ~timestamp:(Engine.now t.engine)
+        ~req_owd:t.last_req_owd
+    | _ -> ());
+    Leotp_net.Flow_metrics.on_send metrics ~bytes:pkt.Packet.size;
+    Node.send node pkt
   in
   let buffer = Send_buffer.create engine ~config ~send () in
   let t =
@@ -92,8 +90,8 @@ let serve_chunks t ~now ~consumer ~lo:range_lo ~hi =
     in
     let data =
       Wire.data_packet ~config:t.config ~src:(Node.id t.node) ~dst:consumer
-        ~name:{ Wire.flow = t.flow; lo = !lo; hi = chunk_hi }
-        ~timestamp:now ~req_owd:t.last_req_owd ~first_sent ~retx
+        ~flow:t.flow ~lo:!lo ~hi:chunk_hi ~timestamp:now
+        ~req_owd:t.last_req_owd ~first_sent ~retx
     in
     ignore (Send_buffer.push t.buffer data);
     lo := chunk_hi
@@ -115,17 +113,20 @@ let notify_data_available t =
   t.pending <- [];
   List.iter (fun (lo, hi, consumer) -> serve t ~now ~consumer ~lo ~hi) pending
 
+(* Terminal handler: the Interest dies here whether or not it matches. *)
 let handle_interest t pkt =
-  match pkt.Packet.payload with
-  | Wire.Interest { name; timestamp; send_rate; retx = _ }
-    when name.Wire.flow = t.flow ->
+  if Wire.is_interest pkt && pkt.Packet.flow = t.flow then begin
     t.interests_received <- t.interests_received + 1;
     let now = Engine.now t.engine in
-    let req_owd = Float.max 0.0 (now -. timestamp) in
+    let req_owd = Float.max 0.0 (now -. Wire.timestamp pkt) in
     t.last_req_owd <- req_owd;
-    Send_buffer.set_rate t.buffer send_rate;
-    serve t ~now ~consumer:pkt.Packet.src ~lo:name.Wire.lo ~hi:name.Wire.hi
-  | _ -> ()
+    Send_buffer.set_rate t.buffer (Wire.send_rate pkt);
+    let lo = Wire.lo pkt and hi = Wire.hi pkt in
+    let consumer = pkt.Packet.src in
+    Leotp_net.Packet_pool.release pkt;
+    serve t ~now ~consumer ~lo ~hi
+  end
+  else Leotp_net.Packet_pool.release pkt
 
 let buffer_len t = Send_buffer.len t.buffer
 let metrics t = t.metrics

@@ -1,11 +1,13 @@
 module Engine = Leotp_sim.Engine
 module Packet = Leotp_net.Packet
+module Pool = Leotp_net.Packet_pool
+module Pkt_queue = Leotp_net.Pkt_queue
 
 type t = {
   engine : Engine.t;
   config : Config.t;
   send : Packet.t -> unit;
-  queue : Packet.t Queue.t;
+  queue : Pkt_queue.t;
   bucket : Leotp_util.Token_bucket.t;
   queued_names : (int * int * int, unit) Hashtbl.t;
       (* Interest aggregation: a data range already waiting in the buffer
@@ -16,18 +18,16 @@ type t = {
   mutable drain_timer : Engine.timer option;
 }
 
-let name_key pkt =
-  match pkt.Packet.payload with
-  | Wire.Data { name; length; _ } when length > 0 ->
-    Some (name.Wire.flow, name.Wire.lo, name.Wire.hi)
-  | _ -> None
+(* Only real Data carries a dedup name; VPHs and Interests pass through. *)
+let has_name pkt = pkt.Packet.kind = Wire.kind_data && pkt.Packet.i2 > 0
+let name_key pkt = (pkt.Packet.flow, pkt.Packet.i0, pkt.Packet.i1)
 
 let create engine ~config ~send () =
   {
     engine;
     config;
     send;
-    queue = Queue.create ();
+    queue = Pkt_queue.create ();
     queued_names = Hashtbl.create 64;
     bucket =
       Leotp_util.Token_bucket.create
@@ -40,16 +40,13 @@ let create engine ~config ~send () =
   }
 
 let rec drain t =
-  match Queue.peek_opt t.queue with
-  | None -> ()
-  | Some pkt ->
+  if not (Pkt_queue.is_empty t.queue) then begin
+    let pkt = Pkt_queue.peek t.queue in
     let now = Engine.now t.engine in
     if Leotp_util.Token_bucket.try_consume t.bucket ~now pkt.Packet.size then begin
-      ignore (Queue.pop t.queue);
+      ignore (Pkt_queue.pop t.queue);
       t.queued_bytes <- t.queued_bytes - pkt.Packet.size;
-      (match name_key pkt with
-      | Some key -> Hashtbl.remove t.queued_names key
-      | None -> ());
+      if has_name pkt then Hashtbl.remove t.queued_names (name_key pkt);
       t.send pkt;
       drain t
     end
@@ -59,6 +56,7 @@ let rec drain t =
       (* A zero advertised rate pauses the buffer; a later set_rate
          restarts it. *)
     end
+  end
 
 and schedule t ~after =
   match t.drain_timer with
@@ -70,40 +68,43 @@ and schedule t ~after =
              t.drain_timer <- None;
              drain t))
 
+(* [push] always takes ownership: absorbed duplicates and capacity drops
+   go back to the pool here, queued packets die later in [t.send]'s
+   downstream or in [clear]. *)
 let push t pkt =
-  match name_key pkt with
-  | Some key when Hashtbl.mem t.queued_names key ->
+  if has_name pkt && Hashtbl.mem t.queued_names (name_key pkt) then begin
     (* Already queued: absorb the duplicate. *)
+    Pool.release pkt;
     true
-  | key_opt ->
-    if t.queued_bytes + pkt.Packet.size > t.config.Config.send_buffer_capacity
-    then begin
-      t.drops <- t.drops + 1;
-      false
-    end
-    else begin
-      Queue.add pkt t.queue;
-      (match key_opt with
-      | Some key -> Hashtbl.replace t.queued_names key ()
-      | None -> ());
-      t.queued_bytes <- t.queued_bytes + pkt.Packet.size;
-      drain t;
-      true
-    end
+  end
+  else if t.queued_bytes + pkt.Packet.size > t.config.Config.send_buffer_capacity
+  then begin
+    t.drops <- t.drops + 1;
+    Pool.release pkt;
+    false
+  end
+  else begin
+    if has_name pkt then Hashtbl.replace t.queued_names (name_key pkt) ();
+    Pkt_queue.push t.queue pkt;
+    t.queued_bytes <- t.queued_bytes + pkt.Packet.size;
+    drain t;
+    true
+  end
 
 let set_rate t r =
   let now = Engine.now t.engine in
   Leotp_util.Token_bucket.set_rate t.bucket ~now (Float.max 0.0 r);
-  if not (Queue.is_empty t.queue) then drain t
+  if not (Pkt_queue.is_empty t.queue) then drain t
 
 let rate t = Leotp_util.Token_bucket.rate t.bucket
 let len t = t.queued_bytes
-let packets t = Queue.length t.queue
+let packets t = Pkt_queue.length t.queue
 let drops t = t.drops
 
 let clear t =
   (match t.drain_timer with Some tm -> Engine.cancel tm | None -> ());
   t.drain_timer <- None;
-  Queue.clear t.queue;
+  Pkt_queue.iter (fun pkt -> Pool.release pkt) t.queue;
+  Pkt_queue.clear t.queue;
   Hashtbl.reset t.queued_names;
   t.queued_bytes <- 0

@@ -25,15 +25,13 @@ let attach engine ~config ~consumer_node ~producer_node ~midnodes ~flow
      re-installs a handler, so endpoint nodes are one-flow in practice;
      scenarios give each flow its own endpoint nodes). *)
   Node.set_handler consumer_node (fun ~from:_ pkt ->
-      match pkt.Packet.payload with
-      | Wire.Data { name; _ } when name.Wire.flow = flow ->
+      if Wire.is_data pkt && pkt.Packet.flow = flow then
         Consumer.handle_packet consumer pkt
-      | _ -> Node.forward consumer_node ~from:0 pkt);
+      else Node.forward consumer_node ~from:0 pkt);
   Node.set_handler producer_node (fun ~from:_ pkt ->
-      match pkt.Packet.payload with
-      | Wire.Interest { name; _ } when name.Wire.flow = flow ->
+      if Wire.is_interest pkt && pkt.Packet.flow = flow then
         Producer.handle_interest producer pkt
-      | _ -> Node.forward producer_node ~from:0 pkt);
+      else Node.forward producer_node ~from:0 pkt);
   { consumer; producer; midnodes; metrics }
 
 let over_chain engine ~config ~chain ~flow ?total_bytes ?(coverage = 1.0)

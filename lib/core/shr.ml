@@ -13,7 +13,18 @@ type actions = {
 
 let create ~config = { config; last_byte = 0; holes = [] }
 
-let on_packet t ~lo ~hi =
+let empty_actions = { new_holes = []; expired_holes = [] }
+
+let rec on_packet t ~lo ~hi =
+  (* Fast path: in-order data with no holes outstanding — the common case
+     on a clean link — touches nothing and returns a shared constant. *)
+  if lo <= t.last_byte && t.holes == [] then begin
+    t.last_byte <- max t.last_byte hi;
+    empty_actions
+  end
+  else on_packet_slow t ~lo ~hi
+
+and on_packet_slow t ~lo ~hi =
   let new_holes = ref [] in
   (* (2) Beyond lastByte: the gap [last_byte, lo) becomes a hole. *)
   if lo > t.last_byte then begin

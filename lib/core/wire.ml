@@ -1,4 +1,4 @@
-(** LEOTP wire format (paper Table I).
+(** LEOTP wire format (paper Table I), as flat packet slots.
 
     Two packet types: Interest (request) and Data (response).  A Data
     packet with [length = 0] is a Void Packet Header (VPH), the
@@ -10,49 +10,151 @@
     bookkeeping a real node keeps locally (it rides the Data packet here
     because simulated nodes don't share memory), and [first_sent]/[retx]
     feed the measurement pipeline only.  None of them are charged wire
-    bytes. *)
+    bytes.
 
-(* Wire-format variant: every constructor and field is the public
-   surface; an .mli would duplicate the whole definition. *)
+    Slot layout (name.flow is the packet's own [flow] field):
+    - Interest ([kind_interest]): i0 = lo, i1 = hi, f.(0) = timestamp,
+      f.(1) = send_rate (bytes/s, eq 10), [flag_retx].
+    - Data ([kind_data]): i0 = lo, i1 = hi, i2 = length (0 = VPH),
+      f.(0) = timestamp, f.(1) = req_owd, f.(2) = first_sent,
+      [flag_retx]. *)
+
+(* Wire-format surface: the slot accessors and constructors are the whole
+   module; an .mli would duplicate every one-liner. *)
 [@@@leotp.allow "missing-interface"]
 
+module Packet = Leotp_net.Packet
+module Pool = Leotp_net.Packet_pool
+module Codec = Leotp_net.Codec
 
-type name = { flow : int; lo : int; hi : int }
+(* Kind registry: net reserves 0 (raw); LEOTP takes 1-2, TCP takes 3-4
+   (lib/tcp/wire.ml) — distinct because gateway nodes carry both. *)
+let kind_interest = 1
+let kind_data = 2
 
-type Leotp_net.Packet.payload +=
-  | Interest of {
-      name : name;
-      timestamp : float;  (** stamped by the Requester of this hop *)
-      send_rate : float;  (** advertised sending rate, bytes/s (eq 10) *)
-      retx : bool;  (** re-request (TR or SHR), for accounting *)
-    }
-  | Data of {
-      name : name;
-      length : int;  (** payload bytes; 0 = VPH *)
-      timestamp : float;  (** stamped by the Responder of this hop *)
-      req_owd : float;  (** Interest OWD measured at the Responder, s *)
-      first_sent : float;  (** origin first-transmission time of the range *)
-      retx : bool;  (** range was retransmitted somewhere on the path *)
-    }
+let interest_packet ~config ~src ~dst ~flow ~lo ~hi ~timestamp ~send_rate
+    ~retx =
+  let p =
+    Pool.acquire ~src ~dst ~flow ~size:config.Config.header_bytes
+      ~kind:kind_interest
+  in
+  p.Packet.i0 <- lo;
+  p.Packet.i1 <- hi;
+  p.Packet.f.(0) <- timestamp;
+  p.Packet.f.(1) <- send_rate;
+  Packet.set_flag p Packet.flag_retx retx;
+  p
 
-let range_len name = name.hi - name.lo
+let data_packet ~config ~src ~dst ~flow ~lo ~hi ~timestamp ~req_owd
+    ~first_sent ~retx =
+  let length = hi - lo in
+  let p =
+    Pool.acquire ~src ~dst ~flow
+      ~size:(config.Config.header_bytes + length)
+      ~kind:kind_data
+  in
+  p.Packet.i0 <- lo;
+  p.Packet.i1 <- hi;
+  p.Packet.i2 <- length;
+  p.Packet.f.(0) <- timestamp;
+  p.Packet.f.(1) <- req_owd;
+  p.Packet.f.(2) <- first_sent;
+  Packet.set_flag p Packet.flag_retx retx;
+  p
 
-let interest_packet ~config ~src ~dst ~name ~timestamp ~send_rate ~retx =
-  Leotp_net.Packet.make ~src ~dst ~flow:name.flow
-    ~size:config.Config.header_bytes
-    (Interest { name; timestamp; send_rate; retx })
+let vph_packet ~config ~src ~dst ~flow ~lo ~hi ~timestamp =
+  let p =
+    Pool.acquire ~src ~dst ~flow ~size:config.Config.header_bytes
+      ~kind:kind_data
+  in
+  p.Packet.i0 <- lo;
+  p.Packet.i1 <- hi;
+  (* i2 (length) stays 0: this is the VPH marker. *)
+  p.Packet.f.(0) <- timestamp;
+  p
 
-let data_packet ~config ~src ~dst ~name ~timestamp ~req_owd ~first_sent ~retx =
-  let length = range_len name in
-  Leotp_net.Packet.make ~src ~dst ~flow:name.flow
-    ~size:(config.Config.header_bytes + length)
-    (Data { name; length; timestamp; req_owd; first_sent; retx })
+(* Accessors (valid for both kinds unless noted). *)
+let lo (p : Packet.t) = p.Packet.i0
+let hi (p : Packet.t) = p.Packet.i1
+let length (p : Packet.t) = p.Packet.i2  (* Data only *)
+let timestamp (p : Packet.t) = p.Packet.f.(0)
+let send_rate (p : Packet.t) = p.Packet.f.(1)  (* Interest only *)
+let req_owd (p : Packet.t) = p.Packet.f.(1)  (* Data only *)
+let first_sent (p : Packet.t) = p.Packet.f.(2)  (* Data only *)
+let retx (p : Packet.t) = Packet.get_flag p Packet.flag_retx
+let is_interest (p : Packet.t) = p.Packet.kind = kind_interest
+let is_data (p : Packet.t) = p.Packet.kind = kind_data
+let is_vph (p : Packet.t) = p.Packet.kind = kind_data && p.Packet.i2 = 0
 
-let vph_packet ~config ~src ~dst ~name ~timestamp =
-  Leotp_net.Packet.make ~src ~dst ~flow:name.flow
-    ~size:config.Config.header_bytes
-    (Data { name; length = 0; timestamp; req_owd = 0.0; first_sent = 0.0; retx = false })
+(* In-place re-origination.  The wire timestamp is "when the packet is
+   sent by the previous node" (Table I): Data is restamped when it leaves
+   a sending buffer, Interests when a Midnode re-issues them upstream.
+   Each consumes a fresh id, exactly like the re-constructed packet it
+   replaces — the trace digests depend on that sequence. *)
+let restamp_data p ~timestamp ~req_owd =
+  Packet.assign_fresh_id p;
+  p.Packet.f.(0) <- timestamp;
+  p.Packet.f.(1) <- req_owd
 
-let is_vph = function Data { length = 0; _ } -> true | _ -> false
+let reoriginate_interest p ~timestamp ~send_rate =
+  Packet.assign_fresh_id p;
+  p.Packet.f.(0) <- timestamp;
+  p.Packet.f.(1) <- send_rate
 
-let pp_name ppf n = Format.fprintf ppf "%d:[%d,%d)" n.flow n.lo n.hi
+(* ------------------------------------------------------------------ *)
+(* Cursor codecs: the byte serialization of each kind.  Decode fills a
+   caller-owned (pool-acquired) record so the pair is allocation-free. *)
+
+let header_encoded_size = 1 + (4 * 8)  (* kind tag + src/dst/flow/size *)
+let interest_encoded_size = header_encoded_size + (2 * 8) + (2 * 8) + 1
+let data_encoded_size = header_encoded_size + (3 * 8) + (3 * 8) + 1
+
+let encode_header w (p : Packet.t) =
+  Codec.w_u8 w p.Packet.kind;
+  Codec.w_int w p.Packet.src;
+  Codec.w_int w p.Packet.dst;
+  Codec.w_int w p.Packet.flow;
+  Codec.w_int w p.Packet.size
+
+let decode_header r (p : Packet.t) =
+  p.Packet.kind <- Codec.r_u8 r;
+  p.Packet.src <- Codec.r_int r;
+  p.Packet.dst <- Codec.r_int r;
+  p.Packet.flow <- Codec.r_int r;
+  p.Packet.size <- Codec.r_int r
+
+let encode_interest w (p : Packet.t) =
+  encode_header w p;
+  Codec.w_int w p.Packet.i0;
+  Codec.w_int w p.Packet.i1;
+  Codec.w_float w p.Packet.f.(0);
+  Codec.w_float w p.Packet.f.(1);
+  Codec.w_bool w (retx p)
+
+let decode_interest r (p : Packet.t) =
+  decode_header r p;
+  p.Packet.i0 <- Codec.r_int r;
+  p.Packet.i1 <- Codec.r_int r;
+  p.Packet.f.(0) <- Codec.r_float r;
+  p.Packet.f.(1) <- Codec.r_float r;
+  Packet.set_flag p Packet.flag_retx (Codec.r_bool r)
+
+let encode_data w (p : Packet.t) =
+  encode_header w p;
+  Codec.w_int w p.Packet.i0;
+  Codec.w_int w p.Packet.i1;
+  Codec.w_int w p.Packet.i2;
+  Codec.w_float w p.Packet.f.(0);
+  Codec.w_float w p.Packet.f.(1);
+  Codec.w_float w p.Packet.f.(2);
+  Codec.w_bool w (retx p)
+
+let decode_data r (p : Packet.t) =
+  decode_header r p;
+  p.Packet.i0 <- Codec.r_int r;
+  p.Packet.i1 <- Codec.r_int r;
+  p.Packet.i2 <- Codec.r_int r;
+  p.Packet.f.(0) <- Codec.r_float r;
+  p.Packet.f.(1) <- Codec.r_float r;
+  p.Packet.f.(2) <- Codec.r_float r;
+  Packet.set_flag p Packet.flag_retx (Codec.r_bool r)

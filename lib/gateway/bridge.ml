@@ -80,32 +80,28 @@ let create engine ~config ~tcp_cc ~sender_node ~ingress_node ~egress_node
       ()
   in
 
-  (* Handlers: each node dispatches by payload kind, forwarding anything
+  (* Handlers: each node dispatches by packet kind, forwarding anything
      that is not for it (the gateways sit on routed paths). *)
   Node.set_handler sender_node (fun ~from:_ pkt ->
-      match pkt.Packet.payload with
-      | Leotp_tcp.Wire.Ack_seg _ when pkt.Packet.flow = flow ->
+      if Leotp_tcp.Wire.is_ack_seg pkt && pkt.Packet.flow = flow then
         Leotp_tcp.Sender.handle_ack tcp_in pkt
-      | _ -> Node.forward sender_node ~from:0 pkt);
+      else Node.forward sender_node ~from:0 pkt);
   Node.set_handler ingress_node (fun ~from:_ pkt ->
-      match pkt.Packet.payload with
-      | Leotp_tcp.Wire.Data_seg _ when pkt.Packet.flow = flow ->
+      if Leotp_tcp.Wire.is_data_seg pkt && pkt.Packet.flow = flow then
         Leotp_tcp.Receiver.handle_data rx_in pkt
-      | Leotp.Wire.Interest { name; _ } when name.Leotp.Wire.flow = flow ->
+      else if Leotp.Wire.is_interest pkt && pkt.Packet.flow = flow then
         Leotp.Producer.handle_interest producer pkt
-      | _ -> Node.forward ingress_node ~from:0 pkt);
+      else Node.forward ingress_node ~from:0 pkt);
   Node.set_handler egress_node (fun ~from:_ pkt ->
-      match pkt.Packet.payload with
-      | Leotp.Wire.Data { name; _ } when name.Leotp.Wire.flow = flow ->
+      if Leotp.Wire.is_data pkt && pkt.Packet.flow = flow then
         Leotp.Consumer.handle_packet consumer pkt
-      | Leotp_tcp.Wire.Ack_seg _ when pkt.Packet.flow = flow ->
+      else if Leotp_tcp.Wire.is_ack_seg pkt && pkt.Packet.flow = flow then
         Leotp_tcp.Sender.handle_ack tcp_out pkt
-      | _ -> Node.forward egress_node ~from:0 pkt);
+      else Node.forward egress_node ~from:0 pkt);
   Node.set_handler receiver_node (fun ~from:_ pkt ->
-      match pkt.Packet.payload with
-      | Leotp_tcp.Wire.Data_seg _ when pkt.Packet.flow = flow ->
+      if Leotp_tcp.Wire.is_data_seg pkt && pkt.Packet.flow = flow then
         Leotp_tcp.Receiver.handle_data rx_out pkt
-      | _ -> Node.forward receiver_node ~from:0 pkt);
+      else Node.forward receiver_node ~from:0 pkt);
   {
     tcp_in;
     rx_in;

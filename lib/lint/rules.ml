@@ -414,6 +414,63 @@ let domain_unsafe_access =
     check = (fun ~emit:_ _ -> ());
   }
 
+(* -- Rule 9: hot-path-alloc ------------------------------------------ *)
+
+(* Packets are pooled (Leotp_net.Packet_pool): the steady-state hot path
+   allocates ~zero words per packet because every sink recycles the flat
+   record.  Direct allocation via [Packet.blank] bypasses the free list,
+   and [Packet.assign_fresh_id] consumes a fresh id — the deterministic
+   id sequence that --jobs N bit-identity rests on — so both are
+   restricted to the packet/pool/codec layer itself.  The file allowlist
+   keys on the location's filename (the engine parses with the real path),
+   so the rule needs no plumbing through [applies]. *)
+
+let hot_path_sanctioned_files =
+  [ "packet.ml"; "packet_pool.ml"; "codec.ml"; "wire.ml" ]
+
+let hot_path_banned =
+  let blank_msg =
+    "direct packet allocation bypasses the pool's free list; use \
+     Packet_pool.acquire (or a Wire constructor) so the record is \
+     recycled, or add a justified [@leotp.allow \"hot-path-alloc\"]"
+  in
+  let id_msg =
+    "fresh packet ids may only be consumed inside the wire codecs \
+     (Packet_pool.acquire / Wire.restamp_*); consuming one elsewhere \
+     perturbs the deterministic id sequence behind --jobs N bit-identity"
+  in
+  [
+    ("Packet.blank", blank_msg);
+    ("Leotp_net.Packet.blank", blank_msg);
+    ("Packet.assign_fresh_id", id_msg);
+    ("Leotp_net.Packet.assign_fresh_id", id_msg);
+  ]
+
+let hot_path_alloc =
+  {
+    id = "hot-path-alloc";
+    severity = Finding.Error;
+    doc =
+      "packet records are pool-recycled; allocate via Packet_pool.acquire \
+       / the Wire constructors, never Packet.blank, and consume fresh ids \
+       only inside the wire codecs";
+    applies = everywhere;
+    check =
+      (fun ~emit st ->
+        iter_idents
+          (fun name loc ->
+            if
+              not
+                (List.mem
+                   (Filename.basename loc.loc_start.pos_fname)
+                   hot_path_sanctioned_files)
+            then
+              match List.assoc_opt name hot_path_banned with
+              | Some msg -> emit ~loc msg
+              | None -> ())
+          st);
+  }
+
 let all =
   [
     no_wall_clock;
@@ -424,6 +481,7 @@ let all =
     no_poly_float_compare;
     missing_interface;
     domain_unsafe_access;
+    hot_path_alloc;
   ]
 
 let known_ids = List.map (fun r -> r.id) all

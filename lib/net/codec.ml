@@ -1,0 +1,46 @@
+(* Cursor codecs over Bytes.
+
+   Wire modules serialize their flat packet layouts through these
+   primitives instead of building constructor blocks: a writer advances
+   through a caller-owned buffer, a reader walks it back.  Encodings are
+   fixed-width little-endian (ints and float bit patterns as 64-bit
+   words), so every value — including NaNs, -0.0 and min/max ints —
+   round-trips exactly. *)
+
+type writer = { wbuf : Bytes.t; mutable wpos : int }
+type reader = { rbuf : Bytes.t; mutable rpos : int }
+
+let writer buf = { wbuf = buf; wpos = 0 }
+let reader buf = { rbuf = buf; rpos = 0 }
+let written w = w.wpos
+let remaining r = Bytes.length r.rbuf - r.rpos
+
+let w_int w v =
+  Bytes.set_int64_le w.wbuf w.wpos (Int64.of_int v);
+  w.wpos <- w.wpos + 8
+
+let r_int r =
+  let v = Int64.to_int (Bytes.get_int64_le r.rbuf r.rpos) in
+  r.rpos <- r.rpos + 8;
+  v
+
+let w_float w v =
+  Bytes.set_int64_le w.wbuf w.wpos (Int64.bits_of_float v);
+  w.wpos <- w.wpos + 8
+
+let r_float r =
+  let v = Int64.float_of_bits (Bytes.get_int64_le r.rbuf r.rpos) in
+  r.rpos <- r.rpos + 8;
+  v
+
+let w_u8 w v =
+  Bytes.set_uint8 w.wbuf w.wpos (v land 0xff);
+  w.wpos <- w.wpos + 1
+
+let r_u8 r =
+  let v = Bytes.get_uint8 r.rbuf r.rpos in
+  r.rpos <- r.rpos + 1;
+  v
+
+let w_bool w v = w_u8 w (if v then 1 else 0)
+let r_bool r = r_u8 r <> 0

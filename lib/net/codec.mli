@@ -1,0 +1,28 @@
+(** Byte-cursor primitives for the wire-module codecs.
+
+    Fixed-width little-endian: ints and floats as 64-bit words (float bit
+    patterns, so NaN/-0.0/boundary values round-trip exactly), bytes for
+    small tags.  A cursor advances through a caller-owned buffer;
+    encode/decode pairs in the wire modules compose these into per-kind
+    packet codecs. *)
+
+type writer
+type reader
+
+val writer : Bytes.t -> writer
+val reader : Bytes.t -> reader
+
+val written : writer -> int
+val remaining : reader -> int
+
+val w_int : writer -> int -> unit
+val r_int : reader -> int
+
+val w_float : writer -> float -> unit
+val r_float : reader -> float
+
+val w_u8 : writer -> int -> unit
+val r_u8 : reader -> int
+
+val w_bool : writer -> bool -> unit
+val r_bool : reader -> bool

@@ -24,7 +24,10 @@ type t = {
   mutable reorder_prob : float;
   mutable reorder_jitter : float;
   rng : Leotp_util.Rng.t;
-  queue : (Packet.t * float) Queue.t;
+  queue : Pkt_queue.t;
+      (** enqueue time rides in each packet's [Packet.link_slot] float
+          slot — a packet has exactly one owner, so the slot is free
+          while it sits in this queue *)
   mutable queued_bytes : int;
   mutable busy : bool;
   mutable in_flight : int;
@@ -50,7 +53,7 @@ let create engine ~name ~src ~dst ~bandwidth ~delay ?(plr = 0.0)
     reorder_prob = 0.0;
     reorder_jitter = 0.0;
     rng;
-    queue = Queue.create ();
+    queue = Pkt_queue.create ();
     queued_bytes = 0;
     busy = false;
     in_flight = 0;
@@ -83,7 +86,7 @@ let set_bandwidth t b = t.bandwidth <- b
 let current_rate t = Bandwidth.at t.bandwidth (Leotp_sim.Engine.now t.engine)
 let set_buffer_bytes t n = t.buffer_bytes <- n
 let queue_bytes t = t.queued_bytes
-let queued_packets t = Queue.length t.queue
+let queued_packets t = Pkt_queue.length t.queue
 let in_flight t = t.in_flight
 let stats t = t.stats
 let up t = t.up
@@ -97,6 +100,12 @@ let trace_drop t pkt reason =
   if Trace.on () then
     Trace.emit (Trace.Link_drop { link = t.name; pkt = pkt.Packet.id; reason })
 
+(* Every dropped packet dies here: the link owns it, so the record goes
+   straight back to the pool. *)
+let drop t pkt reason =
+  trace_drop t pkt reason;
+  Packet_pool.release pkt
+
 let deliver t pkt =
   t.stats.packets_delivered <- t.stats.packets_delivered + 1;
   t.stats.bytes_delivered <- t.stats.bytes_delivered + pkt.Packet.size;
@@ -107,21 +116,20 @@ let deliver t pkt =
   t.sink pkt
 
 let rec start_transmission t =
-  if not t.busy then begin
-    match Queue.take_opt t.queue with
-    | None -> ()
-    | Some (pkt, enqueued_at) ->
-      t.queued_bytes <- t.queued_bytes - pkt.Packet.size;
-      t.busy <- true;
-      t.in_flight <- t.in_flight + 1;
-      let now = Leotp_sim.Engine.now t.engine in
-      Leotp_util.Stats.add t.stats.queue_delay (now -. enqueued_at);
-      let rate = Float.max 1.0 (Bandwidth.at t.bandwidth now) in
-      let tx_time = float_of_int pkt.Packet.size /. rate in
-      let epoch = t.epoch in
-      ignore
-        (Leotp_sim.Engine.schedule t.engine ~after:tx_time (fun () ->
-             complete_transmission t pkt epoch))
+  if (not t.busy) && not (Pkt_queue.is_empty t.queue) then begin
+    let pkt = Pkt_queue.pop t.queue in
+    let enqueued_at = pkt.Packet.f.(Packet.link_slot) in
+    t.queued_bytes <- t.queued_bytes - pkt.Packet.size;
+    t.busy <- true;
+    t.in_flight <- t.in_flight + 1;
+    let now = Leotp_sim.Engine.now t.engine in
+    Leotp_util.Stats.add t.stats.queue_delay (now -. enqueued_at);
+    let rate = Float.max 1.0 (Bandwidth.at t.bandwidth now) in
+    let tx_time = float_of_int pkt.Packet.size /. rate in
+    let epoch = t.epoch in
+    ignore
+      (Leotp_sim.Engine.schedule t.engine ~after:tx_time (fun () ->
+           complete_transmission t pkt epoch))
   end
 
 and complete_transmission t pkt epoch =
@@ -131,7 +139,7 @@ and complete_transmission t pkt epoch =
     if Leotp_util.Rng.bernoulli t.rng t.plr then begin
       t.stats.drops_error <- t.stats.drops_error + 1;
       t.in_flight <- t.in_flight - 1;
-      trace_drop t pkt Trace.Error
+      drop t pkt Trace.Error
     end
     else begin
       let arrival_epoch = t.epoch in
@@ -146,26 +154,33 @@ and complete_transmission t pkt epoch =
         (Leotp_sim.Engine.schedule t.engine ~after:(t.delay +. extra) (fun () ->
              t.in_flight <- t.in_flight - 1;
              if arrival_epoch = t.epoch then begin
-               deliver t pkt;
-               (* Fault-injected duplication at the receiving end. *)
+               (* Fault-injected duplication at the receiving end.  The
+                  dup decision and the copy are taken *before* the first
+                  delivery: its sink chain consumes (and may recycle) the
+                  record.  Nothing in the synchronous deliver cascade
+                  draws from this rng, so hoisting the bernoulli draw
+                  leaves the stream — and the trace — bit-identical. *)
                if Leotp_util.Rng.bernoulli t.rng t.dup_prob then begin
+                 let copy = Packet_pool.clone pkt in
+                 deliver t pkt;
                  t.stats.dups <- t.stats.dups + 1;
                  if Trace.on () then
                    Trace.emit
-                     (Trace.Link_dup { link = t.name; pkt = pkt.Packet.id });
-                 deliver t pkt
+                     (Trace.Link_dup { link = t.name; pkt = copy.Packet.id });
+                 deliver t copy
                end
+               else deliver t pkt
              end
              else begin
                t.stats.drops_flush <- t.stats.drops_flush + 1;
-               trace_drop t pkt Trace.Flush
+               drop t pkt Trace.Flush
              end))
     end
   end
   else begin
     t.stats.drops_flush <- t.stats.drops_flush + 1;
     t.in_flight <- t.in_flight - 1;
-    trace_drop t pkt Trace.Flush
+    drop t pkt Trace.Flush
   end;
   start_transmission t
 
@@ -177,24 +192,24 @@ let send t pkt =
          { link = t.name; pkt = pkt.Packet.id; size = pkt.Packet.size });
   if not t.up then begin
     t.stats.drops_down <- t.stats.drops_down + 1;
-    trace_drop t pkt Trace.Down
+    drop t pkt Trace.Down
   end
   else if t.queued_bytes + pkt.Packet.size > t.buffer_bytes then begin
     t.stats.drops_tail <- t.stats.drops_tail + 1;
-    trace_drop t pkt Trace.Tail
+    drop t pkt Trace.Tail
   end
   else begin
-    Queue.add (pkt, Leotp_sim.Engine.now t.engine) t.queue;
+    pkt.Packet.f.(Packet.link_slot) <- Leotp_sim.Engine.now t.engine;
+    Pkt_queue.push t.queue pkt;
     t.queued_bytes <- t.queued_bytes + pkt.Packet.size;
     start_transmission t
   end
 
 let flush t =
   t.epoch <- t.epoch + 1;
-  t.stats.drops_flush <- t.stats.drops_flush + Queue.length t.queue;
-  if Trace.on () then
-    Queue.iter (fun (pkt, _) -> trace_drop t pkt Trace.Flush) t.queue;
-  Queue.clear t.queue;
+  t.stats.drops_flush <- t.stats.drops_flush + Pkt_queue.length t.queue;
+  Pkt_queue.iter (fun pkt -> drop t pkt Trace.Flush) t.queue;
+  Pkt_queue.clear t.queue;
   t.queued_bytes <- 0
 
 let set_up t v =
@@ -217,6 +232,6 @@ let trace_final t =
              t.stats.drops_tail + t.stats.drops_error + t.stats.drops_flush
              + t.stats.drops_down;
            dups = t.stats.dups;
-           queued = Queue.length t.queue;
+           queued = Pkt_queue.length t.queue;
            in_flight = t.in_flight;
          })

@@ -24,7 +24,9 @@ let create ~name =
   and send_impl t pkt =
     match Hashtbl.find_opt t.routes pkt.Packet.dst with
     | Some link -> Link.send link pkt
-    | None -> t.no_route_drops <- t.no_route_drops + 1
+    | None ->
+      t.no_route_drops <- t.no_route_drops + 1;
+      Packet_pool.release pkt
   in
   t
 
@@ -40,7 +42,10 @@ let receive t ~from pkt = t.handler ~from pkt
 let send t pkt =
   match Hashtbl.find_opt t.routes pkt.Packet.dst with
   | Some link -> Link.send link pkt
-  | None -> t.no_route_drops <- t.no_route_drops + 1
+  | None ->
+    (* The packet dies here: no route means no owner downstream. *)
+    t.no_route_drops <- t.no_route_drops + 1;
+    Packet_pool.release pkt
 
 let no_route_drops t = t.no_route_drops
 let forward t ~from:_ pkt = send t pkt

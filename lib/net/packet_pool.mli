@@ -1,0 +1,32 @@
+(** Domain-local free-list recycling of {!Packet.t} records.
+
+    Every packet sink (link drop, buffer drop, terminal handler) releases
+    its packet here; every creation point acquires one.  Steady-state
+    simulation therefore allocates ~zero words per packet: records only
+    get allocated while the pool grows toward the peak number of packets
+    simultaneously alive. *)
+
+val acquire : src:int -> dst:int -> flow:int -> size:int -> kind:int -> Packet.t
+(** A record with a fresh domain-local id and all payload slots zeroed —
+    indistinguishable from a newly allocated packet. *)
+
+val release : Packet.t -> unit
+(** Return a record to the pool.  The caller must hold the only live
+    reference.  Double release is ignored (first release wins) unless
+    debug mode is on, where it raises [Invalid_argument]. *)
+
+val clone : Packet.t -> Packet.t
+(** Copy for link-level duplication: identical fields {e including} the
+    id (it is the same logical packet) — consumes no fresh id. *)
+
+val set_debug : bool -> unit
+(** Poison released records (sentinel ints, -inf floats, negated id) and
+    raise on double release.  Also enabled by [LEOTP_POOL_DEBUG=1]. *)
+
+val debug_enabled : unit -> bool
+
+val poison_int : int
+val poison_float : float
+
+val free_count : unit -> int
+(** Records currently in this domain's free list (tests). *)

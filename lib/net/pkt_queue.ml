@@ -1,0 +1,58 @@
+(* FIFO of packets as a growable ring: no cell allocation per enqueue
+   (Queue.t costs one cons per push), which matters because every packet
+   crosses a link queue at every hop.  Slots left behind by [pop] keep
+   their stale reference — harmless, the pool keeps released records
+   alive anyway. *)
+
+type t = {
+  mutable arr : Packet.t array;
+  mutable head : int;
+  mutable len : int;
+  placeholder : Packet.t;  (** fills unused slots of a fresh array *)
+}
+
+let create () =
+  (* The array is grown lazily at first push so idle queues cost one
+     blank record, not a 64-slot array. *)
+  let placeholder = (Packet.blank [@leotp.allow "hot-path-alloc"]) () in
+  { arr = [||]; head = 0; len = 0; placeholder }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.arr in
+  let ncap = max 64 (2 * cap) in
+  let narr = Array.make ncap t.placeholder in
+  for i = 0 to t.len - 1 do
+    narr.(i) <- t.arr.((t.head + i) mod cap)
+  done;
+  t.arr <- narr;
+  t.head <- 0
+
+let push t p =
+  if t.len = Array.length t.arr then grow t;
+  t.arr.((t.head + t.len) mod Array.length t.arr) <- p;
+  t.len <- t.len + 1
+
+(* Callers check [is_empty] first: an option return would allocate per
+   packet per hop. *)
+let peek t =
+  assert (t.len > 0);
+  t.arr.(t.head)
+
+let pop t =
+  assert (t.len > 0);
+  let p = t.arr.(t.head) in
+  t.head <- (t.head + 1) mod Array.length t.arr;
+  t.len <- t.len - 1;
+  p
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.arr.((t.head + i) mod Array.length t.arr)
+  done
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0

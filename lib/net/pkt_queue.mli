@@ -1,0 +1,23 @@
+(** Allocation-free FIFO of packets (growable ring buffer).
+
+    Unlike [Queue.t], pushes allocate nothing in steady state — the ring
+    doubles when full and is otherwise reused in place.  [peek]/[pop]
+    assume a non-empty queue (check {!is_empty}); ownership of popped
+    packets passes to the caller, [clear] drops references without
+    releasing (release while iterating first if the queue owns them). *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val push : t -> Packet.t -> unit
+
+val peek : t -> Packet.t
+(** Front packet without removing it; queue must be non-empty. *)
+
+val pop : t -> Packet.t
+(** Remove and return the front packet; queue must be non-empty. *)
+
+val iter : (Packet.t -> unit) -> t -> unit
+val clear : t -> unit

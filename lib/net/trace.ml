@@ -110,7 +110,14 @@ let current : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref No
 let install t = Domain.DLS.get current := Some t
 let uninstall () = Domain.DLS.get current := None
 let installed () = !(Domain.DLS.get current)
-let on () = !(Domain.DLS.get current) <> None
+
+(* A recorder that neither digests nor feeds a sink observes nothing:
+   [on] reports false for it so hot-path call sites skip event
+   construction entirely — the allocation-free-when-disabled contract. *)
+let enabled t = t.digesting || t.sinks <> []
+
+let on () =
+  match !(Domain.DLS.get current) with None -> false | Some t -> enabled t
 
 (* %.17g round-trips any float (same convention as the BENCH records). *)
 let fl x = Printf.sprintf "%.17g" x
@@ -213,7 +220,10 @@ let record t event =
   if t.len < t.capacity then t.len <- t.len + 1;
   List.iter (fun sink -> sink r) t.sinks
 
-let emit ev = match installed () with None -> () | Some t -> record t ev
+let emit ev =
+  match installed () with
+  | None -> ()
+  | Some t -> if enabled t then record t ev
 
 let with_recorder t ~clock f =
   t.clock <- clock;

@@ -24,6 +24,8 @@ type counters = {
   sim_seconds : float;
   alloc_bytes : float;
       (** bytes allocated while running jobs, summed across worker domains *)
+  packets : int;
+      (** packets created while running jobs, summed across worker domains *)
 }
 
 type pool_state = {
@@ -35,6 +37,7 @@ let state = Guarded.create { jobs = 1; pool = None }
 let c_jobs = Atomic_counter.create ()
 let c_sim = Atomic_counter.Sum.create ()
 let c_alloc = Atomic_counter.Sum.create ()
+let c_packets = Atomic_counter.create ()
 
 let jobs () = Guarded.with_ state (fun s -> s.jobs)
 
@@ -55,25 +58,32 @@ let set_jobs n =
 let reset_counters () =
   Atomic_counter.reset c_jobs;
   Atomic_counter.Sum.reset c_sim;
-  Atomic_counter.Sum.reset c_alloc
+  Atomic_counter.Sum.reset c_alloc;
+  Atomic_counter.reset c_packets
 
 let counters () =
   {
     jobs_run = Atomic_counter.get c_jobs;
     sim_seconds = Atomic_counter.Sum.get c_sim;
     alloc_bytes = Atomic_counter.Sum.get c_alloc;
+    packets = Atomic_counter.get c_packets;
   }
 
 let note_sim_seconds s = if s > 0.0 then Atomic_counter.Sum.add c_sim s
 
-(* [Gc.allocated_bytes] is domain-local, and each job runs entirely on
-   one domain, so the delta is exact even under --jobs N. *)
+(* [Gc.allocated_bytes] and the packet-creation count are domain-local,
+   and each job runs entirely on one domain, so the deltas are exact
+   even under --jobs N — which is what lets the per-packet allocation
+   metric gate on the same number whatever the parallelism. *)
 let instrumented f () =
   let a0 = Gc.allocated_bytes () in
+  let p0 = Leotp_net.Packet.created_on_domain () in
   let r = f () in
   let a1 = Gc.allocated_bytes () in
+  let p1 = Leotp_net.Packet.created_on_domain () in
   Atomic_counter.incr c_jobs;
   Atomic_counter.Sum.add c_alloc (a1 -. a0);
+  Atomic_counter.add c_packets (p1 - p0);
   r
 
 let get_pool n =

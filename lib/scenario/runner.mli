@@ -26,6 +26,7 @@ type counters = {
   jobs_run : int;
   sim_seconds : float;  (** total simulated time, via {!note_sim_seconds} *)
   alloc_bytes : float;  (** bytes allocated inside jobs, all domains *)
+  packets : int;  (** packets created inside jobs, all domains *)
 }
 
 val reset_counters : unit -> unit

@@ -38,19 +38,25 @@ let create engine ~node ~src ~flow ?metrics ?expected_bytes
     completed = false;
   }
 
-let sack_blocks t ~cum =
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | (lo, hi) :: rest ->
-      if hi <= cum then take n rest else (max lo cum, hi) :: take (n - 1) rest
-  in
-  take 3 (Interval_set.intervals t.received)
+(* Write up to [Wire.max_sacks] out-of-order ranges above [cum] straight
+   into the ack's fixed slots — no intermediate list. *)
+let fill_sacks t ack ~cum =
+  ignore
+    (Interval_set.fold
+       (fun lo hi n ->
+         if n >= Wire.max_sacks || hi <= cum then n
+         else begin
+           Wire.add_sack ack ~lo:(max lo cum) ~hi;
+           n + 1
+         end)
+       t.received 0)
 
 let handle_data t pkt =
-  match pkt.Packet.payload with
-  | Wire.Data_seg { seq; len; sent_at; first_sent; retx; fin = _ }
-    when pkt.Packet.flow = t.flow ->
+  if Wire.is_data_seg pkt && pkt.Packet.flow = t.flow then begin
+    let seq = Wire.seq pkt and len = Wire.len pkt in
+    let sent_at = Wire.sent_at pkt in
+    let first_sent = Wire.first_sent pkt and retx = Wire.retx pkt in
+    Leotp_net.Packet_pool.release pkt;
     let now = Engine.now t.engine in
     let fresh = not (Interval_set.covers ~lo:seq ~hi:(seq + len) t.received) in
     let before = Interval_set.cardinal t.received in
@@ -75,10 +81,14 @@ let handle_data t pkt =
     ignore fresh;
     (* Per-packet ACK with timestamp echo. *)
     let cum = t.delivered in
-    Node.send t.node
-      (Wire.ack_packet ~src:(Node.id t.node) ~dst:t.src ~flow:t.flow
-         ~cum_ack:cum ~sacks:(sack_blocks t ~cum) ~ts_echo:(Some sent_at));
-    (match t.expected_bytes with
+    let ack =
+      Wire.ack_packet ~src:(Node.id t.node) ~dst:t.src ~flow:t.flow
+        ~cum_ack:cum
+    in
+    fill_sacks t ack ~cum;
+    Wire.set_ts_echo ack sent_at;
+    Node.send t.node ack;
+    match t.expected_bytes with
     | Some n when t.delivered >= n && not t.completed ->
       t.completed <- true;
       if Leotp_net.Trace.on () then
@@ -87,8 +97,9 @@ let handle_data t pkt =
              { node = Node.id t.node; flow = t.flow; bytes = t.delivered });
       Flow_metrics.set_finished t.metrics now;
       t.on_complete ()
-    | _ -> ())
-  | _ -> ()
+    | _ -> ()
+  end
+  else Leotp_net.Packet_pool.release pkt
 
 let delivered_bytes t = t.delivered
 let received_bytes t = Interval_set.cardinal t.received

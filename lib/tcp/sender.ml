@@ -2,13 +2,12 @@ module Engine = Leotp_sim.Engine
 module Packet = Leotp_net.Packet
 module Node = Leotp_net.Node
 module Flow_metrics = Leotp_net.Flow_metrics
-module IntMap = Map.Make (Int)
 
 type source = Fixed of int | Unlimited | Dynamic of (unit -> int)
 
-type segment = {
-  seq : int;
-  len : int;
+type segment = Seg_store.seg = {
+  mutable seq : int;
+  mutable len : int;
   mutable first_sent : float;
   mutable last_sent : float;
   mutable retx_count : int;
@@ -28,7 +27,7 @@ type t = {
   metrics : Flow_metrics.t;
   on_complete : unit -> unit;
   mutable first_sent_of : pos:int -> len:int -> float * bool;
-  mutable segments : segment IntMap.t;  (** keyed by seq; unacked only *)
+  segments : Seg_store.t;  (** ordered by seq; unacked only *)
   mutable snd_nxt : int;
   mutable snd_una : int;
   mutable inflight : int;
@@ -71,7 +70,7 @@ let create engine ~node ~dst ~flow ~cc ?(mss = Wire.default_mss)
       metrics;
       on_complete;
       first_sent_of = (fun ~pos:_ ~len:_ -> (now, false));
-      segments = IntMap.empty;
+      segments = Seg_store.create ();
       snd_nxt = 0;
       snd_una = 0;
       inflight = 0;
@@ -95,7 +94,7 @@ let create engine ~node ~dst ~flow ~cc ?(mss = Wire.default_mss)
   | None ->
     t.first_sent_of <-
       (fun ~pos ~len ->
-        match IntMap.find_opt pos t.segments with
+        match Seg_store.find t.segments pos with
         | Some seg when seg.len = len -> (seg.first_sent, seg.retx_count > 0)
         | _ -> (Engine.now engine, false)));
   t
@@ -124,14 +123,9 @@ let mark_lost t seg =
     trace_seg t seg Leotp_net.Trace.Seg_lost
   end
 
-(* Ordered scan with early exit. *)
-let seq_iter_while m ~from f =
-  let rec go s =
-    match s () with
-    | Seq.Nil -> ()
-    | Seq.Cons ((_, seg), rest) -> if f seg then go rest
-  in
-  go (IntMap.to_seq_from from m)
+(* Ordered scan with early exit; allocation-free (the SACK and FACK
+   scans below run on every ack over O(window) segments). *)
+let seq_iter_while m ~from f = Seg_store.iter_from_while m ~from f
 
 let cancel_rto t =
   match t.rto_timer with
@@ -155,7 +149,7 @@ let rec arm_rto t =
 
 and on_rto_fire t =
   t.rto_timer <- None;
-  if (not t.finished) && not (IntMap.is_empty t.segments) then begin
+  if (not t.finished) && not (Seg_store.is_empty t.segments) then begin
     if Leotp_net.Trace.on () then
       Leotp_net.Trace.emit
         (Leotp_net.Trace.Rto_fire
@@ -170,10 +164,10 @@ and on_rto_fire t =
        behaviour); retransmissions then proceed window-limited from the
        collapsed cwnd.  Without this, tail losses leave segments counted
        as in-flight forever and the connection stalls. *)
-    IntMap.iter (fun _ seg -> if not seg.sacked then mark_lost t seg) t.segments;
+    Seg_store.iter t.segments (fun seg -> if not seg.sacked then mark_lost t seg);
     (* Retransmit the first unacknowledged segment immediately. *)
-    (match IntMap.min_binding_opt t.segments with
-    | Some (_, seg) when not seg.sacked -> send_segment t seg ~retx:true
+    (match Seg_store.first t.segments with
+    | Some seg when not seg.sacked -> send_segment t seg ~retx:true
     | Some _ | None -> ());
     arm_rto t;
     pump t
@@ -270,7 +264,7 @@ and pump t =
 
 and dispatch t seg is_retx =
   if not is_retx then begin
-    t.segments <- IntMap.add seg.seq seg t.segments;
+    Seg_store.push_back t.segments seg;
     t.snd_nxt <- max t.snd_nxt (seg.seq + seg.len)
   end;
   send_segment t seg ~retx:is_retx
@@ -305,74 +299,59 @@ let finish t =
   end
 
 let handle_ack t pkt =
-  match pkt.Packet.payload with
-  | Wire.Ack_seg { cum_ack; sacks; ts_echo } when not t.finished ->
+  if (not (Wire.is_ack_seg pkt)) || t.finished then
+    Leotp_net.Packet_pool.release pkt
+  else begin
+    let cum_ack = Wire.cum_ack pkt in
     let now = Engine.now t.engine in
-    let rtt_sample =
-      (* [>=], not [>]: a segment echoed within the same simulated instant
-         is a (zero) sample, and a [ts_echo] of exactly 0.0 is a valid
-         echo of a packet sent at simulation start. *)
-      match ts_echo with
-      | Some ts when now >= ts -> Some (now -. ts)
-      | Some _ | None -> None
-    in
-    (match rtt_sample with
-    | Some r -> Leotp_util.Rto.observe t.rto r
-    | None -> ());
+    (* [>=], not [>]: a segment echoed within the same simulated instant
+       is a (zero) sample, and a [ts_echo] of exactly 0.0 is a valid
+       echo of a packet sent at simulation start (the presence flag, not
+       a sentinel, says whether the echo exists). *)
+    let has_rtt = Wire.has_ts_echo pkt && now >= Wire.ts_echo pkt in
+    let rtt = if has_rtt then now -. Wire.ts_echo pkt else 0.0 in
+    if has_rtt then Leotp_util.Rto.observe t.rto rtt;
     let acked_bytes = ref 0 in
     (* Cumulative progress: drop every segment entirely below cum_ack. *)
     if cum_ack > t.snd_una then begin
-      let below, at, above = IntMap.split cum_ack t.segments in
-      (* A segment straddling cum_ack (seq < cum_ack < seq + len) lands in
-         [below], but only its head is acknowledged: split it and keep the
-         tail (with the segment's loss/sack state) outstanding.  Dropping
-         it whole under-counts inflight and silently un-sends the tail. *)
-      let above =
-        match IntMap.max_binding_opt below with
-        | Some (seq, seg) when seq + seg.len > cum_ack ->
-          let head = cum_ack - seq in
-          let tail = { seg with seq = cum_ack; len = seg.len - head } in
+      (* A segment straddling cum_ack (seq < cum_ack < seq + len) has only
+         its head acknowledged: [drop_below] truncates it in place and the
+         tail (with the segment's loss/sack state) stays outstanding.
+         Dropping it whole would under-count inflight and silently un-send
+         the tail. *)
+      Seg_store.drop_below t.segments ~cum:cum_ack
+        ~on_drop:(fun seg ->
+          if not seg.sacked then acked_bytes := !acked_bytes + seg.len;
+          if seg.lost then t.lost_pending <- max 0 (t.lost_pending - 1)
+          else if not seg.sacked then
+            t.inflight <- max 0 (t.inflight - seg.len))
+        ~on_straddle:(fun seg head ->
           if not seg.sacked then begin
             acked_bytes := !acked_bytes + head;
             if not seg.lost then t.inflight <- max 0 (t.inflight - head)
-          end;
-          IntMap.add cum_ack tail above
-        | Some _ | None -> above
-      in
-      IntMap.iter
-        (fun _ seg ->
-          if seg.seq + seg.len <= cum_ack then begin
-            if not seg.sacked then acked_bytes := !acked_bytes + seg.len;
-            if seg.lost then t.lost_pending <- max 0 (t.lost_pending - 1)
-            else if not seg.sacked then
-              t.inflight <- max 0 (t.inflight - seg.len)
-          end)
-        below;
-      t.segments <-
-        (match at with
-        | Some seg -> IntMap.add cum_ack seg above
-        | None -> above);
+          end);
       t.snd_una <- cum_ack;
       Leotp_util.Rto.reset_backoff t.rto;
       arm_rto t
     end;
-    (* Selective acknowledgements: only scan the covered range. *)
-    List.iter
-      (fun (lo, hi) ->
-        seq_iter_while t.segments ~from:lo (fun seg ->
-            if seg.seq + seg.len > hi then false
-            else begin
-              if not seg.sacked then begin
-                seg.sacked <- true;
-                acked_bytes := !acked_bytes + seg.len;
-                if seg.lost then t.lost_pending <- max 0 (t.lost_pending - 1)
-                else t.inflight <- max 0 (t.inflight - seg.len);
-                seg.lost <- false
-              end;
-              true
-            end);
-        t.high_sacked <- max t.high_sacked hi)
-      sacks;
+    (* Selective acknowledgements: only scan the covered range.  Ranges
+       live in the ack's fixed slots — no list to walk. *)
+    for i = 0 to Wire.sack_count pkt - 1 do
+      let lo = Wire.sack_lo pkt i and hi = Wire.sack_hi pkt i in
+      seq_iter_while t.segments ~from:lo (fun seg ->
+          if seg.seq + seg.len > hi then false
+          else begin
+            if not seg.sacked then begin
+              seg.sacked <- true;
+              acked_bytes := !acked_bytes + seg.len;
+              if seg.lost then t.lost_pending <- max 0 (t.lost_pending - 1)
+              else t.inflight <- max 0 (t.inflight - seg.len);
+              seg.lost <- false
+            end;
+            true
+          end);
+      t.high_sacked <- max t.high_sacked hi
+    done;
     t.high_sacked <- max t.high_sacked cum_ack;
     t.delivered <- t.delivered + !acked_bytes;
     (* FACK loss detection: everything sufficiently below the highest
@@ -424,17 +403,19 @@ let handle_ack t pkt =
       end
       else None
     in
-    if !acked_bytes > 0 || rtt_sample <> None then
+    if !acked_bytes > 0 || has_rtt then
       t.cc.Cc.on_ack
         {
           Cc.now;
           acked_bytes = !acked_bytes;
-          rtt_sample;
+          rtt_sample = (if has_rtt then Some rtt else None);
           bw_sample;
           inflight = t.inflight;
         };
     (* Emitted before [pump] so the oracle sees the post-ack claim ahead
-       of any (re)transmissions the ack unlocks. *)
+       of any (re)transmissions the ack unlocks.  The list/option shapes
+       exist only here, under the recorder gate — digest-identical to the
+       old wire format, allocation-free when nobody is observing. *)
     if Leotp_net.Trace.on () then
       Leotp_net.Trace.emit
         (Leotp_net.Trace.Ack_processed
@@ -444,19 +425,20 @@ let handle_ack t pkt =
              cc = t.cc.Cc.name;
              phase = t.cc.Cc.phase ();
              cum_ack;
-             sacks;
-             rtt = rtt_sample;
+             sacks = Wire.sack_list pkt;
+             rtt = (if has_rtt then Some rtt else None);
              snd_una = t.snd_una;
              inflight = t.inflight;
              lost_pending = t.lost_pending;
              cwnd = t.cc.Cc.cwnd ();
              rto = Leotp_util.Rto.rto t.rto;
            });
+    Leotp_net.Packet_pool.release pkt;
     (match total_bytes t with
     | Some n when t.snd_una >= n -> finish t
-    | _ -> if IntMap.is_empty t.segments then cancel_rto t);
+    | _ -> if Seg_store.is_empty t.segments then cancel_rto t);
     pump t
-  | _ -> ()
+  end
 
 let start t =
   if not t.started then begin
@@ -489,7 +471,7 @@ let timer_pending t =
 let debug_state t =
   Printf.sprintf
     "una=%d nxt=%d infl=%d lost_pend=%d segs=%d rto_armed=%b pump_armed=%b avail=%d fin=%b"
-    t.snd_una t.snd_nxt t.inflight t.lost_pending (IntMap.cardinal t.segments)
+    t.snd_una t.snd_nxt t.inflight t.lost_pending (Seg_store.cardinal t.segments)
     (match t.rto_timer with
     | Some tm -> Engine.is_pending tm
     | None -> false)

@@ -22,14 +22,13 @@ let connect engine ~src_node ~dst_node ~flow ~cc ?mss ?source ?on_complete ()
       ~metrics ?expected_bytes ()
   in
   Node.set_handler src_node (fun ~from:_ pkt ->
-      match pkt.Packet.payload with
-      | Wire.Ack_seg _ when pkt.Packet.flow = flow -> Sender.handle_ack sender pkt
-      | _ -> Node.forward src_node ~from:0 pkt);
+      if Wire.is_ack_seg pkt && pkt.Packet.flow = flow then
+        Sender.handle_ack sender pkt
+      else Node.forward src_node ~from:0 pkt);
   Node.set_handler dst_node (fun ~from:_ pkt ->
-      match pkt.Packet.payload with
-      | Wire.Data_seg _ when pkt.Packet.flow = flow ->
+      if Wire.is_data_seg pkt && pkt.Packet.flow = flow then
         Receiver.handle_data receiver pkt
-      | _ -> Node.forward dst_node ~from:0 pkt);
+      else Node.forward dst_node ~from:0 pkt);
   { sender; receiver; metrics }
 
 let start t = Sender.start t.sender

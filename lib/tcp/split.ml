@@ -57,10 +57,9 @@ let connect engine ~nodes ~flow ~cc ?(mss = Wire.default_mss) ?source
       ()
   in
   Node.set_handler nodes.(n - 1) (fun ~from:_ pkt ->
-      match pkt.Packet.payload with
-      | Wire.Data_seg _ when pkt.Packet.flow = flow ->
+      if Wire.is_data_seg pkt && pkt.Packet.flow = flow then
         Receiver.handle_data end_receiver pkt
-      | _ -> Node.forward nodes.(n - 1) ~from:0 pkt);
+      else Node.forward nodes.(n - 1) ~from:0 pkt);
   (* Proxies at interior nodes, downstream-first. *)
   let proxies = Array.make (max 0 (n - 2)) None in
   for i = n - 2 downto 1 do
@@ -93,15 +92,19 @@ let connect engine ~nodes ~flow ~cc ?(mss = Wire.default_mss) ?source
     proxy_ref := Some proxy;
     proxies.(i - 1) <- Some proxy;
     Node.set_handler node (fun ~from:_ pkt ->
-        match pkt.Packet.payload with
-        | Wire.Data_seg { seq; first_sent; retx; _ } when pkt.Packet.flow = flow
-          ->
+        if Wire.is_data_seg pkt && pkt.Packet.flow = flow then begin
+          (* Record origin info before handing the packet on: the receiver
+             recycles it. *)
           proxy.origin <-
-            IntMap.add seq { first_sent; retx } proxy.origin;
+            IntMap.add (Wire.seq pkt)
+              { first_sent = Wire.first_sent pkt; retx = Wire.retx pkt }
+              proxy.origin;
           prune_origin proxy (Sender.snd_una proxy.tx);
           Receiver.handle_data rx pkt
-        | Wire.Ack_seg _ when pkt.Packet.flow = flow -> Sender.handle_ack tx pkt
-        | _ -> Node.forward node ~from:0 pkt)
+        end
+        else if Wire.is_ack_seg pkt && pkt.Packet.flow = flow then
+          Sender.handle_ack tx pkt
+        else Node.forward node ~from:0 pkt)
   done;
   let proxies = Array.map Option.get proxies in
   let origin_sender =
@@ -109,10 +112,9 @@ let connect engine ~nodes ~flow ~cc ?(mss = Wire.default_mss) ?source
       ~mss ?source ~metrics ()
   in
   Node.set_handler nodes.(0) (fun ~from:_ pkt ->
-      match pkt.Packet.payload with
-      | Wire.Ack_seg _ when pkt.Packet.flow = flow ->
+      if Wire.is_ack_seg pkt && pkt.Packet.flow = flow then
         Sender.handle_ack origin_sender pkt
-      | _ -> Node.forward nodes.(0) ~from:0 pkt);
+      else Node.forward nodes.(0) ~from:0 pkt);
   { origin_sender; end_receiver; proxies; metrics; completed }
 
 let start t =

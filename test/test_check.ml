@@ -77,10 +77,12 @@ let drive ~cc ~bytes steps =
           if not (Sender.finished s) then begin
             let now = Engine.now engine in
             let cum, sacks = build_ack s ~now st in
-            Sender.handle_ack s
-              (Wire.ack_packet ~src:99 ~dst:(Node.id node) ~flow:1
-                 ~cum_ack:cum ~sacks
-                 ~ts_echo:(Some (Float.max 0.0 (now -. (st.dt /. 2.0)))))
+            let ack =
+              Wire.ack_packet ~src:99 ~dst:(Node.id node) ~flow:1 ~cum_ack:cum
+            in
+            List.iter (fun (lo, hi) -> Wire.add_sack ack ~lo ~hi) sacks;
+            Wire.set_ts_echo ack (Float.max 0.0 (now -. (st.dt /. 2.0)));
+            Sender.handle_ack s ack
           end)
         steps;
       Sender.stop s;

@@ -23,21 +23,20 @@ let setup () =
 (* Wire *)
 
 let test_wire_sizes () =
-  let name = { Wire.flow = 1; lo = 0; hi = 1400 } in
   let i =
-    Wire.interest_packet ~config ~src:1 ~dst:2 ~name ~timestamp:0.0
-      ~send_rate:1e6 ~retx:false
+    Wire.interest_packet ~config ~src:1 ~dst:2 ~flow:1 ~lo:0 ~hi:1400
+      ~timestamp:0.0 ~send_rate:1e6 ~retx:false
   in
   Alcotest.(check int) "interest = header" 15 i.Leotp_net.Packet.size;
   let d =
-    Wire.data_packet ~config ~src:2 ~dst:1 ~name ~timestamp:0.0 ~req_owd:0.0
-      ~first_sent:0.0 ~retx:false
+    Wire.data_packet ~config ~src:2 ~dst:1 ~flow:1 ~lo:0 ~hi:1400
+      ~timestamp:0.0 ~req_owd:0.0 ~first_sent:0.0 ~retx:false
   in
   Alcotest.(check int) "data = header+payload" 1415 d.Leotp_net.Packet.size;
-  let v = Wire.vph_packet ~config ~src:2 ~dst:1 ~name ~timestamp:0.0 in
+  let v = Wire.vph_packet ~config ~src:2 ~dst:1 ~flow:1 ~lo:0 ~hi:1400 ~timestamp:0.0 in
   Alcotest.(check int) "vph = header" 15 v.Leotp_net.Packet.size;
-  Alcotest.(check bool) "vph flag" true (Wire.is_vph v.Leotp_net.Packet.payload);
-  Alcotest.(check bool) "data not vph" false (Wire.is_vph d.Leotp_net.Packet.payload)
+  Alcotest.(check bool) "vph flag" true (Wire.is_vph v);
+  Alcotest.(check bool) "data not vph" false (Wire.is_vph d)
 
 (* ------------------------------------------------------------------ *)
 (* Cache *)
@@ -321,13 +320,12 @@ let test_send_buffer_rate_limit () =
   in
   Send_buffer.set_rate sb 14_150.0;
   (* 10 packets of 1415 B at 14150 B/s: ~1 per 100 ms after the burst. *)
-  let name = { Wire.flow = 1; lo = 0; hi = 1400 } in
   for i = 0 to 9 do
-    let name = { name with Wire.lo = i * 1400; hi = (i + 1) * 1400 } in
     ignore
       (Send_buffer.push sb
-         (Wire.data_packet ~config ~src:1 ~dst:2 ~name ~timestamp:0.0
-            ~req_owd:0.0 ~first_sent:0.0 ~retx:false))
+         (Wire.data_packet ~config ~src:1 ~dst:2 ~flow:1 ~lo:(i * 1400)
+            ~hi:((i + 1) * 1400) ~timestamp:0.0 ~req_owd:0.0 ~first_sent:0.0
+            ~retx:false))
   done;
   Engine.run engine;
   Alcotest.(check int) "all sent" 10 (List.length !sent);
@@ -340,10 +338,8 @@ let test_send_buffer_dedup () =
   let engine = Engine.create () in
   let sent = ref 0 in
   let sb = Send_buffer.create engine ~config ~send:(fun _ -> incr sent) () in
-  let name = { Wire.flow = 1; lo = 0; hi = 1400 } in
   let pkt lo =
-    Wire.data_packet ~config ~src:1 ~dst:2
-      ~name:{ name with Wire.lo; hi = lo + 1400 }
+    Wire.data_packet ~config ~src:1 ~dst:2 ~flow:1 ~lo ~hi:(lo + 1400)
       ~timestamp:0.0 ~req_owd:0.0 ~first_sent:0.0 ~retx:false
   in
   (* Drain the initial token burst so subsequent pushes stay queued. *)
@@ -360,10 +356,10 @@ let test_send_buffer_overflow () =
   let sb = Send_buffer.create engine ~config:small ~send:(fun _ -> ()) () in
   Send_buffer.set_rate sb 1.0;
   let push i =
-    let name = { Wire.flow = 1; lo = i * 1400; hi = (i + 1) * 1400 } in
     Send_buffer.push sb
-      (Wire.data_packet ~config:small ~src:1 ~dst:2 ~name ~timestamp:0.0
-         ~req_owd:0.0 ~first_sent:0.0 ~retx:false)
+      (Wire.data_packet ~config:small ~src:1 ~dst:2 ~flow:1 ~lo:(i * 1400)
+         ~hi:((i + 1) * 1400) ~timestamp:0.0 ~req_owd:0.0 ~first_sent:0.0
+         ~retx:false)
   in
   (* The initial token burst lets the first packet leave immediately;
      after that the queue holds two packets (2830 <= 3000) and the next

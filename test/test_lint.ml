@@ -157,6 +157,34 @@ let test_missing_interface () =
           "[@@@leotp.allow \"missing-interface\"]\nlet x = 1"))
 
 (* ------------------------------------------------------------------ *)
+(* Rule 9: hot-path-alloc *)
+
+let test_hot_path_alloc () =
+  let rule = "hot-path-alloc" in
+  check_flags ~rule ~line:1 "let p () = Packet.blank ()";
+  check_flags ~rule ~line:2
+    "let a = 1\nlet f p = Leotp_net.Packet.assign_fresh_id p";
+  (* the pool / codec layer itself is sanctioned *)
+  Alcotest.(check (list string))
+    "pool exempt" []
+    (rules_of (lint ~path:"lib/net/packet_pool.ml" "let p () = Packet.blank ()"));
+  Alcotest.(check (list string))
+    "wire exempt" []
+    (rules_of
+       (lint ~path:"lib/tcp/wire.ml" "let f p = Packet.assign_fresh_id p"));
+  (* applies everywhere, including bench/ and test fixtures in lib/ *)
+  let fs = lint ~path:"bench/main.ml" "let p () = Leotp_net.Packet.blank ()" in
+  Alcotest.(check bool)
+    "flagged in bench" true
+    (List.mem rule (rules_of fs));
+  (* acquiring through the pool is the sanctioned idiom *)
+  check_clean ~rule
+    "let p () = Packet_pool.acquire ~src:0 ~dst:0 ~flow:0 ~size:1 ~kind:0";
+  (* a justified allow is honoured *)
+  check_clean ~rule
+    {|let p () = (Packet.blank () [@leotp.allow "hot-path-alloc"])|}
+
+(* ------------------------------------------------------------------ *)
 (* Suppression *)
 
 let test_allow_expression () =
@@ -242,7 +270,7 @@ let test_json_report () =
 let test_registry_docs () =
   (* every advertised rule id is non-empty and unique; doc strings exist *)
   let ids = Rules.known_ids in
-  Alcotest.(check int) "8 rules" 8 (List.length ids);
+  Alcotest.(check int) "9 rules" 9 (List.length ids);
   Alcotest.(check int) "unique"
     (List.length ids)
     (List.length (List.sort_uniq String.compare ids));
@@ -266,6 +294,7 @@ let () =
           Alcotest.test_case "no-polymorphic-compare-on-float" `Quick
             test_poly_float_compare;
           Alcotest.test_case "missing-interface" `Quick test_missing_interface;
+          Alcotest.test_case "hot-path-alloc" `Quick test_hot_path_alloc;
         ] );
       ( "suppression",
         [

@@ -15,8 +15,13 @@ let mk_link ?(bw = 8.0) ?(delay = 0.01) ?(plr = 0.0) ?buffer_bytes engine rng =
     ~bandwidth:(Bandwidth.Constant (mbps bw))
     ~delay ~plr ?buffer_bytes ~rng ()
 
-let raw_pkt ?(size = 1000) () =
-  Packet.make ~src:1 ~dst:2 ~flow:0 ~size (Packet.Raw "x")
+(* Raw test packets come from the pool like everything else. *)
+let mk ~src ~dst ~flow ~size str =
+  let p = Packet_pool.acquire ~src ~dst ~flow ~size ~kind:Packet.kind_raw in
+  p.Packet.str <- str;
+  p
+
+let raw_pkt ?(size = 1000) () = mk ~src:1 ~dst:2 ~flow:0 ~size "x"
 
 (* ------------------------------------------------------------------ *)
 (* Bandwidth *)
@@ -172,8 +177,8 @@ let test_chain_end_to_end () =
   let got = ref None in
   Node.set_handler dst (fun ~from pkt -> got := Some (from, pkt));
   let pkt =
-    Packet.make ~src:(Node.id src) ~dst:(Node.id dst) ~flow:1 ~size:1000
-      (Packet.Raw "payload")
+    mk ~src:(Node.id src) ~dst:(Node.id dst) ~flow:1 ~size:1000
+      "payload"
   in
   Node.send src pkt;
   Leotp_sim.Engine.run engine;
@@ -188,8 +193,8 @@ let test_chain_end_to_end () =
   let back = ref false in
   Node.set_handler src (fun ~from:_ _ -> back := true);
   Node.send dst
-    (Packet.make ~src:(Node.id dst) ~dst:(Node.id src) ~flow:1 ~size:100
-       (Packet.Raw "ack"));
+    (mk ~src:(Node.id dst) ~dst:(Node.id src) ~flow:1 ~size:100
+       "ack");
   Leotp_sim.Engine.run engine;
   Alcotest.(check bool) "reverse delivery" true !back
 
@@ -209,11 +214,11 @@ let test_chain_middle_routing () =
   watch 3;
   watch 0;
   Node.send n1
-    (Packet.make ~src:(Node.id n1) ~dst:(Node.id chain.Topology.nodes.(3))
-       ~flow:0 ~size:100 (Packet.Raw "f"));
+    (mk ~src:(Node.id n1) ~dst:(Node.id chain.Topology.nodes.(3))
+       ~flow:0 ~size:100 "f");
   Node.send n1
-    (Packet.make ~src:(Node.id n1) ~dst:(Node.id chain.Topology.nodes.(0))
-       ~flow:0 ~size:100 (Packet.Raw "b"));
+    (mk ~src:(Node.id n1) ~dst:(Node.id chain.Topology.nodes.(0))
+       ~flow:0 ~size:100 "b");
   Leotp_sim.Engine.run engine;
   Alcotest.(check (list int)) "both delivered" [ 0; 3 ] (List.sort compare !hits)
 
@@ -240,9 +245,9 @@ let test_dumbbell_routing () =
   Array.iteri
     (fun i s ->
       Node.send s
-        (Packet.make ~src:(Node.id s)
+        (mk ~src:(Node.id s)
            ~dst:(Node.id db.Topology.receivers.(i))
-           ~flow:i ~size:500 (Packet.Raw "d")))
+           ~flow:i ~size:500 "d"))
     db.Topology.senders;
   Leotp_sim.Engine.run engine;
   Alcotest.(check (array bool))
@@ -263,9 +268,9 @@ let test_dumbbell_shared_bottleneck () =
     (fun i s ->
       for _ = 1 to 10 do
         Node.send s
-          (Packet.make ~src:(Node.id s)
+          (mk ~src:(Node.id s)
              ~dst:(Node.id db.Topology.receivers.(i))
-             ~flow:i ~size:1000 (Packet.Raw "d"))
+             ~flow:i ~size:1000 "d")
       done)
     db.Topology.senders;
   Leotp_sim.Engine.run engine;
@@ -298,8 +303,8 @@ let test_dynamic_path_reconfig () =
       arrivals := Leotp_sim.Engine.now engine :: !arrivals);
   let send () =
     Node.send src
-      (Packet.make ~src:(Node.id src) ~dst:(Node.id dst) ~flow:0 ~size:1000
-         (Packet.Raw "x"))
+      (mk ~src:(Node.id src) ~dst:(Node.id dst) ~flow:0 ~size:1000
+         "x")
   in
   send ();
   Leotp_sim.Engine.run engine;
@@ -333,16 +338,16 @@ let test_dynamic_path_switch_drops () =
   let count = ref 0 in
   Node.set_handler dst (fun ~from:_ _ -> incr count);
   Node.send src
-    (Packet.make ~src:(Node.id src) ~dst:(Node.id dst) ~flow:0 ~size:1000
-       (Packet.Raw "x"));
+    (mk ~src:(Node.id src) ~dst:(Node.id dst) ~flow:0 ~size:1000
+       "x");
   (* Switch while the packet is in flight on hop 0. *)
   Dynamic_path.schedule dp [ (0.02, [| hopstate 0.04; hopstate 0.05 |]) ];
   Leotp_sim.Engine.run engine;
   Alcotest.(check int) "in-flight dropped on switch" 0 !count;
   (* A later packet crosses the new path fine. *)
   Node.send src
-    (Packet.make ~src:(Node.id src) ~dst:(Node.id dst) ~flow:0 ~size:1000
-       (Packet.Raw "y"));
+    (mk ~src:(Node.id src) ~dst:(Node.id dst) ~flow:0 ~size:1000
+       "y");
   Leotp_sim.Engine.run engine;
   Alcotest.(check int) "post-switch delivery" 1 !count
 
@@ -366,16 +371,16 @@ let test_no_route_drops () =
   ignore rng;
   ignore engine;
   let n = Node.create ~name:"lonely" in
-  Node.send n (Packet.make ~src:1 ~dst:999 ~flow:0 ~size:100 (Packet.Raw "x"));
+  Node.send n (mk ~src:1 ~dst:999 ~flow:0 ~size:100 "x");
   Alcotest.(check int) "counted" 1 (Node.no_route_drops n);
   Node.add_route n ~dst:999
     (Link.create (Leotp_sim.Engine.create ()) ~name:"l" ~src:1 ~dst:999
        ~bandwidth:(Bandwidth.Constant 1e6) ~delay:0.01
        ~rng:(Leotp_util.Rng.create ~seed:1) ());
-  Node.send n (Packet.make ~src:1 ~dst:999 ~flow:0 ~size:100 (Packet.Raw "y"));
+  Node.send n (mk ~src:1 ~dst:999 ~flow:0 ~size:100 "y");
   Alcotest.(check int) "routed now" 1 (Node.no_route_drops n);
   Node.clear_routes n;
-  Node.send n (Packet.make ~src:1 ~dst:999 ~flow:0 ~size:100 (Packet.Raw "z"));
+  Node.send n (mk ~src:1 ~dst:999 ~flow:0 ~size:100 "z");
   Alcotest.(check int) "cleared" 2 (Node.no_route_drops n)
 
 let test_asymmetric_duplex () =
@@ -392,8 +397,8 @@ let test_asymmetric_duplex () =
   let t_fwd = ref 0.0 and t_rev = ref 0.0 in
   Node.set_handler b (fun ~from:_ _ -> t_fwd := Leotp_sim.Engine.now engine);
   Node.set_handler a (fun ~from:_ _ -> t_rev := Leotp_sim.Engine.now engine);
-  Link.send d.Topology.fwd (Packet.make ~src:1 ~dst:2 ~flow:0 ~size:1000 (Packet.Raw "f"));
-  Link.send d.Topology.rev (Packet.make ~src:2 ~dst:1 ~flow:0 ~size:1000 (Packet.Raw "r"));
+  Link.send d.Topology.fwd (mk ~src:1 ~dst:2 ~flow:0 ~size:1000 "f");
+  Link.send d.Topology.rev (mk ~src:2 ~dst:1 ~flow:0 ~size:1000 "r");
   Leotp_sim.Engine.run engine;
   Alcotest.(check bool) "forward fast" true (!t_fwd < 0.002);
   Alcotest.(check bool) "reverse slow" true (!t_rev > 0.008)

@@ -295,13 +295,11 @@ let test_dynamic_source_sender () =
     Receiver.create engine ~node:dst ~src:(Node.id src) ~flow:1 ~metrics ()
   in
   Node.set_handler src (fun ~from:_ pkt ->
-      match pkt.Leotp_net.Packet.payload with
-      | Wire.Ack_seg _ -> Sender.handle_ack sender pkt
-      | _ -> ());
+      if Wire.is_ack_seg pkt then Sender.handle_ack sender pkt
+      else Leotp_net.Packet_pool.release pkt);
   Node.set_handler dst (fun ~from:_ pkt ->
-      match pkt.Leotp_net.Packet.payload with
-      | Wire.Data_seg _ -> Receiver.handle_data receiver pkt
-      | _ -> ());
+      if Wire.is_data_seg pkt then Receiver.handle_data receiver pkt
+      else Leotp_net.Packet_pool.release pkt);
   Sender.start sender;
   (* Grow the prefix in three installments. *)
   List.iter
@@ -322,9 +320,10 @@ let test_receiver_sack_limit () =
   let node = Node.create ~name:"rx" in
   let sacks = ref [] in
   Node.set_handler node (fun ~from:_ pkt ->
-      match pkt.Leotp_net.Packet.payload with
-      | Wire.Ack_seg { sacks = s; _ } -> sacks := s
-      | _ -> ());
+      if Wire.is_ack_seg pkt then begin
+        sacks := Wire.sack_list pkt;
+        Leotp_net.Packet_pool.release pkt
+      end);
   (* ACKs are sent to src=node id 0: loop them back into our handler via
      a direct route to self. *)
   let rx = Receiver.create engine ~node ~src:(Node.id node) ~flow:1 () in
@@ -333,10 +332,12 @@ let test_receiver_sack_limit () =
   in
   let d = Leotp_net.Topology.connect engine ~rng:(Leotp_util.Rng.create ~seed:1) node node self_spec in
   Node.set_handler node (fun ~from:_ pkt ->
-      match pkt.Leotp_net.Packet.payload with
-      | Wire.Ack_seg { sacks = s; _ } -> sacks := s
-      | Wire.Data_seg _ -> Receiver.handle_data rx pkt
-      | _ -> ());
+      if Wire.is_ack_seg pkt then begin
+        sacks := Wire.sack_list pkt;
+        Leotp_net.Packet_pool.release pkt
+      end
+      else if Wire.is_data_seg pkt then Receiver.handle_data rx pkt
+      else Leotp_net.Packet_pool.release pkt);
   Node.add_route node ~dst:(Node.id node) d.Leotp_net.Topology.fwd;
   (* Five disjoint out-of-order islands: 1400-gap pattern. *)
   List.iter
@@ -416,8 +417,10 @@ let drive_sender ?(cc = Cc.Newreno) ?(bytes = 3_000) () =
   (engine, node, sender)
 
 let ack_pkt node ~cum ?(sacks = []) ?ts_echo () =
-  Wire.ack_packet ~src:99 ~dst:(Node.id node) ~flow:1 ~cum_ack:cum ~sacks
-    ~ts_echo
+  let p = Wire.ack_packet ~src:99 ~dst:(Node.id node) ~flow:1 ~cum_ack:cum in
+  List.iter (fun (lo, hi) -> Wire.add_sack p ~lo ~hi) sacks;
+  (match ts_echo with Some t -> Wire.set_ts_echo p t | None -> ());
+  p
 
 let test_partial_ack_straddling_segment () =
   (* Three 1000-byte segments go out inside the initial window.  An ack

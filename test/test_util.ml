@@ -366,8 +366,8 @@ let test_domain_pool_domain_local_state () =
       (fun _ ->
         Leotp_net.Packet.reset_ids ();
         let p =
-          Leotp_net.Packet.make ~src:1 ~dst:2 ~flow:1 ~size:100
-            (Leotp_net.Packet.Raw "x")
+          Leotp_net.Packet_pool.acquire ~src:1 ~dst:2 ~flow:1 ~size:100
+            ~kind:Leotp_net.Packet.kind_raw
         in
         p.Leotp_net.Packet.id)
       (List.init 16 Fun.id)
