@@ -31,6 +31,8 @@ module Invariants = Leotp_scenario.Invariants
 module Fault = Leotp_sim.Fault
 module Trace = Leotp_net.Trace
 module Fuzz = Leotp_scenario.Fuzz
+module Fleet = Leotp_scenario.Fleet
+module Workload = Leotp_scenario.Workload
 
 (* ------------------------------------------------------------------ *)
 (* Fig 19: Midnode CPU overhead, as per-packet processing cost          *)
@@ -313,6 +315,144 @@ let run_gate ~path perfs =
     false
 
 (* ------------------------------------------------------------------ *)
+(* Many-flow mode: an open-loop Workload over the live Walker
+   constellation, run by the Fleet shard engine.  The headline metric is
+   flow_sim_seconds_per_wall_second (total per-flow active simulated
+   time per second of wall clock — the OpenSN-style scale number), gated
+   against bench/baselines.json with its own tolerance band.  The
+   combined FNV digest printed here is the determinism witness: it must
+   be identical under any --jobs N for a fixed --shards. *)
+
+let manyflow_spec ~quick ~flows ~seed ~shards =
+  let wl =
+    {
+      Workload.default with
+      Workload.seed;
+      horizon = (if quick then 30.0 else 60.0);
+    }
+  in
+  let wl = Workload.scale_to wl ~flows in
+  { Fleet.default with Fleet.workload = wl; shards }
+
+let json_of_manyflow ~quick ~seed ~jobs ~wall (s : Fleet.stats) =
+  Printf.sprintf
+    "{\n\
+    \  \"id\": \"manyflow\",\n\
+    \  \"quick\": %b,\n\
+    \  \"seed\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"shards\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"flows_offered\": %d,\n\
+    \  \"flows_started\": %d,\n\
+    \  \"flows_completed\": %d,\n\
+    \  \"flows_skipped\": %d,\n\
+    \  \"bytes_delivered\": %d,\n\
+    \  \"packets_simulated\": %d,\n\
+    \  \"events\": %d,\n\
+    \  \"peak_active\": %d,\n\
+    \  \"sim_seconds\": %.3f,\n\
+    \  \"flow_sim_seconds\": %.3f,\n\
+    \  \"flow_sim_seconds_per_wall_second\": %.17g,\n\
+    \  \"route_queries\": %d,\n\
+    \  \"route_computes\": %d,\n\
+    \  \"pool_live_delta\": %d,\n\
+    \  \"pit_pending_end\": %d,\n\
+    \  \"digest\": \"%s\",\n\
+    \  \"invariants_ok\": %b\n\
+     }\n"
+    quick seed jobs (List.length s.Fleet.shards) wall s.Fleet.flows_offered
+    s.Fleet.flows_started s.Fleet.flows_completed s.Fleet.flows_skipped
+    s.Fleet.bytes_delivered s.Fleet.packets s.Fleet.events s.Fleet.peak_active
+    s.Fleet.sim_seconds s.Fleet.flow_sim_seconds
+    (if wall > 0.0 then s.Fleet.flow_sim_seconds /. wall else 0.0)
+    s.Fleet.route_queries s.Fleet.route_computes s.Fleet.pool_live_delta
+    s.Fleet.pit_pending_end s.Fleet.digest s.Fleet.invariants_ok
+
+(* Higher is better for the throughput-style manyflow metric, so the
+   gate direction is reversed from the allocation gate: fail when the
+   measured rate falls below baseline * (1 - tolerance). *)
+let gate_manyflow ~path ~wall (s : Fleet.stats) =
+  let _, entries = parse_baselines path in
+  match List.assoc_opt "manyflow_flow_sim_per_wall" entries with
+  | None ->
+    print_endline "  manyflow: no baseline in gate file; skipped";
+    true
+  | Some base ->
+    let tol =
+      match List.assoc_opt "manyflow_tolerance_pct" entries with
+      | Some t -> t
+      | None -> 60.0
+    in
+    let measured = if wall > 0.0 then s.Fleet.flow_sim_seconds /. wall else 0.0 in
+    let floor = base *. (1.0 -. (tol /. 100.0)) in
+    let ok = measured >= floor in
+    Printf.printf
+      "  manyflow flow_sim_s/wall_s baseline=%8.1f measured=%8.1f \
+       (floor %.1f, -%.0f%%) %s\n"
+      base measured floor tol
+      (if ok then "OK" else "FAIL");
+    if not ok then
+      Printf.eprintf
+        "perf gate: manyflow flow_sim_seconds_per_wall_second dropped below \
+         %.1f (baseline %.1f - %.0f%%) — if the slowdown is intentional, \
+         re-baseline bench/baselines.json (see EXPERIMENTS.md)\n"
+        floor base tol;
+    ok
+
+let run_manyflow ~quick ~out_dir ~flows ~seed ~shards ~gate =
+  let spec = manyflow_spec ~quick ~flows ~seed ~shards in
+  Printf.printf
+    "\n=== manyflow: ~%d flows, %d cities -> %d origins, %d shards, \
+     horizon %.0fs (jobs=%d) ===\n%!"
+    flows spec.Fleet.workload.Workload.cities
+    spec.Fleet.workload.Workload.origins spec.Fleet.shards
+    spec.Fleet.workload.Workload.horizon (Runner.jobs ());
+  let wall0 = Unix.gettimeofday () in
+  let s = Fleet.run spec in
+  let wall = Unix.gettimeofday () -. wall0 in
+  Printf.printf
+    "  %d offered, %d started, %d completed, %d skipped (no route); peak \
+     %d concurrent\n"
+    s.Fleet.flows_offered s.Fleet.flows_started s.Fleet.flows_completed
+    s.Fleet.flows_skipped s.Fleet.peak_active;
+  Printf.printf
+    "  %d packets, %d events in %.1fs wall; %.0f flow-sim-s (%.0f per \
+     wall-s)\n"
+    s.Fleet.packets s.Fleet.events wall s.Fleet.flow_sim_seconds
+    (if wall > 0.0 then s.Fleet.flow_sim_seconds /. wall else 0.0);
+  Printf.printf "  routes: %d queries -> %d computes (memo)\n"
+    s.Fleet.route_queries s.Fleet.route_computes;
+  Printf.printf "  pool live delta %d, pit pending %d\n" s.Fleet.pool_live_delta
+    s.Fleet.pit_pending_end;
+  List.iter
+    (fun (r : Fleet.shard_stats) ->
+      Printf.printf "  shard %d: %4d flows, digest %s%s\n" r.Fleet.shard
+        r.Fleet.flows_started r.Fleet.digest
+        (if Invariants.all_ok r.Fleet.reports then "" else "  INVARIANT FAIL"))
+    s.Fleet.shards;
+  Printf.printf "  combined digest %s, invariants %s\n" s.Fleet.digest
+    (if s.Fleet.invariants_ok then "ok" else "FAILED");
+  if not s.Fleet.invariants_ok then
+    List.iter
+      (fun (r : Fleet.shard_stats) ->
+        if not (Invariants.all_ok r.Fleet.reports) then begin
+          Printf.printf "  shard %d:\n" r.Fleet.shard;
+          print_endline (Invariants.to_string r.Fleet.reports)
+        end)
+      s.Fleet.shards;
+  let path = Filename.concat out_dir "BENCH_manyflow.json" in
+  let oc = open_out path in
+  output_string oc
+    (json_of_manyflow ~quick ~seed ~jobs:(Runner.jobs ()) ~wall s);
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path;
+  let gate_ok =
+    match gate with Some p -> gate_manyflow ~path:p ~wall s | None -> true
+  in
+  s.Fleet.invariants_ok && gate_ok
+
+(* ------------------------------------------------------------------ *)
 (* Fault lab: one LEOTP bulk flow over a 4-hop chain under a fault
    schedule, with the packet trace recorded and the five protocol
    invariants checked.  The printed digest is the determinism witness:
@@ -413,13 +553,17 @@ let usage () =
   Printf.eprintf
     "usage: main.exe [--quick] [--jobs N] [--out-dir DIR] [--perf-smoke]\n\
     \       [--check] [--faults SPEC] [--trace] [--fuzz N] [--seed S]\n\
-    \       [--fuzz-replay SPEC] [EXPERIMENT...]\n\
+    \       [--fuzz-replay SPEC] [--manyflow N] [--shards K] [EXPERIMENT...]\n\
      known experiments: %s\n\
      --check        attach the invariant checker to every scenario (fail on violation)\n\
      --faults SPEC  run the fault lab; SPEC = '<t>@<verb>:<target>[=args];...' or random:SEED:N\n\
      --trace        run the fault lab and export its packet trace as JSONL\n\
      --fuzz N       run N random scenarios through the protocol oracle (exit 1 on divergence)\n\
-     --seed S       root seed for --fuzz (default 7)\n\
+     --seed S       root seed for --fuzz / --manyflow (default 7)\n\
+     --manyflow N   run ~N open-loop flows over the live constellation\n\
+    \                (writes BENCH_manyflow.json; exit 1 on invariant failure)\n\
+     --shards K     fixed shard count for --manyflow (default 8; digests\n\
+    \                depend on K but never on --jobs)\n\
      --fuzz-replay SPEC  re-run one spec printed by a failing --fuzz\n\
      --gate FILE    after the experiments, compare minor_words_per_packet\n\
                     against FILE's baselines; exit 1 on regression\n"
@@ -439,6 +583,8 @@ let () =
   let fuzz_seed = ref 7 in
   let fuzz_replay = ref None in
   let gate = ref None in
+  let manyflow = ref None in
+  let shards = ref 8 in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -476,6 +622,22 @@ let () =
     | "--fuzz-replay" :: spec :: rest ->
       fuzz_replay := Some spec;
       parse rest
+    | "--manyflow" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        manyflow := Some n;
+        parse rest
+      | _ ->
+        Printf.eprintf "--manyflow expects a positive integer, got %S\n" n;
+        usage ())
+    | "--shards" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        shards := n;
+        parse rest
+      | _ ->
+        Printf.eprintf "--shards expects a positive integer, got %S\n" n;
+        usage ())
     | "--gate" :: path :: rest ->
       if not (Sys.file_exists path) then begin
         Printf.eprintf "--gate %S does not exist\n" path;
@@ -524,6 +686,17 @@ let () =
     let ok = run_fuzz ~cases ~seed:!fuzz_seed in
     if not ok then exit 1;
     (* Like the fault lab, --fuzz replaces the experiment sweep unless
+       experiments were selected alongside it. *)
+    if !selected = [] && !faults_spec = None && not !trace_flag then exit 0
+  | None -> ());
+  (match !manyflow with
+  | Some flows ->
+    let ok =
+      run_manyflow ~quick:!quick ~out_dir:!out_dir ~flows ~seed:!fuzz_seed
+        ~shards:!shards ~gate:!gate
+    in
+    if not ok then exit 1;
+    (* Like --fuzz, --manyflow replaces the experiment sweep unless
        experiments were selected alongside it. *)
     if !selected = [] && !faults_spec = None && not !trace_flag then exit 0
   | None -> ());

@@ -37,6 +37,19 @@ for id in fig3 fig10 fig12; do
   }
 done
 
+# Many-flow smoke: ~500 open-loop flows over the live constellation
+# with the invariant checker attached, gated on the headline
+# flow_sim_seconds_per_wall_second metric (higher is better; the floor
+# in bench/baselines.json has its own generous tolerance band).  The
+# combined digest must be identical for any --jobs, so running on 2
+# worker domains here also re-checks shard determinism.
+dune exec bench/main.exe -- --manyflow 500 --seed 1 --check --jobs 2 \
+  --out-dir "$out_dir" --gate bench/baselines.json
+test -s "$out_dir/BENCH_manyflow.json" || {
+  echo "ci.sh: missing perf record BENCH_manyflow.json" >&2
+  exit 1
+}
+
 # Fault lab: a seeded random fault schedule over a LEOTP transfer, with
 # the five trace invariants checked (non-zero exit on any violation).
 dune exec bench/main.exe -- --quick --out-dir "$out_dir" \

@@ -91,6 +91,50 @@ let snapshots w ~src ~dst ~isls ~t_end ~step =
   in
   go 0.0 []
 
+(* Per-epoch route memo.  A fleet admitting 1000 flows between the same
+   city pair within one routing epoch would otherwise run Dijkstra over
+   1600 satellites 1000 times for the same answer.  Times are quantized
+   to the epoch, so the key space stays bounded by
+   (city pairs) x (epochs touched). *)
+module Memo = struct
+  type t = {
+    walker : Walker.t;
+    epoch : float;
+    table : (string * string * bool * float, hop list option) Hashtbl.t;
+    mutable queries : int;
+    mutable computes : int;
+  }
+
+  let create ?(epoch = 0.0) walker =
+    { walker; epoch; table = Hashtbl.create 64; queries = 0; computes = 0 }
+
+  let quantize t time =
+    if t.epoch > 0.0 then Float.of_int (int_of_float (time /. t.epoch)) *. t.epoch
+    else time
+
+  let route t ~src ~dst ~isls ~time =
+    t.queries <- t.queries + 1;
+    let time = quantize t time in
+    let key = (src.Cities.name, dst.Cities.name, isls, time) in
+    match Hashtbl.find_opt t.table key with
+    | Some r -> r
+    | None ->
+      t.computes <- t.computes + 1;
+      let r =
+        if isls then route_with_isls t.walker ~src ~dst ~time ()
+        else route_bent_pipe t.walker ~src ~dst ~time ()
+      in
+      Hashtbl.replace t.table key r;
+      r
+
+  let queries t = t.queries
+  let computes t = t.computes
+  let clear t =
+    Hashtbl.reset t.table;
+    t.queries <- 0;
+    t.computes <- 0
+end
+
 let total_delay hops =
   List.fold_left (fun acc h -> acc +. Geo.propagation_delay h.distance) 0.0 hops
 

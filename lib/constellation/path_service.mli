@@ -46,6 +46,31 @@ val snapshots :
 (** Route recomputed every [step] seconds from 0 to [t_end]; times with no
     route are omitted. *)
 
+(** Per-epoch memoization of route queries.  Many-flow fleets issue one
+    query per admitted flow; flows between the same city pair inside one
+    routing epoch share a single Dijkstra run.  The query/compute counters
+    are the regression hook: tests assert that N same-pair queries cost
+    exactly one compute per epoch. *)
+module Memo : sig
+  type t
+
+  val create : ?epoch:float -> Walker.t -> t
+  (** [epoch] (seconds) quantizes query times downward; [0.] (default)
+      memoizes exact times only. *)
+
+  val route :
+    t -> src:Cities.t -> dst:Cities.t -> isls:bool -> time:float ->
+    hop list option
+  (** Memoized {!route_with_isls} (or {!route_bent_pipe} when [isls] is
+      false) at the quantized time; [None] results are cached too. *)
+
+  val queries : t -> int
+  val computes : t -> int
+
+  val clear : t -> unit
+  (** Drop the cache and reset both counters. *)
+end
+
 val total_delay : hop list -> float
 (** One-way propagation delay of the route, seconds. *)
 

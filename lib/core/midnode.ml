@@ -295,6 +295,20 @@ let crash_count t = t.crash_count
 
 let sweep_pit t ~now = Pit.expire_before t.pit ~now
 
+(* Flow retirement (many-flow fleets): drop one flow's soft state while
+   the midnode keeps serving every other flow.  The sending buffer's
+   queued packets go back to the pool, cached ranges are evicted so the
+   catalog slot can be reused, and PIT entries are expired with traced
+   removals so the pit-lifetime invariant sees a balanced ledger. *)
+let retire_flow t ~flow =
+  (match Hashtbl.find_opt t.flows flow with
+  | Some fs ->
+    Send_buffer.clear fs.buffer;
+    Hashtbl.remove t.flows flow
+  | None -> ());
+  Cache.drop_flow t.cache ~flow;
+  Pit.drop_flow t.pit ~flow
+
 let flow_stats t ~flow =
   match Hashtbl.find_opt t.flows flow with
   | Some fs ->
@@ -332,3 +346,4 @@ let debug_flow t ~flow =
 let cache t = t.cache
 let flows t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.flows [])
 let pit_blocked t = t.pit_blocked
+let pit_pending t = Pit.pending t.pit

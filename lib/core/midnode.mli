@@ -51,6 +51,15 @@ val sweep_pit : t -> now:float -> unit
 (** Expire stale PIT entries (end-of-run cleanup for the invariant
     checker; also happens amortized during operation). *)
 
+val retire_flow : t -> flow:int -> unit
+(** Drop one flow's soft state (SHR / hop CC / sending buffer), evict its
+    cached ranges and expire its PIT entries, releasing every pooled
+    packet the flow still holds here.  Other flows are untouched.  Used by
+    the many-flow fleet when a flow completes. *)
+
 val pit_blocked : t -> int
 (** Duplicate Interests absorbed by the pending-Interest table
     (multicast, paper §VII). *)
+
+val pit_pending : t -> int
+(** Current PIT size (leak checks after flow retirement). *)

@@ -97,3 +97,12 @@ let pending t = Hashtbl.length t.table
 let clear t =
   let keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table []) in
   List.iter (remove_emitting t) keys
+
+let drop_flow t ~flow =
+  let keys =
+    List.sort compare
+      (Hashtbl.fold
+         (fun ((f, _, _) as k) _ acc -> if f = flow then k :: acc else acc)
+         t.table [])
+  in
+  List.iter (remove_emitting t) keys

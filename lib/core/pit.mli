@@ -35,3 +35,7 @@ val expire_before : t -> now:float -> unit
 
 val clear : t -> unit
 (** Drop every entry (midnode crash); each removal is traced. *)
+
+val drop_flow : t -> flow:int -> unit
+(** Drop every entry of one flow (flow retirement); each removal is traced
+    as an expiry so trace replay stays balanced. *)

@@ -128,6 +128,10 @@ let handle_interest t pkt =
   end
   else Leotp_net.Packet_pool.release pkt
 
+let stop t =
+  Send_buffer.clear t.buffer;
+  t.pending <- []
+
 let buffer_len t = Send_buffer.len t.buffer
 let metrics t = t.metrics
 let interests_received t = t.interests_received

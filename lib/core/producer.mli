@@ -28,6 +28,12 @@ val create :
 val notify_data_available : t -> unit
 (** The incremental source grew: serve parked requests. *)
 
+val stop : t -> unit
+(** Flow retirement: cancel the buffer's drain timer, release queued Data
+    back to the pool and forget parked requests.  Late Interests arriving
+    afterwards are still answered if the session keeps dispatching them —
+    callers normally unwire the handler at the same time. *)
+
 val handle_interest : t -> Leotp_net.Packet.t -> unit
 val buffer_len : t -> int
 val metrics : t -> Leotp_net.Flow_metrics.t

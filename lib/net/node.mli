@@ -18,6 +18,12 @@ val id : t -> int
 val name : t -> string
 
 val add_route : t -> dst:int -> Link.t -> unit
+
+val remove_route : t -> dst:int -> unit
+(** Drop the route toward [dst] (no-op when absent).  Flow retirement uses
+    this to unwire per-flow entries from shared gateway nodes; packets
+    still in flight toward [dst] then die as {!no_route_drops}. *)
+
 val route_to : t -> dst:int -> Link.t option
 val clear_routes : t -> unit
 

@@ -14,6 +14,13 @@ type stack = { mutable arr : Packet.t array; mutable len : int }
 let pool : stack Domain.DLS.key =
   Domain.DLS.new_key (fun () -> { arr = [||]; len = 0 })
 
+(* Packets handed out and not yet released on this domain.  Every
+   creation path funnels through [acquire]/[clone] and every sink through
+   [release], so a zero delta across a run proves nothing leaked. *)
+let live : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let live_count () = !(Domain.DLS.get live)
+
 (* Read once per release in debug builds only; an Atomic bool set from
    the environment (or tests) does not affect packet contents or ids, so
    it cannot perturb --jobs N determinism. *)
@@ -65,6 +72,7 @@ let release (p : Packet.t) =
   else begin
     if Atomic.get debug then poison p;
     p.Packet.flags <- Packet.flag_free;
+    decr (Domain.DLS.get live);
     let s = Domain.DLS.get pool in
     let cap = Array.length s.arr in
     if s.len = cap then begin
@@ -81,6 +89,7 @@ let release (p : Packet.t) =
    newly allocated one. *)
 let acquire ~src ~dst ~flow ~size ~kind =
   assert (size > 0);
+  incr (Domain.DLS.get live);
   let s = Domain.DLS.get pool in
   let p =
     if s.len = 0 then Packet.blank ()
@@ -117,6 +126,7 @@ let acquire ~src ~dst ~flow ~size ~kind =
    the same logical packet twice, so the copy consumes no fresh id and
    traces under the original's id. *)
 let clone (p : Packet.t) =
+  incr (Domain.DLS.get live);
   let s = Domain.DLS.get pool in
   let c =
     if s.len = 0 then Packet.blank ()

@@ -30,3 +30,9 @@ val poison_float : float
 
 val free_count : unit -> int
 (** Records currently in this domain's free list (tests). *)
+
+val live_count : unit -> int
+(** Packets acquired (or cloned) on this domain and not yet released.
+    Leak checks snapshot this before a run and assert a zero delta after
+    teardown: every creation path goes through {!acquire}/{!clone} and
+    every sink through {!release}, so the delta is exact. *)

@@ -277,8 +277,8 @@ let run_chain ?(seed = 42) ?bytes ?(duration = 60.0) ?(warmup = 10.0)
   summarize ~congestion_drops ~protocol:(protocol_name protocol) ~metrics
     ~floor ~warmup ~duration ()
 
-let run_flows_dumbbell ?(seed = 42) ?(duration = 600.0) ~access_delays
-    ~bottleneck ~access ~starts protocol =
+let run_flows_dumbbell ?(seed = 42) ?bytes ?(duration = 600.0) ?(faults = [])
+    ?trace ?on_reports ~access_delays ~bottleneck ~access ~starts protocol =
   Leotp_net.Packet.reset_ids ();
   Node.reset_ids ();
   let engine = Engine.create () in
@@ -302,7 +302,24 @@ let run_flows_dumbbell ?(seed = 42) ?(duration = 600.0) ~access_delays
          (Array.to_list db.Topology.sender_links
          @ Array.to_list db.Topology.receiver_links)
   in
-  observed ~engine ~links
+  (* Fault targets resolve modulo this pool: bottleneck first so Hop 0
+     always hits the shared link, then the per-flow access duplexes. *)
+  let fault_hops =
+    Array.of_list
+      (db.Topology.bottleneck
+      :: Array.to_list db.Topology.sender_links
+      @ Array.to_list db.Topology.receiver_links)
+  in
+  if faults <> [] then
+    Fault.install engine
+      ~apply:(apply_fault ~hops:fault_hops ~midnodes:all_midnodes)
+      faults;
+  let source =
+    match bytes with
+    | Some b -> Leotp_tcp.Sender.Fixed b
+    | None -> Leotp_tcp.Sender.Unlimited
+  in
+  observed ~engine ~links ?trace ?on_reports
     ~sweep:(fun ~now ->
       List.iter (fun m -> Leotp.Midnode.sweep_pit m ~now) !all_midnodes)
     ~label:("dumbbell:" ^ protocol_name protocol)
@@ -315,7 +332,7 @@ let run_flows_dumbbell ?(seed = 42) ?(duration = 600.0) ~access_delays
             Leotp_tcp.Session.connect engine
               ~src_node:db.Topology.senders.(i)
               ~dst_node:db.Topology.receivers.(i)
-              ~flow:(i + 1) ~cc ~source:Leotp_tcp.Sender.Unlimited ()
+              ~flow:(i + 1) ~cc ~source ()
           in
           ignore
             (Engine.schedule_at engine ~time:(List.nth starts i) (fun () ->
@@ -340,7 +357,7 @@ let run_flows_dumbbell ?(seed = 42) ?(duration = 600.0) ~access_delays
             Leotp.Session.attach engine ~config:cfg
               ~consumer_node:db.Topology.receivers.(i)
               ~producer_node:db.Topology.senders.(i)
-              ~midnodes ~flow:(i + 1) ()
+              ~midnodes ~flow:(i + 1) ?total_bytes:bytes ()
           in
           ignore
             (Engine.schedule_at engine ~time:(List.nth starts i) (fun () ->

@@ -105,7 +105,11 @@ val summarize :
 
 val run_flows_dumbbell :
   ?seed:int ->
+  ?bytes:int ->
   ?duration:float ->
+  ?faults:Leotp_sim.Fault.schedule ->
+  ?trace:Leotp_net.Trace.t ->
+  ?on_reports:(Invariants.report list -> unit) ->
   access_delays:float list ->
   bottleneck:link_params ->
   access:link_params ->
@@ -114,4 +118,8 @@ val run_flows_dumbbell :
   summary list * (float * float) list list
 (** Fairness topology (Fig 15): one flow per access delay, flow [i]
     starting at [starts.(i)].  Returns per-flow summaries and per-flow
-    throughput time series (1 s buckets, Mbps). *)
+    throughput time series (1 s buckets, Mbps).  [bytes] bounds every
+    flow (default: unlimited sources); [faults] resolve against a pool
+    of bottleneck-then-access duplexes, so [Hop 0] is always the shared
+    link.  Used by the fuzzer's many-flow dimension with the oracle
+    attached to [trace]. *)

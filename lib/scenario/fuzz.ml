@@ -15,6 +15,9 @@ module Rng = Leotp_util.Rng
 type spec = {
   seed : int;
   hops : int;
+  flows : int;
+      (** 1 = single flow over a chain; >1 = concurrent flows sharing a
+          dumbbell bottleneck (interleaved-flow oracle traces) *)
   bw_mbps : float;
   delay : float;  (** per-hop one-way, seconds *)
   plr : float;
@@ -56,9 +59,13 @@ let gen_spec ~rng ~seed =
   let duration = 30.0 in
   let hops = 1 + Rng.int rng 5 in
   let n_faults = Rng.int rng 4 in
+  (* A third of the cases interleave 2-8 concurrent flows through a
+     shared bottleneck so the sender oracle sees multi-flow traces. *)
+  let flows = if Rng.int rng 3 = 0 then 2 + Rng.int rng 7 else 1 in
   {
     seed;
     hops;
+    flows;
     bw_mbps = Rng.uniform rng 2.0 40.0;
     delay = Rng.uniform rng 0.001 0.04;
     plr = (if Rng.bool rng then 0.0 else Rng.uniform rng 0.0 0.05);
@@ -89,12 +96,26 @@ let run_one spec (protocol : Common.protocol) =
   let hop =
     Common.link ~plr:spec.plr ~bw:spec.bw_mbps ~delay:spec.delay ()
   in
-  ignore
-    (Common.run_chain ~seed:spec.seed ~bytes:spec.bytes ~duration:spec.duration
-       ~warmup:0.0 ~faults:spec.faults ~trace
-       ~on_reports:(fun r -> reports := r)
-       ~hops:(Common.uniform_hops ~n:spec.hops hop)
-       protocol);
+  (if spec.flows <= 1 then
+     ignore
+       (Common.run_chain ~seed:spec.seed ~bytes:spec.bytes
+          ~duration:spec.duration ~warmup:0.0 ~faults:spec.faults ~trace
+          ~on_reports:(fun r -> reports := r)
+          ~hops:(Common.uniform_hops ~n:spec.hops hop)
+          protocol)
+   else
+     (* Concurrent flows through a shared bottleneck; each flow starts
+        one second after the previous so slow-start phases overlap
+        established ones in the trace. *)
+     let access = Common.link ~bw:(spec.bw_mbps *. 4.0) ~delay:spec.delay () in
+     ignore
+       (Common.run_flows_dumbbell ~seed:spec.seed ~bytes:spec.bytes
+          ~duration:spec.duration ~faults:spec.faults ~trace
+          ~on_reports:(fun r -> reports := r)
+          ~access_delays:(List.init spec.flows (fun _ -> spec.delay))
+          ~bottleneck:hop ~access
+          ~starts:(List.init spec.flows float_of_int)
+          protocol));
   let divs = Leotp_check.Oracle.divergences oracle in
   let cap l =
     let n = List.length l in
@@ -124,6 +145,8 @@ let shrink_candidates spec =
       spec.faults
   in
   without_fault
+  @ (if spec.flows > 1 then [ { spec with flows = 1 } ] else [])
+  @ (if spec.flows > 2 then [ { spec with flows = spec.flows - 1 } ] else [])
   @ (if spec.plr > 0.0 then [ { spec with plr = 0.0 } ] else [])
   @ (if spec.bytes >= 100_000 then [ { spec with bytes = spec.bytes / 2 } ]
      else [])
@@ -156,6 +179,7 @@ let replay_to_string ~protocol spec =
       "cc=" ^ protocol;
       Printf.sprintf "seed=%d" spec.seed;
       Printf.sprintf "hops=%d" spec.hops;
+      Printf.sprintf "flows=%d" spec.flows;
       Printf.sprintf "bw=%.17g" spec.bw_mbps;
       Printf.sprintf "delay=%.17g" spec.delay;
       Printf.sprintf "plr=%.17g" spec.plr;
@@ -195,6 +219,15 @@ let replay_of_string s =
   let* protocol = get "cc" in
   let* seed = num "seed" int_of_string_opt in
   let* hops = num "hops" int_of_string_opt in
+  (* [flows=] postdates the first replay specs; absent means 1. *)
+  let* flows =
+    match List.assoc_opt "flows" fields with
+    | None -> Ok 1
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some f when f >= 1 -> Ok f
+      | _ -> Error (Printf.sprintf "replay spec: bad flows=%s" v))
+  in
   let* bw_mbps = num "bw" float_of_string_opt in
   let* delay = num "delay" float_of_string_opt in
   let* plr = num "plr" float_of_string_opt in
@@ -202,7 +235,9 @@ let replay_of_string s =
   let* duration = num "dur" float_of_string_opt in
   let* fault_spec = get "faults" in
   let* faults = Fault.of_string fault_spec in
-  Ok (protocol, { seed; hops; bw_mbps; delay; plr; bytes; duration; faults })
+  Ok
+    ( protocol,
+      { seed; hops; flows; bw_mbps; delay; plr; bytes; duration; faults } )
 
 let replay s =
   match replay_of_string s with

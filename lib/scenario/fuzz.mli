@@ -1,10 +1,11 @@
 (** Seeded scenario fuzzer for the protocol oracle.
 
-    Generates random chain topologies, loss rates and fault schedules,
-    runs each under LEOTP and every TCP congestion-control variant with
-    the differential oracle ({!Leotp_check.Oracle}) and the scenario
-    invariant checker attached, and shrinks failing cases to a minimal
-    replayable spec.
+    Generates random chain topologies, loss rates, fault schedules and
+    concurrency levels (a third of the cases interleave 2-8 flows
+    through a shared dumbbell bottleneck), runs each under LEOTP and
+    every TCP congestion-control variant with the differential oracle
+    ({!Leotp_check.Oracle}) and the scenario invariant checker attached,
+    and shrinks failing cases to a minimal replayable spec.
 
     Deterministic in the root seed; case x protocol cells run through
     {!Runner.map}, so [Runner.set_jobs] parallelizes a sweep without
@@ -13,6 +14,10 @@
 type spec = {
   seed : int;  (** simulation seed for this case *)
   hops : int;
+  flows : int;
+      (** 1 = one flow over a chain; >1 = that many concurrent flows
+          sharing a dumbbell bottleneck (staggered 1 s apart).  Replay
+          specs without a [flows=] field parse as 1. *)
   bw_mbps : float;  (** per-hop bandwidth *)
   delay : float;  (** per-hop one-way delay, seconds *)
   plr : float;

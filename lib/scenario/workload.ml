@@ -1,0 +1,191 @@
+(* Open-loop user-population workload (ROADMAP item 1).
+
+   Each consumer city generates flow arrivals as a non-homogeneous
+   Poisson process: a base per-city rate modulated by a diurnal curve
+   whose mean over a day is exactly 1, realized by thinning against the
+   peak rate.  Each arrival requests one content item drawn from a Zipf
+   popularity law over a fixed catalog; the item determines the origin
+   (producer) city, and the flow size is lognormal, clipped to a bounded
+   range.  Everything derives from named [Rng] substreams of one seed,
+   so the merged schedule is a pure function of the spec. *)
+
+module Rng = Leotp_util.Rng
+module Cities = Leotp_constellation.Cities
+
+type protocol = Leotp | Tcp
+
+type spec = {
+  seed : int;
+  cities : int;
+  origins : int;
+  catalog : int;
+  zipf_s : float;
+  rate_per_city : float;
+  diurnal_amplitude : float;
+  day : float;
+  horizon : float;
+  median_bytes : int;
+  size_sigma : float;
+  min_bytes : int;
+  max_bytes : int;
+  tcp_share : float;
+}
+
+let default =
+  {
+    seed = 1;
+    cities = 24;
+    origins = 8;
+    catalog = 1000;
+    zipf_s = 1.0;
+    rate_per_city = 0.5;
+    diurnal_amplitude = 0.4;
+    (* A compressed day: diurnal variation shows up inside sim horizons
+       of minutes instead of requiring 86400 simulated seconds. *)
+    day = 240.0;
+    horizon = 60.0;
+    median_bytes = 100_000;
+    size_sigma = 0.8;
+    min_bytes = 10_000;
+    max_bytes = 1_000_000;
+    tcp_share = 0.25;
+  }
+
+type arrival = {
+  seq : int;
+  at : float;
+  city : int;
+  content : int;
+  origin : int;
+  bytes : int;
+  protocol : protocol;
+}
+
+(* Zipf(s) over ranks 0..n-1 via an inverse-CDF table: weight of rank r
+   is (r+1)^-s.  One table per spec, O(log n) per sample. *)
+module Zipf = struct
+  type t = { cdf : float array }
+
+  let create ~n ~s =
+    assert (n > 0);
+    let cdf = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for r = 0 to n - 1 do
+      total := !total +. (float_of_int (r + 1) ** -.s);
+      cdf.(r) <- !total
+    done;
+    let norm = !total in
+    for r = 0 to n - 1 do
+      cdf.(r) <- cdf.(r) /. norm
+    done;
+    { cdf }
+
+  let sample t rng =
+    let u = Rng.float rng 1.0 in
+    (* First rank whose cumulative weight exceeds u. *)
+    let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+end
+
+(* Rate multiplier at time [t]: 1 + a sin(2pi (t/day - 1/4)) — trough at
+   t = 0, peak half a day later, mean exactly 1 over any whole day. *)
+let diurnal_factor spec t =
+  1.0
+  +. spec.diurnal_amplitude
+     *. sin (2.0 *. Float.pi *. ((t /. spec.day) -. 0.25))
+
+let expected_flows spec =
+  (* Exact for a flat curve or a whole number of days; the sine term
+     otherwise contributes at most a*day/(2 pi) flows per city. *)
+  spec.rate_per_city *. float_of_int spec.cities *. spec.horizon
+
+let origin_of_content spec content = content mod spec.origins
+
+let validate spec =
+  if spec.cities < 1 || spec.cities > Cities.count then
+    invalid_arg "Workload: cities out of range";
+  if spec.origins < 1 || spec.origins > Cities.count then
+    invalid_arg "Workload: origins out of range";
+  if spec.catalog < 1 then invalid_arg "Workload: empty catalog";
+  if spec.rate_per_city <= 0.0 then invalid_arg "Workload: rate must be > 0";
+  if spec.diurnal_amplitude < 0.0 || spec.diurnal_amplitude >= 1.0 then
+    invalid_arg "Workload: diurnal amplitude must be in [0, 1)";
+  if spec.day <= 0.0 || spec.horizon <= 0.0 then
+    invalid_arg "Workload: day and horizon must be > 0";
+  if spec.min_bytes < 1 || spec.max_bytes < spec.min_bytes then
+    invalid_arg "Workload: byte bounds out of order";
+  if spec.tcp_share < 0.0 || spec.tcp_share > 1.0 then
+    invalid_arg "Workload: tcp_share out of range"
+
+let sample_bytes spec rng =
+  let b =
+    float_of_int spec.median_bytes
+    *. exp (Rng.gaussian rng ~mu:0.0 ~sigma:spec.size_sigma)
+  in
+  let b = int_of_float (Float.round b) in
+  max spec.min_bytes (min spec.max_bytes b)
+
+(* One city's arrivals by thinning: candidate points arrive at the peak
+   rate; each survives with probability rate(t)/peak.  The surviving
+   points form the non-homogeneous process exactly. *)
+let city_arrivals spec zipf ~root ~city =
+  let rng = Rng.substream root (Printf.sprintf "city-%03d" city) in
+  let peak = spec.rate_per_city *. (1.0 +. spec.diurnal_amplitude) in
+  let rec go t acc =
+    let t = t +. Rng.exponential rng ~mean:(1.0 /. peak) in
+    if t >= spec.horizon then List.rev acc
+    else begin
+      let keep =
+        Rng.bernoulli rng (spec.rate_per_city *. diurnal_factor spec t /. peak)
+      in
+      let acc =
+        if not keep then acc
+        else begin
+          let content = Zipf.sample zipf rng in
+          let bytes = sample_bytes spec rng in
+          let protocol = if Rng.bernoulli rng spec.tcp_share then Tcp else Leotp in
+          {
+            seq = 0;
+            at = t;
+            city;
+            content;
+            origin = origin_of_content spec content;
+            bytes;
+            protocol;
+          }
+          :: acc
+        end
+      in
+      go t acc
+    end
+  in
+  go 0.0 []
+
+let generate spec =
+  validate spec;
+  let root = Rng.substream (Rng.create ~seed:spec.seed) "workload" in
+  let zipf = Zipf.create ~n:spec.catalog ~s:spec.zipf_s in
+  let per_city =
+    List.init spec.cities (fun city -> city_arrivals spec zipf ~root ~city)
+  in
+  let merged =
+    List.sort
+      (fun a b ->
+        match Float.compare a.at b.at with
+        | 0 -> Int.compare a.city b.city
+        | c -> c)
+      (List.concat per_city)
+  in
+  List.mapi (fun seq a -> { a with seq }) merged
+
+let scale_to spec ~flows =
+  let cities = max 1 spec.cities in
+  {
+    spec with
+    cities;
+    rate_per_city = float_of_int flows /. (float_of_int cities *. spec.horizon);
+  }

@@ -1,0 +1,63 @@
+(** Open-loop user-population workload generator (ROADMAP item 1).
+
+    Seeded Poisson flow arrivals per consumer city under a diurnal rate
+    curve, Zipf content popularity over a bounded catalog, lognormal
+    bounded flow sizes and a configurable LEOTP/TCP protocol mix.  The
+    schedule is a pure function of the spec: identical specs give
+    byte-identical arrival lists, on any domain. *)
+
+type protocol = Leotp | Tcp
+
+type spec = {
+  seed : int;
+  cities : int;  (** consumer population: the first [cities] of {!Leotp_constellation.Cities.all} *)
+  origins : int;  (** content origin sites: the first [origins] cities *)
+  catalog : int;  (** number of content items *)
+  zipf_s : float;  (** popularity exponent (weight of rank r is r^-s) *)
+  rate_per_city : float;  (** mean flow arrivals per second per city *)
+  diurnal_amplitude : float;  (** in [0, 1); 0 = flat rate *)
+  day : float;  (** diurnal period, seconds (compressed for sim horizons) *)
+  horizon : float;  (** generate arrivals in [0, horizon) *)
+  median_bytes : int;  (** lognormal size median *)
+  size_sigma : float;  (** lognormal sigma, nats *)
+  min_bytes : int;
+  max_bytes : int;  (** sizes are clipped into [min_bytes, max_bytes] *)
+  tcp_share : float;  (** fraction of flows running TCP instead of LEOTP *)
+}
+
+val default : spec
+
+type arrival = {
+  seq : int;  (** index in the merged schedule — the flow's stable id *)
+  at : float;  (** arrival time, seconds *)
+  city : int;  (** consumer city index *)
+  content : int;  (** catalog rank requested (0 = most popular) *)
+  origin : int;  (** producer city index, derived from [content] *)
+  bytes : int;
+  protocol : protocol;
+}
+
+(** Zipf sampler over ranks [0..n-1] (inverse-CDF table; exposed for the
+    statistical tests). *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> s:float -> t
+  val sample : t -> Leotp_util.Rng.t -> int
+end
+
+val diurnal_factor : spec -> float -> float
+(** Rate multiplier at a given time; integrates to 1 over any whole day. *)
+
+val expected_flows : spec -> float
+(** Expected schedule length ([rate * cities * horizon]); exact for flat
+    curves or whole-day horizons. *)
+
+val origin_of_content : spec -> int -> int
+
+val generate : spec -> arrival list
+(** The merged, time-sorted schedule.  Raises [Invalid_argument] on
+    malformed specs (rates, bounds or city counts out of range). *)
+
+val scale_to : spec -> flows:int -> spec
+(** Adjust [rate_per_city] so {!expected_flows} equals [flows]. *)

@@ -13,6 +13,7 @@ and t = {
   queue : timer Leotp_util.Pqueue.t;
   mutable cancelled_pending : int;
       (** cancelled-but-not-yet-popped timers still in [queue] *)
+  mutable processed : int;  (** events fired over the engine's lifetime *)
 }
 
 let compare_timer a b =
@@ -26,6 +27,7 @@ let create () =
     next_seq = 0;
     queue = Leotp_util.Pqueue.create ~cmp:compare_timer;
     cancelled_pending = 0;
+    processed = 0;
   }
 
 let now t = t.clock
@@ -83,6 +85,7 @@ let step t =
     | Some timer ->
       t.clock <- Float.max t.clock timer.time;
       timer.fired <- true;
+      t.processed <- t.processed + 1;
       timer.action ();
       true
   in
@@ -104,8 +107,42 @@ let run ?until t =
         continue := false
     done
 
+(* Bounded variant of [run]: fire at most [max_events] events with
+   [time <= until].  The caller loops, regaining control between slices —
+   the seam where a progress callback runs today and where a partitioned
+   (per-shard) queue would hand control across shards tomorrow. *)
+let run_slice ?max_events t ~until =
+  let budget = match max_events with None -> max_int | Some n -> max 1 n in
+  let fired = ref 0 in
+  let result = ref `Until in
+  let continue = ref true in
+  while !continue do
+    if !fired >= budget then begin
+      result := `Events;
+      continue := false
+    end
+    else
+      match Leotp_util.Pqueue.peek t.queue with
+      | Some timer when timer.cancelled ->
+        ignore (Leotp_util.Pqueue.pop t.queue);
+        note_popped t timer
+      | Some timer when timer.time <= until ->
+        ignore (step t);
+        incr fired
+      | Some _ ->
+        t.clock <- Float.max t.clock until;
+        result := `Until;
+        continue := false
+      | None ->
+        t.clock <- Float.max t.clock until;
+        result := `Quiescent;
+        continue := false
+  done;
+  !result
+
 let pending_events t = Leotp_util.Pqueue.length t.queue
 let cancelled_pending t = t.cancelled_pending
+let events_processed t = t.processed
 
 let every t ~period ?start action =
   assert (period > 0.0);

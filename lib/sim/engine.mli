@@ -37,6 +37,21 @@ val run : ?until:float -> t -> unit
 val step : t -> bool
 (** Process one event; [false] if the queue was empty. *)
 
+val run_slice :
+  ?max_events:int -> t -> until:float -> [ `Events | `Until | `Quiescent ]
+(** Bounded batch of [run]: fire at most [max_events] events (default:
+    unlimited) whose time is [<= until], in order.  Returns [`Events] when
+    the budget stopped the slice (more work may remain before [until]),
+    [`Until] when the next event lies beyond [until] (clock advanced to
+    [until]), and [`Quiescent] when the queue drained (clock advanced to
+    [until]).  Calling in a loop until a non-[`Events] result is
+    equivalent to [run ~until].  This is the engine's event-batching seam:
+    callers regain control between slices (progress reporting today,
+    per-shard queue partitioning groundwork tomorrow). *)
+
+val events_processed : t -> int
+(** Total events fired since [create] (monotonic; instrumentation). *)
+
 val pending_events : t -> int
 
 val cancelled_pending : t -> int

@@ -246,6 +246,36 @@ let test_snapshots_change_over_time () =
   Alcotest.(check bool) "mean hops sane" true
     (Path_service.mean_hop_count snaps > 2.0)
 
+let test_memo_deduplicates_queries () =
+  let bj = Cities.find_exn "Beijing" and pr = Cities.find_exn "Paris" in
+  let memo = Path_service.Memo.create ~epoch:30.0 w in
+  (* 1000 same-pair queries inside one epoch cost exactly one Dijkstra. *)
+  let first = Path_service.Memo.route memo ~src:bj ~dst:pr ~isls:true ~time:1.0 in
+  for i = 0 to 998 do
+    let t = 1.0 +. (float_of_int i /. 999.0 *. 28.0) in
+    let h = Path_service.Memo.route memo ~src:bj ~dst:pr ~isls:true ~time:t in
+    if h <> first then Alcotest.fail "memoized result changed within epoch"
+  done;
+  Alcotest.(check int) "queries counted" 1000 (Path_service.Memo.queries memo);
+  Alcotest.(check int) "single compute" 1 (Path_service.Memo.computes memo);
+  (* A different pair or a new epoch computes again. *)
+  ignore (Path_service.Memo.route memo ~src:pr ~dst:bj ~isls:true ~time:1.0);
+  Alcotest.(check int) "new pair computes" 2 (Path_service.Memo.computes memo);
+  ignore (Path_service.Memo.route memo ~src:bj ~dst:pr ~isls:true ~time:31.0);
+  Alcotest.(check int) "new epoch computes" 3 (Path_service.Memo.computes memo);
+  (* The memoized route agrees with the unmemoized service at the
+     quantized time. *)
+  let direct = Path_service.route_with_isls w ~src:bj ~dst:pr ~time:0.0 () in
+  (match (first, direct) with
+  | Some a, Some b ->
+    Alcotest.(check (float 1e-12))
+      "same delay as direct route" (Path_service.total_delay b)
+      (Path_service.total_delay a)
+  | None, None -> ()
+  | _ -> Alcotest.fail "memo and direct disagree on existence");
+  Path_service.Memo.clear memo;
+  Alcotest.(check int) "clear resets queries" 0 (Path_service.Memo.queries memo)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "leotp_constellation"
@@ -280,5 +310,6 @@ let () =
           Alcotest.test_case "no bent pipe BJ-NY" `Quick test_no_bent_pipe_transcontinental;
           Alcotest.test_case "ISL route BJ-NY" `Quick test_isl_route_transcontinental;
           Alcotest.test_case "snapshots vary" `Quick test_snapshots_change_over_time;
+          Alcotest.test_case "memo dedup" `Quick test_memo_deduplicates_queries;
         ] );
     ]

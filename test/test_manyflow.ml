@@ -1,0 +1,121 @@
+(* End-to-end tests for the many-flow fleet engine: a ~500-flow workload
+   over the live Walker constellation must satisfy every PR 2 trace
+   invariant, leak nothing (packet pool and PITs empty after
+   retirement), and produce bit-identical digests on 1 vs N worker
+   domains. *)
+
+module Fleet = Leotp_scenario.Fleet
+module Workload = Leotp_scenario.Workload
+module Invariants = Leotp_scenario.Invariants
+module Runner = Leotp_scenario.Runner
+module Pool = Leotp_net.Packet_pool
+
+(* A quick spec: ~500 flows over a 30 s horizon.  Shared by all tests so
+   the (expensive) runs stay few; results are deterministic, so re-runs
+   inside one test binary are cheap to reason about. *)
+let spec =
+  let wl =
+    Workload.scale_to
+      { Workload.default with Workload.seed = 1; horizon = 30.0 }
+      ~flows:500
+  in
+  { Fleet.default with Fleet.workload = wl }
+
+let run_with_jobs n =
+  Runner.set_jobs n;
+  Fun.protect
+    ~finally:(fun () -> Runner.set_jobs 1)
+    (fun () -> Fleet.run spec)
+
+let test_invariants_and_completion () =
+  Atomic.set Invariants.self_check true;
+  Fun.protect
+    ~finally:(fun () -> Atomic.set Invariants.self_check false)
+  @@ fun () ->
+  let s = run_with_jobs 1 in
+  Alcotest.(check bool) "invariants ok" true s.Fleet.invariants_ok;
+  Alcotest.(check bool) "hundreds of flows ran" true
+    (s.Fleet.flows_started > 200);
+  Alcotest.(check int) "every started flow completed" s.Fleet.flows_started
+    s.Fleet.flows_completed;
+  Alcotest.(check bool) "bytes delivered" true (s.Fleet.bytes_delivered > 0);
+  Alcotest.(check bool) "packets simulated" true (s.Fleet.packets > 10_000);
+  (* Every shard ran all five invariant checks. *)
+  List.iter
+    (fun (r : Fleet.shard_stats) ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d reports" r.Fleet.shard)
+        5
+        (List.length r.Fleet.reports))
+    s.Fleet.shards
+
+let test_digest_jobs_independent () =
+  let seq = run_with_jobs 1 in
+  let par = run_with_jobs 2 in
+  Alcotest.(check string) "combined digest jobs 1 = jobs 2" seq.Fleet.digest
+    par.Fleet.digest;
+  List.iter2
+    (fun (a : Fleet.shard_stats) (b : Fleet.shard_stats) ->
+      Alcotest.(check string)
+        (Printf.sprintf "shard %d digest" a.Fleet.shard)
+        a.Fleet.digest b.Fleet.digest)
+    seq.Fleet.shards par.Fleet.shards;
+  Alcotest.(check int) "flows agree" seq.Fleet.flows_completed
+    par.Fleet.flows_completed
+
+let test_retirement_leaves_nothing () =
+  (* Pool debug poisons released packets, so any use-after-release in
+     the retire path crashes here rather than corrupting silently. *)
+  Pool.set_debug true;
+  Fun.protect ~finally:(fun () -> Pool.set_debug false) @@ fun () ->
+  let s = run_with_jobs 1 in
+  Alcotest.(check int) "no pooled packet leaked" 0 s.Fleet.pool_live_delta;
+  Alcotest.(check int) "all PITs empty" 0 s.Fleet.pit_pending_end;
+  List.iter
+    (fun (r : Fleet.shard_stats) ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d pool delta" r.Fleet.shard)
+        0 r.Fleet.pool_live_delta)
+    s.Fleet.shards
+
+let test_shard_partition_is_stable () =
+  (* The shard count is part of the digest contract: same spec, same
+     shard list, deterministic flow counts per shard. *)
+  let a = run_with_jobs 1 and b = run_with_jobs 1 in
+  Alcotest.(check int) "shard count" spec.Fleet.shards
+    (List.length a.Fleet.shards);
+  List.iter2
+    (fun (x : Fleet.shard_stats) (y : Fleet.shard_stats) ->
+      Alcotest.(check int) "shard id" x.Fleet.shard y.Fleet.shard;
+      Alcotest.(check int) "flows per shard" x.Fleet.flows_started
+        y.Fleet.flows_started)
+    a.Fleet.shards b.Fleet.shards;
+  Alcotest.(check string) "digest reproducible" a.Fleet.digest b.Fleet.digest
+
+let test_route_memoization_effective () =
+  let s = run_with_jobs 1 in
+  Alcotest.(check int) "one route query per started flow"
+    s.Fleet.flows_started s.Fleet.route_queries;
+  Alcotest.(check bool)
+    (Printf.sprintf "memo hit: %d computes < %d queries"
+       s.Fleet.route_computes s.Fleet.route_queries)
+    true
+    (s.Fleet.route_computes < s.Fleet.route_queries)
+
+let () =
+  Alcotest.run "leotp_manyflow"
+    [
+      ( "fleet",
+        [
+          Alcotest.test_case "invariants + completion" `Quick
+            test_invariants_and_completion;
+          Alcotest.test_case "digest jobs-independent" `Quick
+            test_digest_jobs_independent;
+          Alcotest.test_case "retirement leaves nothing" `Quick
+            test_retirement_leaves_nothing;
+          Alcotest.test_case "stable shard partition" `Quick
+            test_shard_partition_is_stable;
+          Alcotest.test_case "route memoization" `Quick
+            test_route_memoization_effective;
+        ] );
+    ]

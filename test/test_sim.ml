@@ -65,6 +65,70 @@ let test_run_until () =
   Engine.run e;
   Alcotest.(check int) "rest" 10 !count
 
+let test_run_slice () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~after:(float_of_int i) (fun () -> incr count))
+  done;
+  (* Budget smaller than the pending work: stop on the event budget with
+     the clock still inside the slice. *)
+  let r = Engine.run_slice ~max_events:3 e ~until:20.0 in
+  Alcotest.(check bool) "stopped on budget" true (r = `Events);
+  Alcotest.(check int) "three fired" 3 !count;
+  (* Time horizon before the next event: advance the clock, fire none. *)
+  let r = Engine.run_slice ~max_events:100 e ~until:3.5 in
+  Alcotest.(check bool) "stopped on horizon" true (r = `Until);
+  Alcotest.(check int) "no extra events" 3 !count;
+  Alcotest.(check (float 1e-9)) "clock at horizon" 3.5 (Engine.now e);
+  (* Run dry: the queue empties inside the horizon. *)
+  let r = Engine.run_slice e ~until:100.0 in
+  Alcotest.(check bool) "quiescent" true (r = `Quiescent);
+  Alcotest.(check int) "all fired" 10 !count;
+  Alcotest.(check (float 1e-9)) "clock at final horizon" 100.0 (Engine.now e)
+
+let test_run_slice_counts_events () =
+  let e = Engine.create () in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~after:(float_of_int i) ignore)
+  done;
+  let before = Engine.events_processed e in
+  ignore (Engine.run_slice e ~until:10.0);
+  Alcotest.(check int) "processed counter advanced" 5
+    (Engine.events_processed e - before);
+  (* Slicing is equivalent to one long run: interleaved slices fire
+     handlers in the same order as Engine.run. *)
+  let run_sliced () =
+    let e = Engine.create () in
+    let log = ref [] in
+    let rng = Leotp_util.Rng.create ~seed:9 in
+    for i = 0 to 30 do
+      let t = Leotp_util.Rng.float rng 10.0 in
+      ignore (Engine.schedule e ~after:t (fun () -> log := i :: !log))
+    done;
+    let until = ref 0.0 in
+    let quiet = ref false in
+    while not !quiet do
+      match Engine.run_slice ~max_events:2 e ~until:!until with
+      | `Events -> ()
+      | `Until -> until := !until +. 1.0
+      | `Quiescent -> quiet := true
+    done;
+    List.rev !log
+  in
+  let run_direct () =
+    let e = Engine.create () in
+    let log = ref [] in
+    let rng = Leotp_util.Rng.create ~seed:9 in
+    for i = 0 to 30 do
+      let t = Leotp_util.Rng.float rng 10.0 in
+      ignore (Engine.schedule e ~after:t (fun () -> log := i :: !log))
+    done;
+    Engine.run e;
+    List.rev !log
+  in
+  Alcotest.(check (list int)) "sliced = direct" (run_direct ()) (run_sliced ())
+
 let test_clock_monotone_negative_after () =
   let e = Engine.create () in
   ignore (Engine.schedule e ~after:5.0 ignore);
@@ -163,6 +227,9 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick test_schedule_from_handler;
           Alcotest.test_case "cancel" `Quick test_cancel;
           Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "run slice" `Quick test_run_slice;
+          Alcotest.test_case "run slice counters" `Quick
+            test_run_slice_counts_events;
           Alcotest.test_case "negative delay clamp" `Quick
             test_clock_monotone_negative_after;
           Alcotest.test_case "step" `Quick test_step;

@@ -1,0 +1,314 @@
+(* Statistical tests for the open-loop workload generator: the sampled
+   schedules must actually have the distributions the spec promises.
+   Every test is deterministic (fixed seeds, fixed critical values), so
+   a failure is a code regression, not sampling noise. *)
+
+module W = Leotp_scenario.Workload
+module Rng = Leotp_util.Rng
+
+let spec = W.default
+
+(* --- Poisson inter-arrivals ------------------------------------------- *)
+
+(* With the diurnal curve flattened, one city's arrival process is
+   homogeneous Poisson, so inter-arrival gaps are Exp(rate).  Chi-squared
+   against 8 equal-probability exponential bins; df = 7, critical value
+   at p = 0.001 is 24.32.  A generator bug (wrong thinning, biased rng)
+   blows far past this; honest sampling noise does not reach it. *)
+let test_poisson_interarrivals () =
+  let s =
+    {
+      spec with
+      W.seed = 11;
+      cities = 1;
+      diurnal_amplitude = 0.0;
+      rate_per_city = 2.0;
+      horizon = 2000.0;
+    }
+  in
+  let arrivals = W.generate s in
+  let times = List.map (fun (a : W.arrival) -> a.W.at) arrivals in
+  let gaps =
+    List.map2 (fun b a -> b -. a)
+      (List.tl times)
+      (List.filteri (fun i _ -> i < List.length times - 1) times)
+  in
+  let n = List.length gaps in
+  Alcotest.(check bool) "enough samples" true (n > 2000);
+  let rate = s.W.rate_per_city in
+  let bins = 8 in
+  (* Equal-probability bin edges: F^-1(k/bins) for Exp(rate). *)
+  let edge k = -.log (1.0 -. (float_of_int k /. float_of_int bins)) /. rate in
+  let counts = Array.make bins 0 in
+  List.iter
+    (fun g ->
+      let rec find k =
+        if k >= bins - 1 then bins - 1
+        else if g < edge (k + 1) then k
+        else find (k + 1)
+      in
+      let b = find 0 in
+      counts.(b) <- counts.(b) + 1)
+    gaps;
+  let expect = float_of_int n /. float_of_int bins in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expect in
+        acc +. (d *. d /. expect))
+      0.0 counts
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.2f < 24.32 (df=7, p=0.001)" chi2)
+    true (chi2 < 24.32)
+
+(* Gaps must also be uncorrelated: lag-1 autocorrelation of an iid
+   exponential sequence is 0; a stateful-sampler bug shows up here even
+   when the marginal distribution stays right. *)
+let test_interarrival_independence () =
+  let s =
+    {
+      spec with
+      W.seed = 12;
+      cities = 1;
+      diurnal_amplitude = 0.0;
+      rate_per_city = 2.0;
+      horizon = 2000.0;
+    }
+  in
+  let times =
+    List.map (fun (a : W.arrival) -> a.W.at) (W.generate s)
+  in
+  let gaps =
+    Array.of_list
+      (List.map2 (fun b a -> b -. a)
+         (List.tl times)
+         (List.filteri (fun i _ -> i < List.length times - 1) times))
+  in
+  let n = Array.length gaps in
+  let mean = Array.fold_left ( +. ) 0.0 gaps /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc g -> acc +. ((g -. mean) ** 2.0)) 0.0 gaps
+    /. float_of_int n
+  in
+  let cov = ref 0.0 in
+  for i = 0 to n - 2 do
+    cov := !cov +. ((gaps.(i) -. mean) *. (gaps.(i + 1) -. mean))
+  done;
+  let rho = !cov /. float_of_int (n - 1) /. var in
+  Alcotest.(check bool)
+    (Printf.sprintf "lag-1 autocorrelation %.4f ~ 0" rho)
+    true
+    (Float.abs rho < 0.05)
+
+(* --- Zipf popularity --------------------------------------------------- *)
+
+(* Log-log regression of empirical frequency over the top ranks recovers
+   the exponent: slope ~ -s.  Drawn directly from the sampler so the
+   sample is large and the tolerance tight. *)
+let test_zipf_exponent () =
+  let n = 1000 and s_exp = 1.0 in
+  let z = W.Zipf.create ~n ~s:s_exp in
+  let rng = Rng.create ~seed:5 in
+  let draws = 200_000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let r = W.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true
+    (counts.(0) >= Array.fold_left max 0 counts);
+  (* Least-squares slope of log(freq) on log(rank+1), top 50 ranks. *)
+  let top = 50 in
+  let xs = Array.init top (fun r -> log (float_of_int (r + 1))) in
+  let ys = Array.init top (fun r -> log (float_of_int counts.(r))) in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int top in
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 in
+  for i = 0 to top - 1 do
+    sxy := !sxy +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    sxx := !sxx +. ((xs.(i) -. mx) ** 2.0)
+  done;
+  let slope = !sxy /. !sxx in
+  Alcotest.(check bool)
+    (Printf.sprintf "zipf slope %.3f ~ -%.1f" slope s_exp)
+    true
+    (Float.abs (slope +. s_exp) < 0.1)
+
+(* A steeper exponent must concentrate more mass on the head. *)
+let test_zipf_exponent_ordering () =
+  let head_share s =
+    let z = W.Zipf.create ~n:500 ~s in
+    let rng = Rng.create ~seed:6 in
+    let hits = ref 0 and draws = 20_000 in
+    for _ = 1 to draws do
+      if W.Zipf.sample z rng < 10 then incr hits
+    done;
+    float_of_int !hits /. float_of_int draws
+  in
+  let flat = head_share 0.5 and steep = head_share 1.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "head share: s=1.5 %.2f > s=0.5 %.2f" steep flat)
+    true
+    (steep > flat +. 0.2)
+
+(* --- Diurnal curve ----------------------------------------------------- *)
+
+(* The rate multiplier must integrate to exactly one day over a day —
+   amplitude shapes the curve without changing the daily budget. *)
+let test_diurnal_integrates_to_budget () =
+  List.iter
+    (fun amp ->
+      let s = { spec with W.diurnal_amplitude = amp } in
+      let steps = 10_000 in
+      let dt = s.W.day /. float_of_int steps in
+      let integral = ref 0.0 in
+      for i = 0 to steps - 1 do
+        let t0 = float_of_int i *. dt in
+        integral :=
+          !integral
+          +. (dt
+             *. (W.diurnal_factor s t0 +. W.diurnal_factor s (t0 +. dt))
+             /. 2.0)
+      done;
+      Alcotest.(check (float 1e-3))
+        (Printf.sprintf "amplitude %.1f integrates to day" amp)
+        s.W.day !integral;
+      (* And the factor is never negative (thinning probability). *)
+      for i = 0 to 100 do
+        let t = float_of_int i /. 100.0 *. s.W.day in
+        Alcotest.(check bool) "factor >= 0" true (W.diurnal_factor s t >= 0.0)
+      done)
+    [ 0.0; 0.4; 0.9 ]
+
+(* The realized schedule follows the curve: with a trough at t = 0 and
+   the peak mid-day, the middle half-day of a one-day horizon must hold
+   more arrivals than the two trough quarters. *)
+let test_diurnal_shapes_arrivals () =
+  let s =
+    {
+      spec with
+      W.seed = 13;
+      cities = 4;
+      diurnal_amplitude = 0.8;
+      rate_per_city = 1.0;
+      horizon = spec.W.day;
+    }
+  in
+  let arrivals = W.generate s in
+  let quarter = s.W.day /. 4.0 in
+  let mid, trough =
+    List.fold_left
+      (fun (m, t) (a : W.arrival) ->
+        if a.W.at >= quarter && a.W.at < 3.0 *. quarter then (m + 1, t)
+        else (m, t + 1))
+      (0, 0) arrivals
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mid-day %d > troughs %d" mid trough)
+    true
+    (float_of_int mid > 1.3 *. float_of_int trough)
+
+(* Realized totals track expected_flows (law of large numbers; 5%). *)
+let test_expected_flows () =
+  let s =
+    { spec with W.seed = 14; cities = 8; rate_per_city = 1.0; horizon = 500.0 }
+  in
+  let n = List.length (W.generate s) in
+  let expect = W.expected_flows s in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d arrivals ~ %.0f expected" n expect)
+    true
+    (Float.abs (float_of_int n -. expect) < 0.05 *. expect)
+
+(* --- Determinism & validation ------------------------------------------ *)
+
+let test_seed_determinism () =
+  let a = W.generate { spec with W.seed = 21 } in
+  let b = W.generate { spec with W.seed = 21 } in
+  let c = W.generate { spec with W.seed = 22 } in
+  Alcotest.(check bool) "same seed identical" true (a = b);
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  (* Schedules are time-sorted with contiguous seqs, and every field is
+     inside the spec's bounds. *)
+  let rec sorted = function
+    | (x : W.arrival) :: (y :: _ as rest) -> x.W.at <= y.W.at && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "time sorted" true (sorted a);
+  List.iteri
+    (fun i (x : W.arrival) ->
+      Alcotest.(check int) "seq contiguous" i x.W.seq;
+      Alcotest.(check bool) "city in range" true
+        (x.W.city >= 0 && x.W.city < spec.W.cities);
+      Alcotest.(check bool) "origin derived" true
+        (x.W.origin = W.origin_of_content spec x.W.content);
+      Alcotest.(check bool) "bytes bounded" true
+        (x.W.bytes >= spec.W.min_bytes && x.W.bytes <= spec.W.max_bytes))
+    a
+
+let test_tcp_share () =
+  let s =
+    {
+      spec with
+      W.seed = 15;
+      cities = 8;
+      rate_per_city = 1.0;
+      horizon = 500.0;
+      tcp_share = 0.25;
+    }
+  in
+  let arrivals = W.generate s in
+  let tcp =
+    List.length (List.filter (fun a -> a.W.protocol = W.Tcp) arrivals)
+  in
+  let share = float_of_int tcp /. float_of_int (List.length arrivals) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tcp share %.3f ~ 0.25" share)
+    true
+    (Float.abs (share -. 0.25) < 0.05)
+
+let test_scale_to () =
+  let s = W.scale_to spec ~flows:2000 in
+  Alcotest.(check (float 1e-6)) "expected_flows hits target" 2000.0
+    (W.expected_flows s)
+
+let test_validation () =
+  let raises s =
+    match W.generate s with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "cities > catalogue rejected" true
+    (raises { spec with W.cities = 10_000 });
+  Alcotest.(check bool) "negative rate rejected" true
+    (raises { spec with W.rate_per_city = -1.0 });
+  Alcotest.(check bool) "amplitude >= 1 rejected" true
+    (raises { spec with W.diurnal_amplitude = 1.0 });
+  Alcotest.(check bool) "min > max bytes rejected" true
+    (raises { spec with W.min_bytes = 10; max_bytes = 5 })
+
+let () =
+  Alcotest.run "leotp_workload"
+    [
+      ( "statistics",
+        [
+          Alcotest.test_case "poisson inter-arrivals" `Quick
+            test_poisson_interarrivals;
+          Alcotest.test_case "inter-arrival independence" `Quick
+            test_interarrival_independence;
+          Alcotest.test_case "zipf exponent" `Quick test_zipf_exponent;
+          Alcotest.test_case "zipf ordering" `Quick test_zipf_exponent_ordering;
+          Alcotest.test_case "diurnal budget" `Quick
+            test_diurnal_integrates_to_budget;
+          Alcotest.test_case "diurnal shape" `Quick test_diurnal_shapes_arrivals;
+          Alcotest.test_case "expected flows" `Quick test_expected_flows;
+          Alcotest.test_case "tcp share" `Quick test_tcp_share;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "seed determinism" `Quick test_seed_determinism;
+          Alcotest.test_case "scale_to" `Quick test_scale_to;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]
