@@ -6,11 +6,26 @@ set -eu
 cd "$(dirname "$0")/.."
 
 # Static analysis first: determinism & hygiene rules plus the --race
-# interprocedural domain-safety pass (see LINT.md).  Fails on any
+# interprocedural domain-safety pass and the --own packet-ownership /
+# allocation-effect / time-taint pass (see LINT.md).  Fails on any
 # error-severity finding; LINT.json sits next to the BENCH_*.json
-# records for trend tracking.
+# records for trend tracking (per-pass wall times under timings_ms).
 dune build @lint
-dune exec bin/leotp_lint.exe -- --race --quiet --json LINT.json lib bench bin
+dune exec bin/leotp_lint.exe -- --race --own --quiet --json LINT.json \
+  lib bench bin
+
+# The rules table in LINT.md is generated: it must match the registry
+# (`--rules --markdown`) byte for byte, so a new or reworded rule that
+# skips the docs fails CI here.
+dune exec bin/leotp_lint.exe -- --rules --markdown > "$(pwd)/_rules.md.tmp"
+awk '/<!-- rules:begin -->/{f=1;next} /<!-- rules:end -->/{f=0} f' LINT.md \
+  | diff -u - _rules.md.tmp || {
+  rm -f _rules.md.tmp
+  echo "ci.sh: LINT.md rules table is stale; regenerate with" >&2
+  echo "  dune exec bin/leotp_lint.exe -- --rules --markdown" >&2
+  exit 1
+}
+rm -f _rules.md.tmp
 
 dune build @runtest
 

@@ -1,7 +1,8 @@
 (* leotp-lint CLI: scan .ml trees, print text findings, optionally write
    a JSON report.
 
-   Usage: leotp_lint.exe [--race] [--json FILE] [--rules] [PATH ...]
+   Usage: leotp_lint.exe [--race] [--own] [--json FILE] [--rules
+   [--markdown]] [PATH ...]
    Default paths: lib bench bin (relative to the cwd).
 
    Exit codes (bin/ci.sh relies on this contract):
@@ -14,9 +15,11 @@ module Finding = Leotp_lint.Finding
 module Rules = Leotp_lint.Rules
 module Engine = Leotp_lint.Engine
 module Race = Leotp_lint.Race
+module Own = Leotp_lint.Own
 
 let usage =
-  "leotp_lint [--race] [--json FILE] [--rules] [--quiet] [PATH ...]\n\
+  "leotp_lint [--race] [--own] [--json FILE] [--rules [--markdown]] \
+   [--quiet] [PATH ...]\n\
    Static determinism/hygiene analysis (see LINT.md).  Default paths: \
    lib bench bin.\n\n\
    Exit codes: 0 = no error-severity findings (warnings allowed);\n\
@@ -26,42 +29,104 @@ let usage =
    \                or an analyzer crash).\n\n\
    Options:"
 
+(* The LINT.md rules table is generated from the registry so the docs
+   cannot drift: bin/ci.sh diffs this output against the marker-fenced
+   section of LINT.md. *)
+let markdown_cell s =
+  String.concat "\\|" (String.split_on_char '|' s)
+
+let rule_scope_label (r : Rules.t) =
+  let scopes = [ Rules.Lib; Rules.Bench; Rules.Bin; Rules.Other ] in
+  let on = List.filter r.applies scopes in
+  if List.length on = List.length scopes then "everywhere"
+  else
+    String.concat ", "
+      (List.filter_map
+         (fun s ->
+           if r.applies s then
+             Some
+               (match s with
+               | Rules.Lib -> "`lib/`"
+               | Rules.Bench -> "`bench/`"
+               | Rules.Bin -> "`bin/`"
+               | Rules.Other -> "other")
+           else None)
+         scopes)
+
+let print_rules_markdown () =
+  print_endline "| # | rule id | severity | scope | rationale |";
+  print_endline "|---|---------|----------|-------|-----------|";
+  List.iteri
+    (fun i (r : Rules.t) ->
+      Printf.printf "| %d | `%s` | %s | %s | %s |\n" (i + 1) r.id
+        (Finding.severity_to_string r.severity)
+        (rule_scope_label r) (markdown_cell r.doc))
+    Rules.all
+
 let () =
   let json_out = ref None in
   let list_rules = ref false in
+  let markdown = ref false in
   let quiet = ref false in
   let race = ref false in
+  let own = ref false in
   let paths = ref [] in
   let spec =
     [
       ( "--race",
         Arg.Set race,
         " also run the interprocedural domain-safety (race) pass" );
+      ( "--own",
+        Arg.Set own,
+        " also run the interprocedural ownership/allocation/time-taint \
+         (own) pass" );
       ( "--json",
         Arg.String (fun s -> json_out := Some s),
         "FILE write a JSON report to FILE" );
       ("--rules", Arg.Set list_rules, " list rule ids with rationale and exit");
+      ( "--markdown",
+        Arg.Set markdown,
+        " with --rules: emit the LINT.md rules table (generated; ci diffs \
+         it against the docs)" );
       ("--quiet", Arg.Set quiet, " suppress per-finding text output");
     ]
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
   if !list_rules then begin
-    List.iter
-      (fun (r : Rules.t) ->
-        Printf.printf "%-32s %-8s %s\n" r.id
-          (Finding.severity_to_string r.severity)
-          r.doc)
-      Rules.all;
+    if !markdown then print_rules_markdown ()
+    else
+      List.iter
+        (fun (r : Rules.t) ->
+          Printf.printf "%-32s %-8s %s\n" r.id
+            (Finding.severity_to_string r.severity)
+            r.doc)
+        Rules.all;
     exit 0
   end;
   let paths =
     match List.rev !paths with [] -> [ "lib"; "bench"; "bin" ] | ps -> ps
   in
+  let timings = ref [] in
+  let timed pass f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    timings := (pass, (Unix.gettimeofday () -. t0) *. 1000.) :: !timings;
+    r
+  in
   match
-    let { Engine.files; findings } = Engine.scan paths in
+    let { Engine.files; findings } =
+      timed "rules" (fun () -> Engine.scan paths)
+    in
     let findings =
       if !race then
-        List.sort_uniq Finding.compare (Race.scan paths @ findings)
+        List.sort_uniq Finding.compare
+          (timed "race" (fun () -> Race.scan paths) @ findings)
+      else findings
+    in
+    let findings =
+      if !own then
+        List.sort_uniq Finding.compare
+          (timed "own" (fun () -> Own.scan paths) @ findings)
       else findings
     in
     (files, findings)
@@ -75,7 +140,8 @@ let () =
     (match !json_out with
     | Some file ->
       Out_channel.with_open_bin file (fun oc ->
-          Out_channel.output_string oc (Finding.report_json ~files findings))
+          Out_channel.output_string oc
+            (Finding.report_json ~timings:(List.rev !timings) ~files findings))
     | None -> ());
     let errors = Finding.count Finding.Error findings in
     let warnings = Finding.count Finding.Warning findings in

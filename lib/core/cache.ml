@@ -56,16 +56,21 @@ let trace_occupancy t =
 
 let block_size t = t.config.Config.cache_block
 
+(* One block record (plus its meta arrays) per [cache_block] bytes of
+   fresh content entering the cache — amortized over the block's many
+   packets, and recycled through the LRU thereafter. *)
 let fresh_block t =
-  {
+  ({
     present = Interval_set.empty;
-    meta_lo = Array.make t.meta_capacity 0;
-    meta_first_sent = Array.make t.meta_capacity 0.0;
-    meta_retx = Array.make t.meta_capacity false;
+    meta_lo = (Array.make [@leotp.allow "hot-path-may-alloc"]) t.meta_capacity 0;
+    meta_first_sent =
+      (Array.make [@leotp.allow "hot-path-may-alloc"]) t.meta_capacity 0.0;
+    meta_retx =
+      (Array.make [@leotp.allow "hot-path-may-alloc"]) t.meta_capacity false;
     meta_len = 0;
     meta_next = 0;
     bytes = 0;
-  }
+  } [@leotp.allow "hot-path-may-alloc"])
 
 let push_meta t blk ~lo ~first_sent ~retx =
   let cap = t.meta_capacity in
@@ -91,13 +96,18 @@ let iter_blocks t ~flow ~lo ~hi f =
   let b0 = lo / bs and b1 = (hi - 1) / bs in
   for b = b0 to b1 do
     let blo = max lo (b * bs) and bhi = min hi ((b + 1) * bs) in
-    f (flow, b) blo bhi
+    (* the (flow, block) pair is the LRU key — one per block touched,
+       inherent to a hashtable-keyed block store *)
+    f ((flow, b) [@leotp.allow "hot-path-may-alloc"]) blo bhi
   done
 
 let insert t ~flow ~lo ~hi ~first_sent ~retx =
   if hi > lo then begin
     t.stats.insertions <- t.stats.insertions + 1;
-    iter_blocks t ~flow ~lo ~hi (fun key blo bhi ->
+    (* per-insert block-walk closure — one cell per cached Data, dwarfed
+       by the interval-set and LRU updates the insert performs anyway *)
+    iter_blocks t ~flow ~lo ~hi
+      ((fun key blo bhi ->
         let blk =
           match Leotp_util.Lru.find t.blocks key with
           | Some blk -> blk
@@ -111,7 +121,8 @@ let insert t ~flow ~lo ~hi ~first_sent ~retx =
         let added = Interval_set.cardinal blk.present - before in
         blk.bytes <- blk.bytes + added;
         t.used <- t.used + added;
-        push_meta t blk ~lo:blo ~first_sent ~retx);
+        push_meta t blk ~lo:blo ~first_sent ~retx)
+      [@leotp.allow "hot-path-may-alloc"]);
     evict_until_fits t;
     trace_occupancy t
   end
@@ -120,6 +131,9 @@ let insert t ~flow ~lo ~hi ~first_sent ~retx =
    falls back to the newest entry.  Scans the ring newest-first so ties
    on start resolve to the most recent insertion, matching the previous
    newest-first list fold. *)
+(* Per-probe scratch cells and the (first_sent, retx) option result are
+   the lookup API's currency — a handful of words per Interest probe,
+   dwarfed by the Data response a hit produces. *)
 let find_meta t blk ~lo =
   if blk.meta_len = 0 then None
   else begin
@@ -133,6 +147,7 @@ let find_meta t blk ~lo =
     let i = if !best >= 0 then !best else (blk.meta_next - 1 + cap) mod cap in
     Some (blk.meta_first_sent.(i), blk.meta_retx.(i))
   end
+[@@leotp.allow "hot-path-may-alloc"]
 
 let lookup_inner t ~touch ~flow ~lo ~hi =
   let ok = ref true in
@@ -150,6 +165,7 @@ let lookup_inner t ~touch ~flow ~lo ~hi =
       end);
   if !ok then Some (match !meta with Some m -> m | None -> (0.0, false))
   else None
+[@@leotp.allow "hot-path-may-alloc"]
 
 let lookup t ~flow ~lo ~hi =
   match lookup_inner t ~touch:true ~flow ~lo ~hi with

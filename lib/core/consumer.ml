@@ -114,9 +114,14 @@ let send_interest t ~lo ~hi ~retx =
    actually armed, which the estimator's min/max bounds may pull below
    the raw formula). *)
 let rto_floor t ~timeout =
-  match (Leotp_util.Rto.srtt t.rto, Leotp_util.Rto.rttvar t.rto) with
-  | Some s, Some v -> Float.min (s +. (4.0 *. v)) timeout
-  | _ -> 0.0
+  (* nested matches, not a tuple pattern: this runs per issued Interest
+     and a 2-tuple scrutinee is a minor-heap allocation *)
+  match Leotp_util.Rto.srtt t.rto with
+  | None -> 0.0
+  | Some s -> (
+    match Leotp_util.Rto.rttvar t.rto with
+    | Some v -> Float.min (s +. (4.0 *. v)) timeout
+    | None -> 0.0)
 
 let reissue t st =
   let now = Engine.now t.engine in
@@ -139,6 +144,8 @@ let reissue t st =
    §5.5): under Karn's rule delayed-but-not-lost data never produces
    samples, so without this the base RTO stays small and every new
    Interest times out spuriously. *)
+(* Runs per TR scan tick (a timer period), not per packet — the
+   accumulator cell and iteration closure are off the per-packet budget. *)
 let scan t =
   let now = Engine.now t.engine in
   let any = ref false in
@@ -163,7 +170,10 @@ let scan t =
     t.last_shared_backoff <- now;
     Leotp_util.Rto.backoff t.rto
   end
+[@@leotp.allow "hot-path-may-alloc"]
 
+(* Re-arming the scan timer allocates its action closure: one per scan
+   period, inherent to the [Engine.schedule] API. *)
 let rec ensure_scan_timer ~pump t =
   if (not t.completed) && t.scan_timer = None then
     t.scan_timer <-
@@ -179,6 +189,7 @@ let rec ensure_scan_timer ~pump t =
                pump t;
                ensure_scan_timer ~pump t
              end))
+[@@leotp.allow "hot-path-may-alloc"]
 
 let want_more t =
   match t.total_bytes with
@@ -193,59 +204,61 @@ let want_more t =
    flood if the path black-holes. *)
 let rec pump t =
   if not t.completed then begin
-    let now = Engine.now t.engine in
-    let continue = ref true in
-    while !continue do
-      if not (want_more t) then continue := false
-      else begin
-        (* Window over the pull loop: outstanding (non-lost) data is
-           bounded by cwnd, giving the self-clocking a pure rate pacer
-           lacks.  Ranges already declared lost (TR timeout) are being
-           repaired and do not occupy the pipeline. *)
-        let cap = Hop_cc.cwnd t.cc in
-        let hi =
-          match t.total_bytes with
-          | Some n -> min n (t.next_to_request + t.config.Config.mss)
-          | None -> t.next_to_request + t.config.Config.mss
-        in
-        let len = hi - t.next_to_request in
-        let occupying = t.outstanding_bytes - t.stale_bytes in
-        (* Hard bound including presumed-lost ranges: spurious timeouts
-           must not reopen the window indefinitely (that would rebuild
-           the invisible Producer backlog the window exists to bound). *)
-        if
-          float_of_int (occupying + len) > cap
-          || float_of_int (t.outstanding_bytes + len) > 2.0 *. cap
-        then continue := false
-        else if now < t.next_send_time then begin
-          schedule_pump t ~at:t.next_send_time;
-          continue := false
-        end
-        else begin
-          let rate = Float.max 1000.0 (advertised_rate t) in
-          t.next_send_time <-
-            Float.max now t.next_send_time +. (float_of_int len /. rate);
-          let lo = t.next_to_request in
-          t.next_to_request <- hi;
-          let timeout = Leotp_util.Rto.rto t.rto in
-          let st =
-            {
-              lo;
-              hi;
-              first_requested = now;
-              last_requested = now;
-              deadline = now +. timeout;
-              retx_count = 0;
-              floor_bound = rto_floor t ~timeout;
-            }
-          in
-          t.outstanding <- IntMap.add lo st t.outstanding;
-          t.outstanding_bytes <- t.outstanding_bytes + len;
-          send_interest t ~lo ~hi ~retx:false
-        end
-      end
-    done;
+    pump_loop t (Engine.now t.engine);
     ensure_scan_timer ~pump t
+  end
+
+(* Recursive issue loop (no while+ref: [pump] runs per received Data and
+   per pacing timer, and a local [ref] is a minor-heap cell).  Stops when
+   the window or pacing gate closes or the stream is fully requested. *)
+and pump_loop t now =
+  if want_more t then begin
+    (* Window over the pull loop: outstanding (non-lost) data is
+       bounded by cwnd, giving the self-clocking a pure rate pacer
+       lacks.  Ranges already declared lost (TR timeout) are being
+       repaired and do not occupy the pipeline. *)
+    let cap = Hop_cc.cwnd t.cc in
+    let hi =
+      match t.total_bytes with
+      | Some n -> min n (t.next_to_request + t.config.Config.mss)
+      | None -> t.next_to_request + t.config.Config.mss
+    in
+    let len = hi - t.next_to_request in
+    let occupying = t.outstanding_bytes - t.stale_bytes in
+    (* Hard bound including presumed-lost ranges: spurious timeouts
+       must not reopen the window indefinitely (that would rebuild
+       the invisible Producer backlog the window exists to bound). *)
+    if
+      float_of_int (occupying + len) > cap
+      || float_of_int (t.outstanding_bytes + len) > 2.0 *. cap
+    then ()
+    else if now < t.next_send_time then schedule_pump t ~at:t.next_send_time
+    else begin
+      let rate = Float.max 1000.0 (advertised_rate t) in
+      t.next_send_time <-
+        Float.max now t.next_send_time +. (float_of_int len /. rate);
+      let lo = t.next_to_request in
+      t.next_to_request <- hi;
+      let timeout = Leotp_util.Rto.rto t.rto in
+      let st =
+        (* one state record per issued Interest — its identity for the
+           whole timeout/retransmission lifetime *)
+        ({
+           lo;
+           hi;
+           first_requested = now;
+           last_requested = now;
+           deadline = now +. timeout;
+           retx_count = 0;
+           floor_bound = rto_floor t ~timeout;
+         }
+        [@leotp.allow "hot-path-may-alloc"])
+      in
+      t.outstanding <- IntMap.add lo st t.outstanding;
+      t.outstanding_bytes <- t.outstanding_bytes + len;
+      send_interest t ~lo ~hi ~retx:false;
+      pump_loop t now
+    end
   end
 
 and schedule_pump t ~at =
@@ -253,10 +266,13 @@ and schedule_pump t ~at =
   | Some timer when Engine.is_pending timer -> ()
   | _ ->
     t.pump_timer <-
+      (* arming the pacing timer allocates its action closure: one per
+         pacing gap, inherent to the [Engine.schedule_at] API *)
       Some
-        (Engine.schedule_at t.engine ~time:at (fun () ->
-             t.pump_timer <- None;
-             pump t))
+        (Engine.schedule_at t.engine ~time:at
+           ((fun () ->
+              t.pump_timer <- None;
+              pump t) [@leotp.allow "hot-path-may-alloc"]))
 
 let finish t =
   if not t.completed then begin
@@ -271,7 +287,9 @@ let finish t =
     t.on_complete ()
   end
 
-(* Interests overlapping [lo, hi). *)
+(* Interests overlapping [lo, hi).  Called once per received VPH — loss
+   signalling, not the per-Data steady state — so the accumulator and
+   sequence cells are off the per-packet budget. *)
 let overlapping_outstanding t ~lo ~hi =
   let acc = ref [] in
   let rec go s =
@@ -286,7 +304,11 @@ let overlapping_outstanding t ~lo ~hi =
   (* Entries are MSS-aligned, so start the scan one MSS below. *)
   go (IntMap.to_seq_from (lo - t.config.Config.mss) t.outstanding);
   !acc
+[@@leotp.allow "hot-path-may-alloc"]
 
+(* Runs once per received VPH — SHR loss signalling, not the per-Data
+   steady state; the overlap list and deadline-reset closure are the cost
+   of the paper's timeout-suppression rule. *)
 let handle_vph t ~lo ~hi =
   (* §III-B: "when the Consumer receives a header, it will reset the
      timestamp of the corresponding Interest to avoid the timeout being
@@ -296,7 +318,11 @@ let handle_vph t ~lo ~hi =
     (fun st -> st.deadline <- Float.max st.deadline (now +. Leotp_util.Rto.base_rto t.rto))
     (overlapping_outstanding t ~lo ~hi);
   ignore (Shr.on_packet t.shr ~lo ~hi)
+[@@leotp.allow "hot-path-may-alloc"]
 
+(* Endpoint control-loop bookkeeping: the overlap list (typically one
+   element) and its iteration closure are per-Data endpoint cost, not
+   forwarding-path cost — the zero-allocation budget protects relays. *)
 let handle_data t ~lo ~hi ~first_sent ~retx =
   let now = Engine.now t.engine in
   (* Resolve the satisfied Interests.  The Consumer's controller (eqs 6-8)
@@ -356,6 +382,7 @@ let handle_data t ~lo ~hi ~first_sent ~retx =
   | Some n when Interval_set.covers ~lo:0 ~hi:n t.received -> finish t
   | _ -> ());
   pump t
+[@@leotp.allow "hot-path-may-alloc"]
 
 (* Terminal handler: the Consumer owns the delivered packet and recycles
    it once the slot values are extracted. *)

@@ -17,8 +17,10 @@ type t = {
 
 let initial_cwnd config = 10.0 *. float_of_int config.Config.mss
 
+(* One controller record per flow at first contact — setup, not
+   per-packet. *)
 let create ?(pipe_full_exit = true) ~config ~now () =
-  {
+  ({
     config;
     pipe_full_exit;
     cwnd = initial_cwnd config;
@@ -31,7 +33,7 @@ let create ?(pipe_full_exit = true) ~config ~now () =
     bytes_since_adjust = 0;
     last_adjust = now;
     next_adjust = now;
-  }
+    } [@leotp.allow "hot-path-may-alloc"])
 
 let hop_rtt t =
   let v = Leotp_util.Stats.Ewma.value t.rtt_ewma in
@@ -42,10 +44,16 @@ let throughput t = t.thr_ewma
 let in_slow_start t = t.slow_start
 let cwnd t = t.cwnd
 
+(* Nested matches, not a tuple pattern: this runs per adjust on the
+   per-Data control path and a 2-tuple scrutinee is a minor-heap
+   allocation. *)
 let queue_len t ~now =
-  match (hop_rtt t, hop_rtt_min t ~now) with
-  | Some rtt, Some rtt_min -> t.thr_ewma *. Float.max 0.0 (rtt -. rtt_min)
-  | _ -> 0.0
+  match hop_rtt t with
+  | None -> 0.0
+  | Some rtt -> (
+    match hop_rtt_min t ~now with
+    | Some rtt_min -> t.thr_ewma *. Float.max 0.0 (rtt -. rtt_min)
+    | None -> 0.0)
 
 let adjust t ~now =
   let mss = float_of_int t.config.Config.mss in

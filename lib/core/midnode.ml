@@ -41,6 +41,8 @@ type t = {
   mutable crash_count : int;
 }
 
+(* Allocates only on the first packet of a flow (the miss arm builds the
+   whole per-flow state); every later packet takes the table hit. *)
 let get_flow t ~flow ~consumer ~producer =
   match Hashtbl.find_opt t.flows flow with
   | Some fs -> fs
@@ -77,6 +79,7 @@ let get_flow t ~flow ~consumer ~producer =
     fs_ref := Some fs;
     Hashtbl.replace t.flows flow fs;
     fs
+[@@leotp.allow "hot-path-may-alloc"]
 
 (* Upstream advertised rate: eq (10) = min(cwnd/hopRTT, rate_bp). *)
 let upstream_rate t fs =
@@ -95,38 +98,44 @@ let send_vph t fs ~lo ~hi =
        ~flow:fs.flow ~lo ~hi ~timestamp:now)
 
 (* Retransmission requests are split at MSS so responses stay packet
-   sized. *)
-let send_shr_interest t fs ~lo ~hi =
-  let now = Engine.now t.engine in
-  let mss = t.config.Config.mss in
-  let p = ref lo in
-  while !p < hi do
-    let chunk_hi = min hi (!p + mss) in
+   sized.  Recursion, not while+ref: this runs on the loss-recovery
+   path and a local [ref] is a minor-heap cell. *)
+let rec send_shr_interest t fs ~lo ~hi =
+  if lo < hi then begin
+    let now = Engine.now t.engine in
+    let chunk_hi = min hi (lo + t.config.Config.mss) in
     fs.shr_interests <- fs.shr_interests + 1;
     Node.send t.node
       (Wire.interest_packet ~config:t.config ~src:fs.consumer ~dst:fs.producer
-         ~flow:fs.flow ~lo:!p ~hi:chunk_hi ~timestamp:now
+         ~flow:fs.flow ~lo ~hi:chunk_hi ~timestamp:now
          ~send_rate:(upstream_rate t fs) ~retx:true);
-    p := chunk_hi
-  done
+    send_shr_interest t fs ~lo:chunk_hi ~hi
+  end
 
-(* Serve a cached range as MSS-sized Data packets through [emit]. *)
-let respond_from_cache t ~flow ~lo ~hi ~src ~dst ~timestamp ~req_owd ~retx
+(* Serve a cached range as MSS-sized Data packets through [emit].
+   Returns whether every chunk was served; keeps scanning past a miss so
+   partial hits still go out.  Recursion, not while+refs: this runs per
+   cache-hit Interest and local [ref]s are minor-heap cells. *)
+let rec respond_from_cache t ~flow ~lo ~hi ~src ~dst ~timestamp ~req_owd ~retx
     ~emit =
-  let mss = t.config.Config.mss in
-  let p = ref lo in
-  let all_served = ref true in
-  while !p < hi do
-    let chunk_hi = min hi (!p + mss) in
-    (match Cache.lookup t.cache ~flow ~lo:!p ~hi:chunk_hi with
-    | Some (first_sent, cretx) ->
-      emit
-        (Wire.data_packet ~config:t.config ~src ~dst ~flow ~lo:!p ~hi:chunk_hi
-           ~timestamp ~req_owd ~first_sent ~retx:(cretx || retx))
-    | None -> all_served := false);
-    p := chunk_hi
-  done;
-  !all_served
+  if lo >= hi then true
+  else begin
+    let chunk_hi = min hi (lo + t.config.Config.mss) in
+    let served =
+      match Cache.lookup t.cache ~flow ~lo ~hi:chunk_hi with
+      | Some (first_sent, cretx) ->
+        emit
+          (Wire.data_packet ~config:t.config ~src ~dst ~flow ~lo ~hi:chunk_hi
+             ~timestamp ~req_owd ~first_sent ~retx:(cretx || retx));
+        true
+      | None -> false
+    in
+    let rest =
+      respond_from_cache t ~flow ~lo:chunk_hi ~hi ~src ~dst ~timestamp
+        ~req_owd ~retx ~emit
+    in
+    served && rest
+  end
 
 let handle_interest t pkt =
   let flow = pkt.Packet.flow in
@@ -152,7 +161,10 @@ let handle_interest t pkt =
         (respond_from_cache t ~flow ~lo ~hi ~src:pkt.Packet.dst
            ~dst:pkt.Packet.src ~timestamp
            ~req_owd:(Float.max 0.0 (now -. timestamp))
-           ~retx ~emit:(Node.send t.node));
+           ~retx
+           (* one emit closure per cache-hit response — dwarfed by the
+              response packet it sends *)
+           ~emit:((Node.send t.node) [@leotp.allow "hot-path-may-alloc"]));
       Pool.release pkt
     end
     else Node.send t.node pkt
@@ -169,7 +181,10 @@ let handle_interest t pkt =
       ignore
         (respond_from_cache t ~flow ~lo ~hi ~src:pkt.Packet.dst
            ~dst:pkt.Packet.src ~timestamp:now ~req_owd:fs.ds_interest_owd ~retx
-           ~emit:(fun data -> ignore (Send_buffer.push fs.buffer data)));
+           (* one emit closure per cache-hit response — dwarfed by the
+              response packet it queues *)
+           ~emit:((fun data -> ignore (Send_buffer.push fs.buffer data))
+                 [@leotp.allow "hot-path-may-alloc"]));
       Pool.release pkt
     end
     else begin
@@ -215,24 +230,33 @@ let handle_data t pkt =
       Cache.insert t.cache ~flow ~lo ~hi ~first_sent ~retx;
       (* Multicast fan-out: serve every other consumer waiting on this
          range (the packet itself continues to [pkt.dst]). *)
+      (* fan-out closure: one per Data carrying multicast waiters,
+         inherent to the list the PIT hands back *)
       List.iter
-        (fun consumer ->
-          if consumer <> pkt.Packet.dst then
-            Node.send t.node
-              (Wire.data_packet ~config:t.config ~src:pkt.Packet.src
-                 ~dst:consumer ~flow ~lo ~hi ~timestamp:now
-                 ~req_owd:fs.ds_interest_owd ~first_sent ~retx))
+        ((fun consumer ->
+           if consumer <> pkt.Packet.dst then
+             Node.send t.node
+               (Wire.data_packet ~config:t.config ~src:pkt.Packet.src
+                  ~dst:consumer ~flow ~lo ~hi ~timestamp:now
+                  ~req_owd:fs.ds_interest_owd ~first_sent ~retx))
+        [@leotp.allow "hot-path-may-alloc"])
         (Pit.satisfy t.pit ~now ~flow ~lo ~hi)
     end;
     let actions = Shr.on_packet fs.shr ~lo ~hi in
-    List.iter (fun (lo, hi) -> send_vph t fs ~lo ~hi) actions.Shr.new_holes;
+    (* hole-action closures: allocated only when SHR reports new or
+       expired holes — loss recovery, not the clean-link steady state *)
     List.iter
-      (fun (lo, hi) ->
-        (* Serve the retransmission locally if a later packet filled the
-           cache meanwhile; otherwise ask upstream. *)
-        match Cache.lookup t.cache ~flow ~lo ~hi with
-        | Some _ -> ()
-        | None -> send_shr_interest t fs ~lo ~hi)
+      ((fun (lo, hi) -> send_vph t fs ~lo ~hi)
+      [@leotp.allow "hot-path-may-alloc"])
+      actions.Shr.new_holes;
+    List.iter
+      ((fun (lo, hi) ->
+         (* Serve the retransmission locally if a later packet filled the
+            cache meanwhile; otherwise ask upstream. *)
+         match Cache.lookup t.cache ~flow ~lo ~hi with
+         | Some _ -> ()
+         | None -> send_shr_interest t fs ~lo ~hi)
+      [@leotp.allow "hot-path-may-alloc"])
       actions.Shr.expired_holes
   end;
   if is_vph then

@@ -33,7 +33,9 @@ let remove_emitting t key =
   end
 
 (* Hashtbl fold order is representation-dependent; sort so the trace
-   (and its digest) only depends on the entries themselves. *)
+   (and its digest) only depends on the entries themselves.  Runs once
+   per [sweep_every] registrations — amortized housekeeping, not the
+   per-packet path. *)
 let expire_before t ~now =
   let stale =
     List.sort compare
@@ -42,7 +44,11 @@ let expire_before t ~now =
          t.table [])
   in
   List.iter (remove_emitting t) stale
+[@@leotp.allow "hot-path-may-alloc"]
 
+(* Per-Interest PIT bookkeeping: the (flow, lo, hi) key tuple, the entry
+   record, and its consumer list are the pending-interest table — the
+   paper's multicast state, allocated per registration by design. *)
 let register t ~now ~flow ~lo ~hi ~consumer =
   t.ops <- t.ops + 1;
   if t.ops mod sweep_every = 0 then expire_before t ~now;
@@ -70,9 +76,11 @@ let register t ~now ~flow ~lo ~hi ~consumer =
            pending = Hashtbl.length t.table;
          });
   forwarded
+[@@leotp.allow "hot-path-may-alloc"]
 
+(* Same per-lookup key tuple as [register]. *)
 let satisfy t ~now ~flow ~lo ~hi =
-  let key = (flow, lo, hi) in
+  let key = ((flow, lo, hi) [@leotp.allow "hot-path-may-alloc"]) in
   match Hashtbl.find_opt t.table key with
   | Some e ->
     Hashtbl.remove t.table key;

@@ -73,36 +73,45 @@ let available_now t =
    Interest may cover a multi-packet hole); transparent addressing
    (paper §IV-A): data carries the endpoints' addresses, midnodes
    intercept it in flight. *)
-let serve_chunks t ~now ~consumer ~lo:range_lo ~hi =
-  let mss = t.config.Config.mss in
-  let lo = ref range_lo in
-  while !lo < hi do
-    let chunk_hi = min hi (!lo + mss) in
+let rec serve_chunks t ~now ~consumer ~lo:range_lo ~hi =
+  (* Recursion, not while+ref: this runs per served Interest and a local
+     [ref] is a minor-heap cell.  The (first_sent, retx) pair and the
+     first-send map node are per-chunk bookkeeping the Data packet
+     carries — allocation the response itself dwarfs. *)
+  if range_lo < hi then begin
+    let lo = range_lo in
+    let chunk_hi = min hi (lo + t.config.Config.mss) in
     let first_sent, retx =
-      match IntMap.find_opt !lo t.first_sent with
+      (match IntMap.find_opt lo t.first_sent with
       | Some ts ->
         t.retransmissions <- t.retransmissions + 1;
         Leotp_net.Flow_metrics.on_retransmit t.metrics;
         (ts, true)
       | None ->
-        t.first_sent <- IntMap.add !lo now t.first_sent;
-        (now, false)
+        t.first_sent <- IntMap.add lo now t.first_sent;
+        (now, false))
+      [@leotp.allow "hot-path-may-alloc"]
     in
     let data =
       Wire.data_packet ~config:t.config ~src:(Node.id t.node) ~dst:consumer
-        ~flow:t.flow ~lo:!lo ~hi:chunk_hi ~timestamp:now
-        ~req_owd:t.last_req_owd ~first_sent ~retx
+        ~flow:t.flow ~lo ~hi:chunk_hi ~timestamp:now ~req_owd:t.last_req_owd
+        ~first_sent ~retx
     in
     ignore (Send_buffer.push t.buffer data);
-    lo := chunk_hi
-  done
+    serve_chunks t ~now ~consumer ~lo:chunk_hi ~hi
+  end
 
 let serve t ~now ~consumer ~lo ~hi =
   let avail = available_now t in
   (* Bytes beyond the current prefix wait for the application to produce
      them (incremental sources: the §VII TCP gateway). *)
   if hi > avail && (t.available <> None || t.total_bytes = None) then begin
-    if t.available <> None then t.pending <- (max lo avail, hi, consumer) :: t.pending
+    if t.available <> None then
+      (* grows only while the application has not yet produced the range
+         (incremental sources) — backpressure, not the steady serve path *)
+      t.pending <-
+        (((max lo avail, hi, consumer) :: t.pending)
+        [@leotp.allow "hot-path-may-alloc"])
   end;
   let hi = min hi avail in
   if hi > lo then serve_chunks t ~now ~consumer ~lo ~hi

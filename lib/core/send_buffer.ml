@@ -20,10 +20,16 @@ type t = {
 
 (* Only real Data carries a dedup name; VPHs and Interests pass through. *)
 let has_name pkt = pkt.Packet.kind = Wire.kind_data && pkt.Packet.i2 > 0
-let name_key pkt = (pkt.Packet.flow, pkt.Packet.i0, pkt.Packet.i1)
+(* One 3-word tuple per named-Data dedup lookup: the aggregation table is
+   keyed on (flow, lo, hi) and packing three unbounded ints into one word
+   would invite collisions. *)
+let name_key pkt =
+  ((pkt.Packet.flow, pkt.Packet.i0, pkt.Packet.i1)
+  [@leotp.allow "hot-path-may-alloc"])
 
+(* One buffer record per flow at first contact — setup, not per-packet. *)
 let create engine ~config ~send () =
-  {
+  ({
     engine;
     config;
     send;
@@ -37,7 +43,7 @@ let create engine ~config ~send () =
     queued_bytes = 0;
     drops = 0;
     drain_timer = None;
-  }
+  } [@leotp.allow "hot-path-may-alloc"])
 
 let rec drain t =
   if not (Pkt_queue.is_empty t.queue) then begin
@@ -63,10 +69,13 @@ and schedule t ~after =
   | Some timer when Engine.is_pending timer -> ()
   | _ ->
     t.drain_timer <-
+      (* arming the drain timer allocates its action closure: one per
+         pacing gap, inherent to the [Engine.schedule] API *)
       Some
-        (Engine.schedule t.engine ~after (fun () ->
-             t.drain_timer <- None;
-             drain t))
+        (Engine.schedule t.engine ~after
+           ((fun () ->
+              t.drain_timer <- None;
+              drain t) [@leotp.allow "hot-path-may-alloc"]))
 
 (* [push] always takes ownership: absorbed duplicates and capacity drops
    go back to the pool here, queued packets die later in [t.send]'s

@@ -11,7 +11,9 @@ type actions = {
   expired_holes : (int * int) list;
 }
 
-let create ~config = { config; last_byte = 0; holes = [] }
+(* One record per flow at first contact — setup, not per-packet. *)
+let create ~config =
+  ({ config; last_byte = 0; holes = [] } [@leotp.allow "hot-path-may-alloc"])
 
 let empty_actions = { new_holes = []; expired_holes = [] }
 
@@ -24,6 +26,9 @@ let rec on_packet t ~lo ~hi =
   end
   else on_packet_slow t ~lo ~hi
 
+(* Hole bookkeeping allocates (lists of hole records by design); it runs
+   only while holes are outstanding — loss recovery, not the clean-link
+   steady state, which takes the constant-return fast path above. *)
 and on_packet_slow t ~lo ~hi =
   let new_holes = ref [] in
   (* (2) Beyond lastByte: the gap [last_byte, lo) becomes a hole. *)
@@ -71,6 +76,7 @@ and on_packet_slow t ~lo ~hi =
       t.holes;
   t.last_byte <- max t.last_byte hi;
   { new_holes = !new_holes; expired_holes = List.rev !expired }
+[@@leotp.allow "hot-path-may-alloc"]
 
 let last_byte t = t.last_byte
 let pending_holes t = List.map (fun h -> (h.lo, h.hi, h.count)) t.holes

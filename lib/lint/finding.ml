@@ -64,12 +64,25 @@ let to_json f =
 let count sev findings =
   List.length (List.filter (fun f -> f.severity = sev) findings)
 
-let report_json ~files findings =
+let report_json ?(timings = []) ~files findings =
   let body = String.concat ",\n  " (List.map to_json findings) in
+  let timings_json =
+    (* per-pass analyzer wall time; run-varying by nature, so it sits
+       in its own object and the findings array stays byte-stable *)
+    match timings with
+    | [] -> ""
+    | ts ->
+      Printf.sprintf {|,"timings_ms":{%s}|}
+        (String.concat ","
+           (List.map
+              (fun (pass, ms) ->
+                Printf.sprintf {|"%s":%.1f|} (json_escape pass) ms)
+              ts))
+  in
   Printf.sprintf
-    {|{"version":1,"files":%d,"errors":%d,"warnings":%d,"findings":[%s%s%s]}
+    {|{"version":1,"files":%d,"errors":%d,"warnings":%d%s,"findings":[%s%s%s]}
 |}
-    files (count Error findings) (count Warning findings)
+    files (count Error findings) (count Warning findings) timings_json
     (if findings = [] then "" else "\n  ")
     body
     (if findings = [] then "" else "\n")

@@ -26,5 +26,9 @@ val to_json : t -> string
 
 val count : severity -> t list -> int
 
-val report_json : files:int -> t list -> string
-(** Whole-run JSON report: version, file/issue counts, findings array. *)
+val report_json : ?timings:(string * float) list -> files:int -> t list -> string
+(** Whole-run JSON report: version, file/issue counts, findings array.
+    [timings] adds a ["timings_ms"] object of per-pass analyzer wall
+    times (milliseconds, one decimal) for trend tracking; it is the one
+    run-varying part of the report — the findings array itself stays
+    byte-stable. *)

@@ -1,0 +1,1869 @@
+(* leotp-own: interprocedural packet-ownership, allocation-effect and
+   time-taint analysis.
+
+   Three rule families share one syntactic substrate (per-file function
+   defs with parameter lists and bodies, resolved across files with
+   Callgraph.resolves, exactly like Race):
+
+   (a) ownership — every [Packet.t] born at [Packet_pool.acquire] /
+       [clone] has exactly one owner.  A fixpoint over the call graph
+       infers a role per function parameter: [Consumes] (the callee
+       releases it), [Transfers] (the callee hands it to a registered
+       sink, stores it, or returns it) or [Borrows] (reads only).
+       [[@leotp.owns "consumes p"]] overrides inference.  An abstract
+       walk of each body then tracks the owner bit through lets,
+       branches (joined by union), loops (iterated twice) and calls,
+       and reports: acquire paths on which the packet is still owned at
+       the end (own-leak), a second release (own-double-release), any
+       use after release (own-use-after-release), and stores into
+       long-lived containers that are not registered sinks
+       (own-escape).  Constructions that wrap the packet ([Some p],
+       tuples) and closures that capture it transfer ownership out of
+       the analysis — deferred, not flagged.
+
+   (b) allocation effects — rule 9 only bans two allocation sites by
+       name; this generalizes it to inferred may-allocate effects
+       (closures, tuples, records, list cells, lazy blocks, known
+       allocating stdlib calls, partial application of known functions)
+       and walks them from the per-packet hot roots: the engine
+       dispatch loop, [Shr.on_packet], [Seg_store] scans, [Pkt_queue]
+       and the packet pool itself, plus literal closures handed to
+       [Engine.schedule]/[schedule_at]/[every], [Node.set_handler] and
+       [Link.set_sink] inside the datapath directories.  Error paths
+       ([raise]/[failwith]/[invalid_arg]/[assert]) and debug-guarded
+       branches ([if Trace.on () then ...]) are exempt.
+
+   (c) time taint — modules are classified into strata by path: the
+       sim-time stratum (everything under lib/ except lib/lint) must
+       not reach wall-clock reads ([Unix.gettimeofday], [Sys.time],
+       ...), even transitively through harness-stratum helpers.  The
+       per-expression no-wall-clock rule already bans direct reads in
+       lib/; this adds the interprocedural leg ahead of the real-socket
+       backend (ROADMAP item 5).
+
+   Like every leotp-lint pass this is best-effort syntactic analysis:
+   aliasing ([let q = p]), packets smuggled through data structures and
+   renamed module aliases are invisible; over-approximate name
+   resolution can attach a spurious role.  Every finding carries a
+   race.ml-style witness path, and the escape hatch is a justified
+   [[@leotp.allow "rule-id"]] at the site. *)
+
+open Ppxlib
+
+let leak_id = "own-leak"
+let double_id = "own-double-release"
+let uar_id = "own-use-after-release"
+let escape_id = "own-escape"
+let annot_id = "own-annotation"
+let alloc_id = "hot-path-may-alloc"
+let taint_id = "time-taint"
+let owns_attr = "leotp.owns"
+
+(* ------------------------------------------------------------------ *)
+(* Small name helpers (Callgraph keeps its own copies private). *)
+
+let ident_name (lid : Longident.t) =
+  match Longident.flatten_exn lid with
+  | exception _ -> "_"
+  | parts -> String.concat "." parts
+
+let split name = String.split_on_char '.' name
+
+let leaf name =
+  match List.rev (split name) with l :: _ -> l | [] -> name
+
+let rec is_suffix ~suffix l =
+  let ls = List.length suffix and ll = List.length l in
+  if ll < ls then false
+  else if ll = ls then l = suffix
+  else match l with [] -> false | _ :: tl -> is_suffix ~suffix tl
+
+let ends_with_any names n =
+  let segs = split n in
+  List.exists (fun s -> is_suffix ~suffix:(split s) segs) names
+
+let line (loc : Location.t) = loc.loc_start.pos_lnum
+let col (loc : Location.t) = loc.loc_start.pos_cnum - loc.loc_start.pos_bol
+
+(* ------------------------------------------------------------------ *)
+(* Builtin knowledge: the packet pool API under both its spellings
+   (lib/core aliases [module Pool = Leotp_net.Packet_pool]). *)
+
+let acquire_fns = [ "Packet_pool.acquire"; "Pool.acquire" ]
+let clone_fns = [ "Packet_pool.clone"; "Pool.clone" ]
+let release_fns = [ "Packet_pool.release"; "Pool.release" ]
+
+(* Callee suffixes that legitimately take ownership of a packet
+   argument: the queue stores it (and its drop path releases it), so
+   pushing is a registered transfer, not an escape. *)
+let transfer_sinks = [ "Pkt_queue.push" ]
+
+let is_acquire = ends_with_any acquire_fns
+let is_clone = ends_with_any clone_fns
+let is_release = ends_with_any release_fns
+let is_transfer_sink = ends_with_any transfer_sinks
+
+(* Long-lived container stores: position of the stored value among the
+   arguments. *)
+let container_ops =
+  [
+    ("Hashtbl.add", `Last);
+    ("Hashtbl.replace", `Last);
+    ("Array.set", `Last);
+    ("Array.unsafe_set", `Last);
+    ("Queue.push", `First);
+    ("Queue.add", `First);
+    ("Stack.push", `First);
+  ]
+
+let container_op_of n =
+  List.find_opt (fun (s, _) -> ends_with_any [ s ] n) container_ops
+
+(* Wall-clock / real-time reads (the taint sources). *)
+let wall_clock_fns =
+  [
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.sleep";
+    "Unix.sleepf";
+    "Unix.select";
+    "Sys.time";
+    "Mtime_clock.now";
+    "Mtime_clock.elapsed";
+    "Ptime_clock.now";
+  ]
+
+let is_wall_clock = ends_with_any wall_clock_fns
+
+(* Per-packet hot roots for the allocation-effect walk. *)
+let hot_root_defs =
+  [
+    "Engine.step";
+    "Engine.run_slice";
+    "Shr.on_packet";
+    "Seg_store.iter";
+    "Seg_store.iter_from_while";
+    "Seg_store.drop_below";
+    "Seg_store.push_back";
+    "Seg_store.find";
+    "Pkt_queue.push";
+    "Pkt_queue.pop";
+    "Packet_pool.acquire";
+    "Packet_pool.release";
+    "Packet_pool.clone";
+  ]
+
+(* Sinks whose literal-closure arguments run on the per-packet path
+   (timer bodies, packet handlers).  Only closures in the datapath
+   directories become roots: scenario/bench setup code schedules
+   closures too, but those run per flow, not per packet. *)
+let hot_closure_sinks =
+  [
+    "Engine.schedule";
+    "Engine.schedule_at";
+    "Engine.every";
+    "Node.set_handler";
+    "Link.set_sink";
+  ]
+
+let is_hot_closure_sink = ends_with_any hot_closure_sinks
+
+(* Sinks that stash their closure argument and run it later: ownership
+   of a captured packet genuinely leaves the current activation.  Any
+   other callee taking a literal closure is assumed to be a synchronous
+   combinator ([List.iter], [Fun.protect], [Seg_store.iter], ...) whose
+   closure runs zero or more times right here. *)
+let async_capture_sinks =
+  hot_closure_sinks
+  @ [
+      "Domain.spawn";
+      "Domain_pool.run";
+      "Domain_pool.async";
+      "Domain_pool.submit";
+      "Thread.create";
+    ]
+
+let is_async_capture = ends_with_any async_capture_sinks
+
+let path_segs path =
+  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+let datapath_dirs = [ "core"; "net"; "tcp"; "gateway" ]
+
+let in_datapath path =
+  let rec scan = function
+    | "lib" :: d :: _ -> List.mem d datapath_dirs
+    | _ :: tl -> scan tl
+    | [] -> false
+  in
+  scan (path_segs path)
+
+(* Time strata: everything under lib/ except lib/lint is sim-time. *)
+let sim_time_stratum path =
+  match path_segs path with
+  | "lib" :: "lint" :: _ -> false
+  | "lib" :: _ -> true
+  | _ -> false
+
+(* Known allocating stdlib calls (suffix-matched).  Combinators that
+   only *call* their argument (fold, iter) are absent: a literal
+   closure argument is counted as a closure of its own. *)
+let allocating_fns =
+  [
+    "ref";
+    "List.map";
+    "List.mapi";
+    "List.map2";
+    "List.filter";
+    "List.filter_map";
+    "List.concat";
+    "List.concat_map";
+    "List.append";
+    "List.init";
+    "List.rev";
+    "List.rev_append";
+    "List.rev_map";
+    "List.sort";
+    "List.sort_uniq";
+    "List.stable_sort";
+    "List.merge";
+    "List.split";
+    "List.combine";
+    "List.of_seq";
+    "List.to_seq";
+    "Seq.map";
+    "Seq.filter";
+    "Seq.filter_map";
+    "Seq.append";
+    "Seq.concat";
+    "Seq.unfold";
+    "Array.make";
+    "Array.init";
+    "Array.append";
+    "Array.concat";
+    "Array.of_list";
+    "Array.to_list";
+    "Array.copy";
+    "Array.sub";
+    "Array.map";
+    "Array.mapi";
+    "Bytes.create";
+    "Bytes.make";
+    "Bytes.sub";
+    "Bytes.of_string";
+    "Bytes.to_string";
+    "String.concat";
+    "String.make";
+    "String.init";
+    "String.sub";
+    "String.map";
+    "String.split_on_char";
+    "Printf.sprintf";
+    "Format.asprintf";
+    "Buffer.create";
+    "Buffer.contents";
+    "Hashtbl.create";
+    "Hashtbl.copy";
+    "Queue.create";
+    "Queue.copy";
+    "string_of_int";
+    "string_of_float";
+    "Float.to_string";
+    "Int.to_string";
+    "Option.map";
+    "Option.bind";
+    "Option.to_list";
+    "Result.map";
+    "Result.bind";
+  ]
+
+let is_allocating_call = ends_with_any allocating_fns
+
+(* ------------------------------------------------------------------ *)
+(* Ownership roles *)
+
+type role = Borrows | Transfers | Consumes
+
+let role_rank = function Borrows -> 0 | Transfers -> 1 | Consumes -> 2
+let join_role a b = if role_rank a >= role_rank b then a else b
+
+(* ------------------------------------------------------------------ *)
+(* Def extraction *)
+
+type fbody = Body of expression | Cases of case list
+
+type param = {
+  pname : string;  (** "_" when the pattern is not a plain variable *)
+  popt : bool;  (** optional argument (affects partial-app detection) *)
+  ptyped_packet : bool;  (** pattern carries a [: Packet.t] constraint *)
+}
+
+type odef = {
+  ofile : string;
+  oqname : string;
+  oscope : string list;
+  oloc : Location.t;
+  oparams : param list;
+  obody : fbody;
+  oowns : (string * Location.t) list;  (** raw [@leotp.owns] payloads *)
+  orefs : (string * Location.t) list;
+      (** idents of the body, hot sub-closure ranges excluded *)
+  ohot_root : bool;
+  ohot_ranges : (int * int) list;
+      (** char ranges of literal closures handed to hot sinks *)
+  oguards : (int * int) list;
+      (** char ranges of debug-gated / error-path subtrees *)
+}
+
+let binding_name (vb : value_binding) =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
+  | _ -> None
+
+let rec pat_name (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (inner, _) | Ppat_alias (inner, _) -> pat_name inner
+  | _ -> None
+
+let rec pat_typed_packet (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_constraint (inner, ty) ->
+    (match ty.ptyp_desc with
+    | Ptyp_constr ({ txt; _ }, _) ->
+      ends_with_any [ "Packet.t" ] (ident_name txt)
+    | _ -> false)
+    || pat_typed_packet inner
+  | _ -> false
+
+let param_of (fp : function_param) =
+  match fp.pparam_desc with
+  | Pparam_val (lbl, _, pat) ->
+    Some
+      {
+        pname = (match pat_name pat with Some n -> n | None -> "_");
+        popt = (match lbl with Optional _ -> true | _ -> false);
+        ptyped_packet = pat_typed_packet pat;
+      }
+  | Pparam_newtype _ -> None
+
+(* Peel the (possibly nested) [fun]-chain of a binding RHS into a flat
+   parameter list and the innermost body. *)
+let rec peel acc (e : expression) =
+  match e.pexp_desc with
+  | Pexp_function (ps, _, Pfunction_body inner) -> peel (acc @ ps) inner
+  | Pexp_function (ps, _, Pfunction_cases (cs, _, _)) ->
+    let scrutinee = { pname = "_"; popt = false; ptyped_packet = false } in
+    (List.filter_map param_of (acc @ ps) @ [ scrutinee ], Cases cs)
+  | Pexp_constraint (inner, _) -> peel acc inner
+  | _ -> (List.filter_map param_of acc, Body e)
+
+let is_function (e : expression) =
+  match e.pexp_desc with
+  | Pexp_function _ -> true
+  | Pexp_constraint ({ pexp_desc = Pexp_function _; _ }, _) -> true
+  | _ -> false
+
+let owns_payload (attr : attribute) =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some s
+  | _ -> None
+
+let owns_of_attrs (attrs : attributes) =
+  List.filter_map
+    (fun (a : attribute) ->
+      if a.attr_name.txt = owns_attr then
+        Some
+          ((match owns_payload a with Some s -> s | None -> ""), a.attr_loc)
+      else None)
+    attrs
+
+let range_of (loc : Location.t) =
+  (loc.loc_start.pos_cnum, loc.loc_end.pos_cnum)
+
+let in_range (s, e) (loc : Location.t) =
+  s <= loc.loc_start.pos_cnum && loc.loc_start.pos_cnum <= e
+
+let error_heads = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
+(* A condition that gates tracing/debug-only work: allocations under
+   its then-branch do not count against the steady-state hot path. *)
+let debug_cond (c : expression) =
+  let found = ref false in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+          let n = ident_name txt in
+          if
+            ends_with_any [ "Trace.on"; "debug_enabled"; "self_check" ] n
+            || leaf n = "debug"
+          then found := true
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression c;
+  !found
+
+(* Collect the raw idents of an expression, the literal closures passed
+   to hot sinks (each becomes a synthetic hot-root def), and the char
+   ranges of debug-gated / error-path subtrees (calls inside them do
+   not count against the steady-state allocation effect). *)
+let body_facts (body : expression) =
+  let idents = ref [] in
+  let hot_closures = ref [] in
+  let guards = ref [] in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+          idents := (ident_name txt, e.pexp_loc) :: !idents
+        | Pexp_ifthenelse (c, t, _) when debug_cond c ->
+          guards := range_of t.pexp_loc :: !guards
+        | Pexp_assert inner -> guards := range_of inner.pexp_loc :: !guards
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+          let n = ident_name txt in
+          if is_hot_closure_sink n then
+            List.iter
+              (fun ((_, a) : arg_label * expression) ->
+                if is_function a then hot_closures := a :: !hot_closures)
+              args;
+          if ends_with_any error_heads n then
+            guards := range_of e.pexp_loc :: !guards
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression body;
+  (List.rev !idents, List.rev !hot_closures, List.rev !guards)
+
+let extract_defs ~path st : odef list =
+  let modname = Callgraph.module_name_of_path path in
+  let datapath = in_datapath path in
+  let defs = ref [] in
+  let rec items scope sis = List.iter (item scope) sis
+  and item scope (si : structure_item) =
+    match si.pstr_desc with
+    | Pstr_value (_, vbs) -> List.iter (binding scope) vbs
+    | Pstr_module { pmb_name = { txt = Some name; _ }; pmb_expr; _ } ->
+      module_expr (scope @ [ name ]) pmb_expr
+    | Pstr_recmodule mbs ->
+      List.iter
+        (fun (mb : module_binding) ->
+          match mb.pmb_name.txt with
+          | Some name -> module_expr (scope @ [ name ]) mb.pmb_expr
+          | None -> ())
+        mbs
+    | Pstr_include { pincl_mod; _ } -> module_expr scope pincl_mod
+    | _ -> ()
+  and module_expr scope (me : module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure sis -> items scope sis
+    | Pmod_constraint (me, _) -> module_expr scope me
+    | Pmod_functor (_, me) -> module_expr scope me
+    | _ -> ()
+  and binding scope (vb : value_binding) =
+    if is_function vb.pvb_expr then begin
+      let qname =
+        match binding_name vb with
+        | Some n -> String.concat "." (scope @ [ n ])
+        | None ->
+          Printf.sprintf "%s.<top:%d>" (String.concat "." scope)
+            (line vb.pvb_loc)
+      in
+      let params, fb = peel [] vb.pvb_expr in
+      let facts_root =
+        match fb with Body e -> e | Cases _ -> vb.pvb_expr
+      in
+      let idents, hot_closures, guards = body_facts facts_root in
+      let hot_ranges =
+        if datapath then
+          List.map (fun (c : expression) -> range_of c.pexp_loc) hot_closures
+        else []
+      in
+      let own_refs =
+        List.filter
+          (fun (_, loc) ->
+            not (List.exists (fun r -> in_range r loc) hot_ranges))
+          idents
+      in
+      defs :=
+        {
+          ofile = path;
+          oqname = qname;
+          oscope = scope;
+          oloc = vb.pvb_loc;
+          oparams = params;
+          obody = fb;
+          oowns = owns_of_attrs vb.pvb_attributes;
+          orefs = own_refs;
+          ohot_root = ends_with_any hot_root_defs qname;
+          ohot_ranges = hot_ranges;
+          oguards = guards;
+        }
+        :: !defs;
+      (* Each literal closure handed to a hot sink in the datapath is
+         its own allocation-free root. *)
+      if datapath then
+        List.iter
+          (fun (c : expression) ->
+            let cparams, cbody = peel [] c in
+            let croot = match cbody with Body e -> e | Cases _ -> c in
+            let cidents, _, cguards = body_facts croot in
+            defs :=
+              {
+                ofile = path;
+                oqname =
+                  Printf.sprintf "%s.<hot:%d:%d>" qname (line c.pexp_loc)
+                    (col c.pexp_loc);
+                oscope = scope;
+                oloc = c.pexp_loc;
+                oparams = cparams;
+                obody = cbody;
+                oowns = [];
+                orefs = cidents;
+                ohot_root = true;
+                ohot_ranges = [];
+                oguards = cguards;
+              }
+              :: !defs)
+          hot_closures
+    end
+  in
+  items [ modname ] st;
+  List.rev !defs
+
+(* ------------------------------------------------------------------ *)
+(* Summaries and their fixpoint *)
+
+type summary = {
+  s_packetish : bool array;
+  s_role : role array;
+  s_forced : bool array;  (** role pinned by [@leotp.owns] *)
+  mutable s_returns_packet : bool;
+  mutable s_transfers_ok : bool;
+      (** def carries [@leotp.owns "transfers"]: container stores in
+          its body are sanctioned hand-offs *)
+}
+
+type env = {
+  defs_by_leaf : (string, odef) Hashtbl.t;
+  summaries : (string * string, summary) Hashtbl.t;
+  mutable changed : bool;
+}
+
+let summary_of env (d : odef) =
+  match Hashtbl.find_opt env.summaries (d.ofile, d.oqname) with
+  | Some s -> s
+  | None ->
+    let n = List.length d.oparams in
+    let s =
+      {
+        s_packetish = Array.make n false;
+        s_role = Array.make n Borrows;
+        s_forced = Array.make n false;
+        s_returns_packet = false;
+        s_transfers_ok = false;
+      }
+    in
+    Hashtbl.replace env.summaries (d.ofile, d.oqname) s;
+    s
+
+let resolve_defs env ~scope written =
+  Hashtbl.find_all env.defs_by_leaf (leaf written)
+  |> List.filter (fun (d : odef) ->
+         Callgraph.resolves ~scope ~written ~qname:d.oqname)
+  |> List.sort (fun (a : odef) b ->
+         compare (a.ofile, a.oqname) (b.ofile, b.oqname))
+
+(* Parsed [@leotp.owns] payload: "role [param ...]"; no params = all. *)
+type owns_spec = {
+  o_role : role option;  (** [None] for "source" *)
+  o_source : bool;
+  o_params : string list;
+  o_bad : string option;  (** malformed: diagnostic text *)
+}
+
+let parse_owns (payload : string) =
+  let words =
+    List.filter (fun w -> w <> "") (String.split_on_char ' ' payload)
+  in
+  match words with
+  | [] ->
+    {
+      o_role = None;
+      o_source = false;
+      o_params = [];
+      o_bad = Some "empty payload";
+    }
+  | "source" :: rest ->
+    if rest = [] then
+      { o_role = None; o_source = true; o_params = []; o_bad = None }
+    else
+      {
+        o_role = None;
+        o_source = true;
+        o_params = [];
+        o_bad = Some "\"source\" takes no parameter names";
+      }
+  | role_w :: params -> (
+    let role =
+      match role_w with
+      | "consumes" -> Some Consumes
+      | "transfers" -> Some Transfers
+      | "borrows" -> Some Borrows
+      | _ -> None
+    in
+    match role with
+    | None ->
+      {
+        o_role = None;
+        o_source = false;
+        o_params = [];
+        o_bad =
+          Some
+            (Printf.sprintf
+               "unknown role %S (expected consumes | transfers | borrows | \
+                source)"
+               role_w);
+      }
+    | Some r ->
+      { o_role = Some r; o_source = false; o_params = params; o_bad = None })
+
+(* Pin annotation-declared roles into a summary. *)
+let apply_owns (d : odef) (s : summary) =
+  List.iter
+    (fun (payload, _) ->
+      let spec = parse_owns payload in
+      if spec.o_bad = None then begin
+        if spec.o_source then s.s_returns_packet <- true;
+        match spec.o_role with
+        | None -> ()
+        | Some r ->
+          if r = Transfers then s.s_transfers_ok <- true;
+          List.iteri
+            (fun i (p : param) ->
+              let named =
+                spec.o_params = [] || List.mem p.pname spec.o_params
+              in
+              if named && p.pname <> "_" then begin
+                s.s_role.(i) <- r;
+                s.s_forced.(i) <- true;
+                s.s_packetish.(i) <- true
+              end)
+            d.oparams
+      end)
+    d.oowns
+
+(* ------------------------------------------------------------------ *)
+(* The ownership walk.
+
+   Abstract state per tracked variable is a bitmask: [owned] (we hold
+   the obligation to release), [released] (ownership ended via the
+   pool) and [moved] (ownership handed to someone else).  Branches
+   join by union, so "released on some path" keeps both bits and the
+   end-of-track check can distinguish must-leak from may-leak. *)
+
+let owned = 1
+let released = 2
+let moved = 4
+
+type shared = {
+  sh_var : string;
+  mutable sh_rel : (string * Location.t) option;
+      (** how/where ownership ended: "released", "consumed by F" *)
+  mutable sh_released_ever : bool;
+  mutable sh_moved_ever : bool;
+  mutable sh_abandoned : bool;  (** shadowed: stop judging this track *)
+  mutable sh_packetish : bool;
+  mutable sh_trail : (string * Location.t) list;  (** reversed *)
+}
+
+type octx = {
+  c_def : odef;
+  c_env : env;
+  c_emit : rule:string -> loc:Location.t -> string -> unit;
+}
+
+let trail_push sh desc loc =
+  match sh.sh_trail with
+  | (d, l) :: _ when d = desc && l = loc -> ()
+  | _ -> sh.sh_trail <- (desc, loc) :: sh.sh_trail
+
+let fmt_trail sh ~first ~last =
+  let steps = (first :: List.rev_map fst sh.sh_trail) @ [ last ] in
+  let n = List.length steps in
+  let steps =
+    if n <= 6 then steps
+    else
+      List.filteri (fun i _ -> i < 3) steps
+      @ [ Printf.sprintf "... %d more ..." (n - 5) ]
+      @ List.filteri (fun i _ -> i >= n - 2) steps
+  in
+  String.concat " -> " steps
+
+let is_var var (e : expression) =
+  let rec go (e : expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Lident v; _ } -> v = var
+    | Pexp_constraint (inner, _) -> go inner
+    | _ -> false
+  in
+  go e
+
+let mentions var (e : expression) =
+  let found = ref false in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e2 =
+        (match e2.pexp_desc with
+        | Pexp_ident { txt = Lident v; _ } when v = var -> found := true
+        | _ -> ());
+        if not !found then super#expression e2
+    end
+  in
+  it#expression e;
+  !found
+
+let pat_binds var (p : pattern) =
+  let found = ref false in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! pattern p2 =
+        (match p2.ppat_desc with
+        | Ppat_var { txt; _ } when txt = var -> found := true
+        | _ -> ());
+        super#pattern p2
+    end
+  in
+  it#pattern p;
+  !found
+
+(* One use of the tracked variable: flag it if ownership already ended
+   through the pool. *)
+let use_check ctx sh bits (loc : Location.t) =
+  if bits land released <> 0 then begin
+    let how, rloc =
+      match sh.sh_rel with
+      | Some (d, l) -> (d, line l)
+      | None -> ("released", line loc)
+    in
+    ctx.c_emit ~rule:uar_id ~loc
+      (Printf.sprintf
+         "use of %s after it was %s (line %d); the record may already be \
+          recycled under another owner; witness: %s"
+         sh.sh_var how rloc
+         (fmt_trail sh
+            ~first:(Printf.sprintf "%s in %s" sh.sh_var ctx.c_def.oqname)
+            ~last:(Printf.sprintf "use at line %d" (line loc))))
+  end
+
+let release_event ctx sh bits ~desc (loc : Location.t) =
+  (if bits land released <> 0 then
+     let how, rloc =
+       match sh.sh_rel with
+       | Some (d, l) -> (d, line l)
+       | None -> ("released", line loc)
+     in
+     ctx.c_emit ~rule:double_id ~loc
+       (Printf.sprintf "double release of %s: already %s (line %d); witness: %s"
+          sh.sh_var how rloc
+          (fmt_trail sh
+             ~first:(Printf.sprintf "%s in %s" sh.sh_var ctx.c_def.oqname)
+             ~last:(Printf.sprintf "%s again at line %d" desc (line loc))))
+   else if bits land moved <> 0 then
+     ctx.c_emit ~rule:double_id ~loc
+       (Printf.sprintf
+          "release of %s after its ownership was transferred; the new owner \
+           will release it too; witness: %s"
+          sh.sh_var
+          (fmt_trail sh
+             ~first:(Printf.sprintf "%s in %s" sh.sh_var ctx.c_def.oqname)
+             ~last:(Printf.sprintf "%s at line %d" desc (line loc)))));
+  if sh.sh_rel = None then sh.sh_rel <- Some (desc, loc);
+  sh.sh_released_ever <- true;
+  trail_push sh (Printf.sprintf "%s (line %d)" desc (line loc)) loc;
+  bits land lnot owned lor released
+
+let move_event sh bits ~desc (loc : Location.t) =
+  sh.sh_moved_ever <- true;
+  trail_push sh (Printf.sprintf "%s (line %d)" desc (line loc)) loc;
+  bits land lnot owned lor moved
+
+let escape_event ctx sh bits ~op (loc : Location.t) =
+  let s = summary_of ctx.c_env ctx.c_def in
+  if not s.s_transfers_ok then
+    ctx.c_emit ~rule:escape_id ~loc
+      (Printf.sprintf
+         "packet %s escapes into a long-lived container (%s) that is not a \
+          registered sink; hand it to Pkt_queue.push, annotate the enclosing \
+          function with [@leotp.owns \"transfers\"], or justify with \
+          [@leotp.allow %S]; witness: %s"
+         sh.sh_var op escape_id
+         (fmt_trail sh
+            ~first:(Printf.sprintf "%s in %s" sh.sh_var ctx.c_def.oqname)
+            ~last:(Printf.sprintf "stored at line %d" (line loc))));
+  move_event sh bits ~desc:(Printf.sprintf "stored via %s" op) loc
+
+(* Role of argument [i] of a call to [written]: builtin knowledge
+   first, then the resolved summaries (joined). *)
+let arg_role ctx ~scope written i =
+  if is_release written then Consumes
+  else if is_transfer_sink written then Transfers
+  else
+    let cands = resolve_defs ctx.c_env ~scope written in
+    List.fold_left
+      (fun acc (d : odef) ->
+        let s = summary_of ctx.c_env d in
+        if i < Array.length s.s_role then join_role acc s.s_role.(i) else acc)
+      Borrows cands
+
+let callee_packetish ctx ~scope written i =
+  List.exists
+    (fun (d : odef) ->
+      let s = summary_of ctx.c_env d in
+      i < Array.length s.s_packetish && s.s_packetish.(i))
+    (resolve_defs ctx.c_env ~scope written)
+
+let rec eval ctx sh ~tail bits (e : expression) : int =
+  let var = sh.sh_var in
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident v; _ } when v = var ->
+    use_check ctx sh bits e.pexp_loc;
+    if tail then move_event sh bits ~desc:"returned" e.pexp_loc else bits
+  | Pexp_ident _ | Pexp_constant _ -> bits
+  | Pexp_constraint (inner, _)
+  | Pexp_open (_, inner)
+  | Pexp_letmodule (_, _, inner)
+  | Pexp_letexception (_, inner) ->
+    eval ctx sh ~tail bits inner
+  | Pexp_sequence (a, b) ->
+    let bits = eval ctx sh ~tail:false bits a in
+    eval ctx sh ~tail bits b
+  | Pexp_let (_, vbs, cont) ->
+    let bits =
+      List.fold_left
+        (fun bits (vb : value_binding) ->
+          eval ctx sh ~tail:false bits vb.pvb_expr)
+        bits vbs
+    in
+    if List.exists (fun vb -> pat_binds var vb.pvb_pat) vbs then begin
+      (* shadowed: the name no longer denotes this packet *)
+      sh.sh_abandoned <- true;
+      bits
+    end
+    else eval ctx sh ~tail bits cont
+  | Pexp_ifthenelse (c, t, f) ->
+    let bits = eval ctx sh ~tail:false bits c in
+    let bt = eval ctx sh ~tail bits t in
+    let bf =
+      match f with Some f -> eval ctx sh ~tail bits f | None -> bits
+    in
+    bt lor bf
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+    let bits = eval ctx sh ~tail:false bits scrut in
+    List.fold_left
+      (fun acc (c : case) ->
+        if pat_binds var c.pc_lhs then acc lor bits
+        else begin
+          let b =
+            match c.pc_guard with
+            | Some g -> eval ctx sh ~tail:false bits g
+            | None -> bits
+          in
+          acc lor eval ctx sh ~tail b c.pc_rhs
+        end)
+      0 cases
+  | Pexp_while (c, body) ->
+    let b1 = eval ctx sh ~tail:false bits c in
+    let b2 = eval ctx sh ~tail:false b1 body in
+    (* second iteration from the joined state catches release-in-loop *)
+    let b3 = eval ctx sh ~tail:false (b1 lor b2) body in
+    b1 lor b2 lor b3
+  | Pexp_for (pat, e1, e2, _, body) ->
+    let bits = eval ctx sh ~tail:false bits e1 in
+    let bits = eval ctx sh ~tail:false bits e2 in
+    if pat_binds var pat then bits
+    else begin
+      let b2 = eval ctx sh ~tail:false bits body in
+      let b3 = eval ctx sh ~tail:false (bits lor b2) body in
+      bits lor b2 lor b3
+    end
+  | Pexp_function _ ->
+    if mentions var e then begin
+      (* Capture by a closure whose call sites we cannot see: judge the
+         body once against the current state (catches use-after-release
+         inside it), then stop judging — the closure may legitimately
+         release the packet later, so neither a leak nor a later
+         release can be blamed with confidence. *)
+      (let _, fb = peel [] e in
+       match fb with
+       | Body b -> ignore (eval ctx sh ~tail:false bits b)
+       | Cases cs ->
+         List.iter
+           (fun (c : case) ->
+             if not (pat_binds var c.pc_lhs) then
+               ignore (eval ctx sh ~tail:false bits c.pc_rhs))
+           cs);
+      sh.sh_moved_ever <- true;
+      trail_push sh
+        (Printf.sprintf "captured by a closure (line %d)" (line e.pexp_loc))
+        e.pexp_loc;
+      bits land released
+    end
+    else bits
+  | Pexp_apply (head, args) -> eval_apply ctx sh bits head args
+  | Pexp_tuple es -> eval_construction ctx sh ~tail bits e.pexp_loc es
+  | Pexp_construct (_, Some arg) | Pexp_variant (_, Some arg) ->
+    eval_construction ctx sh ~tail bits e.pexp_loc [ arg ]
+  | Pexp_construct (_, None) | Pexp_variant (_, None) -> bits
+  | Pexp_record (fields, base) ->
+    let es =
+      List.map snd fields @ (match base with Some b -> [ b ] | None -> [])
+    in
+    eval_construction ctx sh ~tail bits e.pexp_loc es
+  | Pexp_array es -> eval_construction ctx sh ~tail bits e.pexp_loc es
+  | Pexp_field (recv, _) ->
+    if is_var var recv then begin
+      (* field access is a plain read; it is NOT packet evidence — any
+         record parameter reads fields *)
+      use_check ctx sh bits recv.pexp_loc;
+      bits
+    end
+    else eval ctx sh ~tail:false bits recv
+  | Pexp_setfield (recv, _, rhs) ->
+    if is_var var rhs then begin
+      use_check ctx sh bits rhs.pexp_loc;
+      let bits = eval ctx sh ~tail:false bits recv in
+      escape_event ctx sh bits ~op:"record field" rhs.pexp_loc
+    end
+    else begin
+      let bits =
+        if is_var var recv then begin
+          use_check ctx sh bits recv.pexp_loc;
+          bits
+        end
+        else eval ctx sh ~tail:false bits recv
+      in
+      eval ctx sh ~tail:false bits rhs
+    end
+  | Pexp_assert inner | Pexp_lazy inner ->
+    eval ctx sh ~tail:false bits inner
+  | _ ->
+    (* Exotic constructs: every occurrence of the var inside is a
+       plain use; state is unchanged. *)
+    if mentions var e then use_check ctx sh bits e.pexp_loc;
+    bits
+
+(* The packet wrapped into a structure: ownership moves into the
+   value.  In tail position that is an ordinary transfer to the
+   caller; elsewhere the value may flow anywhere — deferred, the
+   container-store and setfield cases catch the long-lived escapes. *)
+and eval_construction ctx sh ~tail bits loc es =
+  let var = sh.sh_var in
+  let bits =
+    List.fold_left
+      (fun bits sub ->
+        if is_var var sub then bits else eval ctx sh ~tail:false bits sub)
+      bits es
+  in
+  if List.exists (is_var var) es then begin
+    use_check ctx sh bits loc;
+    move_event sh bits
+      ~desc:
+        (if tail then "returned in a structure" else "packed into a structure")
+      loc
+  end
+  else bits
+
+and eval_apply ctx sh bits head args =
+  let var = sh.sh_var in
+  let scope = ctx.c_def.oscope in
+  match head.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    let n = ident_name txt in
+    let is_closure_capture (a : expression) =
+      is_function a && mentions var a
+    in
+    (* plain arguments evaluate before the call takes effect *)
+    let bits =
+      List.fold_left
+        (fun bits ((_, a) : arg_label * expression) ->
+          if is_var var a || is_closure_capture a then bits
+          else eval ctx sh ~tail:false bits a)
+        bits args
+    in
+    (* literal closures that capture the tracked variable: a closure
+       handed to a scheduling sink outlives this activation (weak
+       capture, as in the standalone case); any other callee is
+       assumed to be a synchronous combinator whose closure body runs
+       zero or more times right here, so it is evaluated inline like a
+       loop body. *)
+    let eval_closure_body bits (a : expression) =
+      let cparams, fb = peel [] a in
+      if List.exists (fun (p : param) -> p.pname = var) cparams then bits
+      else
+        match fb with
+        | Body b -> eval ctx sh ~tail:false bits b
+        | Cases cs ->
+          List.fold_left
+            (fun acc (c : case) ->
+              if pat_binds var c.pc_lhs then acc lor bits
+              else acc lor eval ctx sh ~tail:false bits c.pc_rhs)
+            0 cs
+    in
+    let bits =
+      List.fold_left
+        (fun bits ((_, a) : arg_label * expression) ->
+          if not (is_closure_capture a) then bits
+          else if is_async_capture n then begin
+            ignore (eval_closure_body bits a);
+            sh.sh_moved_ever <- true;
+            trail_push sh
+              (Printf.sprintf "captured by a closure handed to %s (line %d)" n
+                 (line a.pexp_loc))
+              a.pexp_loc;
+            bits land released
+          end
+          else begin
+            let b1 = eval_closure_body bits a in
+            let b2 = eval_closure_body (bits lor b1) a in
+            bits lor b1 lor b2
+          end)
+        bits args
+    in
+    let var_positions =
+      List.mapi (fun i ((_, a) : arg_label * expression) -> (i, a)) args
+      |> List.filter (fun (_, a) -> is_var var a)
+    in
+    match var_positions with
+    | [] -> bits
+    | (_, first_arg) :: _ ->
+      let aloc = first_arg.pexp_loc in
+      if is_release n then release_event ctx sh bits ~desc:"released" aloc
+      else if is_clone n then begin
+        use_check ctx sh bits aloc;
+        sh.sh_packetish <- true;
+        trail_push sh (Printf.sprintf "cloned (line %d)" (line aloc)) aloc;
+        bits
+      end
+      else if is_acquire n then bits
+      else (
+        match container_op_of n with
+        | Some (op, pos) ->
+          let nargs = List.length args in
+          let is_store_pos =
+            List.exists
+              (fun (i, _) ->
+                match pos with `Last -> i = nargs - 1 | `First -> i = 0)
+              var_positions
+          in
+          use_check ctx sh bits aloc;
+          if is_store_pos then escape_event ctx sh bits ~op aloc else bits
+        | None -> (
+          let role =
+            List.fold_left
+              (fun acc (i, _) -> join_role acc (arg_role ctx ~scope n i))
+              Borrows var_positions
+          in
+          List.iter
+            (fun (i, _) ->
+              if callee_packetish ctx ~scope n i then sh.sh_packetish <- true)
+            var_positions;
+          match role with
+          | Consumes ->
+            release_event ctx sh bits
+              ~desc:(Printf.sprintf "consumed by %s" n)
+              aloc
+          | Transfers ->
+            use_check ctx sh bits aloc;
+            let forced =
+              is_transfer_sink n
+              || List.exists
+                   (fun (d : odef) ->
+                     let s = summary_of ctx.c_env d in
+                     List.exists
+                       (fun (i, _) ->
+                         i < Array.length s.s_forced
+                         && s.s_forced.(i)
+                         && s.s_role.(i) = Transfers)
+                       var_positions)
+                   (resolve_defs ctx.c_env ~scope n)
+            in
+            if forced then
+              (* programmer-asserted hand-off: arm the
+                 release-after-transfer diagnostic *)
+              move_event sh bits
+                ~desc:(Printf.sprintf "transferred via %s" n)
+                aloc
+            else begin
+              (* inferred hand-off: ownership probably leaves here, but
+                 inference is best-effort — drop to unknown rather than
+                 blame a later release on it *)
+              sh.sh_moved_ever <- true;
+              trail_push sh
+                (Printf.sprintf "transferred via %s (line %d)" n (line aloc))
+                aloc;
+              bits land lnot owned
+            end
+          | Borrows ->
+            use_check ctx sh bits aloc;
+            trail_push sh
+              (Printf.sprintf "borrowed by %s (line %d)" n (line aloc))
+              aloc;
+            bits)))
+  | _ ->
+    (* [t.handler p], [(lookup k) p]: the callee is opaque, and packet
+       handlers routinely take ownership — weak transfer. *)
+    let bits = eval ctx sh ~tail:false bits head in
+    List.fold_left
+      (fun bits ((_, a) : arg_label * expression) ->
+        if is_var var a then begin
+          use_check ctx sh bits a.pexp_loc;
+          sh.sh_moved_ever <- true;
+          trail_push sh
+            (Printf.sprintf "passed to a computed function (line %d)"
+               (line a.pexp_loc))
+            a.pexp_loc;
+          bits land lnot owned
+        end
+        else eval ctx sh ~tail:false bits a)
+      bits args
+
+(* ------------------------------------------------------------------ *)
+(* Track discovery: every [let p = Packet_pool.acquire ... in] (or
+   clone, or a call to an inferred/annotated source) starts an
+   ownership track over its continuation. *)
+
+type track = {
+  t_var : string;
+  t_loc : Location.t;
+  t_src : string;
+  t_cont : expression;
+  t_tail : bool;
+}
+
+let source_desc_of env ~scope (e : expression) =
+  let rec head (e : expression) =
+    match e.pexp_desc with
+    | Pexp_constraint (inner, _) -> head inner
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      Some (ident_name txt)
+    | _ -> None
+  in
+  match head e with
+  | None -> None
+  | Some n ->
+    if is_acquire n then Some "Packet_pool.acquire"
+    else if is_clone n then Some "Packet_pool.clone"
+    else if
+      List.exists
+        (fun (d : odef) -> (summary_of env d).s_returns_packet)
+        (resolve_defs env ~scope n)
+    then Some (Printf.sprintf "call to %s" n)
+    else None
+
+let find_tracks env ~scope (body : fbody) : track list =
+  let acc = ref [] in
+  let rec go ~tail (e : expression) =
+    match e.pexp_desc with
+    | Pexp_let (_, vbs, cont) ->
+      List.iter
+        (fun (vb : value_binding) ->
+          go ~tail:false vb.pvb_expr;
+          match (binding_name vb, source_desc_of env ~scope vb.pvb_expr) with
+          | Some v, Some src ->
+            acc :=
+              {
+                t_var = v;
+                t_loc = vb.pvb_expr.pexp_loc;
+                t_src = src;
+                t_cont = cont;
+                t_tail = tail;
+              }
+              :: !acc
+          | _ -> ())
+        vbs;
+      go ~tail cont
+    | Pexp_sequence (a, b) ->
+      go ~tail:false a;
+      go ~tail b
+    | Pexp_ifthenelse (c, t, f) ->
+      go ~tail:false c;
+      go ~tail t;
+      Option.iter (go ~tail) f
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      go ~tail:false scrut;
+      List.iter
+        (fun (c : case) ->
+          Option.iter (go ~tail:false) c.pc_guard;
+          go ~tail c.pc_rhs)
+        cases
+    | Pexp_apply (head, args) ->
+      go ~tail:false head;
+      List.iter (fun (_, a) -> go ~tail:false a) args
+    | Pexp_function (_, _, Pfunction_body b) -> go ~tail:true b
+    | Pexp_function (_, _, Pfunction_cases (cases, _, _)) ->
+      List.iter (fun (c : case) -> go ~tail:true c.pc_rhs) cases
+    | Pexp_while (c, b) ->
+      go ~tail:false c;
+      go ~tail:false b
+    | Pexp_for (_, e1, e2, _, b) ->
+      go ~tail:false e1;
+      go ~tail:false e2;
+      go ~tail:false b
+    | Pexp_constraint (inner, _)
+    | Pexp_open (_, inner)
+    | Pexp_letmodule (_, _, inner)
+    | Pexp_letexception (_, inner)
+    | Pexp_assert inner
+    | Pexp_lazy inner ->
+      go ~tail inner
+    | Pexp_tuple es | Pexp_array es -> List.iter (go ~tail:false) es
+    | Pexp_construct (_, Some a) | Pexp_variant (_, Some a) ->
+      go ~tail:false a
+    | Pexp_record (fields, base) ->
+      List.iter (fun (_, v) -> go ~tail:false v) fields;
+      Option.iter (go ~tail:false) base
+    | Pexp_field (r, _) -> go ~tail:false r
+    | Pexp_setfield (r, _, v) ->
+      go ~tail:false r;
+      go ~tail:false v
+    | _ -> ()
+  in
+  (match body with
+  | Body e -> go ~tail:true e
+  | Cases cs -> List.iter (fun (c : case) -> go ~tail:true c.pc_rhs) cs);
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Per-def ownership analysis: parameter tracks (role inference and,
+   in the reporting phase, misuse findings) and acquire tracks
+   (leaks). *)
+
+let eval_body ctx sh ~tail bits (body : fbody) =
+  match body with
+  | Body e -> eval ctx sh ~tail bits e
+  | Cases cs ->
+    List.fold_left
+      (fun acc (c : case) ->
+        if pat_binds sh.sh_var c.pc_lhs then acc lor bits
+        else acc lor eval ctx sh ~tail bits c.pc_rhs)
+      0 cs
+
+let run_param_track ctx (d : odef) (p : param) =
+  let sh =
+    {
+      sh_var = p.pname;
+      sh_rel = None;
+      sh_released_ever = false;
+      sh_moved_ever = false;
+      sh_abandoned = false;
+      sh_packetish = p.ptyped_packet;
+      sh_trail = [];
+    }
+  in
+  ignore (eval_body ctx sh ~tail:true owned d.obody);
+  sh
+
+let silent_emit ~rule:_ ~loc:_ _ = ()
+
+let infer_pass env (defs : odef list) =
+  List.iter
+    (fun (d : odef) ->
+      let s = summary_of env d in
+      let ctx = { c_def = d; c_env = env; c_emit = silent_emit } in
+      List.iteri
+        (fun i (p : param) ->
+          if p.pname <> "_" && not s.s_forced.(i) then begin
+            let sh = run_param_track ctx d p in
+            let role =
+              if sh.sh_released_ever then Consumes
+              else if sh.sh_moved_ever then Transfers
+              else Borrows
+            in
+            if role_rank role > role_rank s.s_role.(i) then begin
+              s.s_role.(i) <- role;
+              env.changed <- true
+            end;
+            if sh.sh_packetish && not s.s_packetish.(i) then begin
+              s.s_packetish.(i) <- true;
+              env.changed <- true
+            end
+          end)
+        d.oparams;
+      (* returns_packet: the tail of the body is a source call or a
+         variable bound from one *)
+      let rec tail_source bound (e : expression) =
+        match e.pexp_desc with
+        | Pexp_ident { txt = Lident v; _ } -> List.mem v bound
+        | Pexp_constraint (inner, _) | Pexp_open (_, inner) ->
+          tail_source bound inner
+        | Pexp_sequence (_, b) -> tail_source bound b
+        | Pexp_let (_, vbs, cont) ->
+          let bound =
+            List.fold_left
+              (fun bound (vb : value_binding) ->
+                match
+                  ( binding_name vb,
+                    source_desc_of env ~scope:d.oscope vb.pvb_expr )
+                with
+                | Some v, Some _ -> v :: bound
+                | _ -> bound)
+              bound vbs
+          in
+          tail_source bound cont
+        | Pexp_ifthenelse (_, t, f) ->
+          tail_source bound t
+          || (match f with Some f -> tail_source bound f | None -> false)
+        | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+          List.exists (fun (c : case) -> tail_source bound c.pc_rhs) cases
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+          let n = ident_name txt in
+          is_acquire n || is_clone n
+          || List.exists
+               (fun (cd : odef) -> (summary_of env cd).s_returns_packet)
+               (resolve_defs env ~scope:d.oscope n)
+        | _ -> false
+      in
+      let rp =
+        match d.obody with
+        | Body e -> tail_source [] e
+        | Cases cs ->
+          List.exists (fun (c : case) -> tail_source [] c.pc_rhs) cs
+      in
+      if rp && not s.s_returns_packet then begin
+        s.s_returns_packet <- true;
+        env.changed <- true
+      end)
+    defs
+
+let report_ownership env (defs : odef list) ~emit =
+  List.iter
+    (fun (d : odef) ->
+      let ctx = { c_def = d; c_env = env; c_emit = emit } in
+      (* malformed annotations *)
+      List.iter
+        (fun (payload, aloc) ->
+          let spec = parse_owns payload in
+          (match spec.o_bad with
+          | Some why ->
+            emit ~rule:annot_id ~loc:aloc
+              (Printf.sprintf
+                 "malformed [@leotp.owns] payload %S: %s; grammar: \
+                  \"consumes|transfers|borrows [param ...]\" or \"source\""
+                 payload why)
+          | None -> ());
+          if spec.o_bad = None then
+            List.iter
+              (fun pn ->
+                if
+                  not (List.exists (fun (p : param) -> p.pname = pn) d.oparams)
+                then
+                  emit ~rule:annot_id ~loc:aloc
+                    (Printf.sprintf
+                       "[@leotp.owns] names parameter %S but %s has no such \
+                        parameter"
+                       pn d.oqname))
+              spec.o_params)
+        d.oowns;
+      (* parameter misuse (no leak judgement: the caller owns it).
+         Diagnostics are buffered and dropped unless there is positive
+         evidence the parameter actually is a packet — a [: Packet.t]
+         constraint, an [@leotp.owns] annotation, a pool call on it, or
+         propagated callee evidence.  Without the gate, every int that
+         is stored into a container would trip the ownership rules. *)
+      let s = summary_of env d in
+      List.iteri
+        (fun i (p : param) ->
+          if p.pname <> "_" then begin
+            let buf = ref [] in
+            let bctx =
+              {
+                c_def = d;
+                c_env = env;
+                c_emit =
+                  (fun ~rule ~loc message ->
+                    buf := (rule, loc, message) :: !buf);
+              }
+            in
+            let sh = run_param_track bctx d p in
+            let packetish =
+              sh.sh_packetish
+              || (i < Array.length s.s_packetish && s.s_packetish.(i))
+            in
+            if packetish then
+              List.iter
+                (fun (rule, loc, message) -> emit ~rule ~loc message)
+                (List.rev !buf)
+          end)
+        d.oparams;
+      (* acquire/source tracks: leaks *)
+      List.iter
+        (fun (t : track) ->
+          let sh =
+            {
+              sh_var = t.t_var;
+              sh_rel = None;
+              sh_released_ever = false;
+              sh_moved_ever = false;
+              sh_abandoned = false;
+              sh_packetish = true;
+              sh_trail = [];
+            }
+          in
+          let final = eval ctx sh ~tail:t.t_tail owned t.t_cont in
+          if (not sh.sh_abandoned) && final land owned <> 0 then
+            let some_path = sh.sh_released_ever || sh.sh_moved_ever in
+            emit ~rule:leak_id ~loc:t.t_loc
+              (Printf.sprintf
+                 "packet %s (%s) %s; release it on every path, hand it to a \
+                  consuming/transferring callee, or annotate the callee \
+                  with [@leotp.owns]; witness: %s"
+                 t.t_var t.t_src
+                 (if some_path then
+                    "is still owned on some path through " ^ d.oqname
+                  else "is never released or handed off in " ^ d.oqname)
+                 (fmt_trail sh
+                    ~first:(Printf.sprintf "acquired (line %d)" (line t.t_loc))
+                    ~last:(Printf.sprintf "end of %s still owned" d.oqname))))
+        (find_tracks env ~scope:d.oscope d.obody))
+    defs
+
+(* ------------------------------------------------------------------ *)
+(* Allocation effects *)
+
+type alloc_site = { a_loc : Location.t; a_what : string }
+
+(* Collect the may-allocate evidence of one def body.  Hot sub-closure
+   bodies are excluded (each is a root of its own), but the closure
+   *creation* at the sink call site still counts against the parent. *)
+let alloc_sites env (d : odef) : alloc_site list =
+  let sites = ref [] in
+  let add loc what = sites := { a_loc = loc; a_what = what } :: !sites in
+  let rec go (e : expression) =
+    match e.pexp_desc with
+    | Pexp_function _ ->
+      add e.pexp_loc "a closure";
+      children e
+    | Pexp_tuple _ ->
+      add e.pexp_loc "a tuple";
+      children e
+    | Pexp_record _ ->
+      add e.pexp_loc "a record";
+      children e
+    | Pexp_array _ ->
+      add e.pexp_loc "an array literal";
+      children e
+    | Pexp_lazy _ ->
+      add e.pexp_loc "a lazy block";
+      children e
+    | Pexp_construct ({ txt = Lident "::"; _ }, Some arg) ->
+      add e.pexp_loc "a list cell";
+      (* walk the spine once: nested cons cells of one literal list
+         are a single piece of evidence *)
+      spine arg
+    | Pexp_ifthenelse (c, t, f) ->
+      if debug_cond c then Option.iter go f
+      else begin
+        go c;
+        go t;
+        Option.iter go f
+      end
+    | Pexp_assert _ -> ()
+    | Pexp_apply (({ pexp_desc = Pexp_ident { txt; _ }; _ } as head), args)
+      -> (
+      let n = ident_name txt in
+      if ends_with_any error_heads n then ()
+      else begin
+        if is_allocating_call n then
+          add head.pexp_loc (Printf.sprintf "a call to %s" n)
+        else begin
+          let cands = resolve_defs env ~scope:d.oscope n in
+          let nargs = List.length args in
+          if
+            cands <> []
+            && List.for_all
+                 (fun (cd : odef) ->
+                   List.length cd.oparams > nargs
+                   && not (List.exists (fun (p : param) -> p.popt) cd.oparams))
+                 cands
+          then
+            add head.pexp_loc (Printf.sprintf "partial application of %s" n)
+        end;
+        List.iter
+          (fun ((_, a) : arg_label * expression) ->
+            if
+              is_hot_closure_sink n && is_function a
+              && List.exists (fun r -> in_range r a.pexp_loc) d.ohot_ranges
+            then
+              (* the closure record itself is allocated here, per
+                 event; its body is audited as a separate root *)
+              add a.pexp_loc (Printf.sprintf "a closure handed to %s" n)
+            else go a)
+          args
+      end)
+    | _ -> children e
+  and spine (arg : expression) =
+    match arg.pexp_desc with
+    | Pexp_tuple [ hd; tl ] -> (
+      go hd;
+      match tl.pexp_desc with
+      | Pexp_construct ({ txt = Lident "::"; _ }, Some arg') -> spine arg'
+      | Pexp_construct ({ txt = Lident "[]"; _ }, None) -> ()
+      | _ -> go tl)
+    | _ -> go arg
+  and children (e : expression) =
+    let it =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! expression e2 = if e2 == e then super#expression e2 else go e2
+      end
+    in
+    it#expression e
+  in
+  (match d.obody with
+  | Body e -> go e
+  | Cases cs ->
+    List.iter
+      (fun (c : case) ->
+        Option.iter go c.pc_guard;
+        go c.pc_rhs)
+      cs);
+  List.rev !sites
+
+(* Calls into the tracing facility are debug-gated by design
+   ([Trace.on] gates the steady state), so they do not count against
+   the allocation effect. *)
+let is_trace_ref n = List.mem "Trace" (split n)
+let is_trace_file path = Filename.basename path = "trace.ml"
+
+(* Refs that count for the effect walk: outside debug-gated / error
+   subtrees and not into the tracing facility. *)
+let live_refs (d : odef) =
+  List.filter
+    (fun ((rname, rloc) : string * Location.t) ->
+      (not (is_trace_ref rname))
+      && not (List.exists (fun r -> in_range r rloc) d.oguards))
+    d.orefs
+
+let report_alloc env (defs : odef list) ~suppressed_at ~emit =
+  let site_memo : (string * string, alloc_site list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  (* A site the author has justified with [@leotp.allow] is not
+     evidence either: allowing the pool's amortized grow path, say,
+     clears every call chain that bottoms out in it. *)
+  let sites_of (d : odef) =
+    let key = (d.ofile, d.oqname) in
+    match Hashtbl.find_opt site_memo key with
+    | Some s -> s
+    | None ->
+      let s =
+        alloc_sites env d
+        |> List.filter (fun (s : alloc_site) ->
+               not (suppressed_at ~file:d.ofile alloc_id s.a_loc))
+      in
+      Hashtbl.replace site_memo key s;
+      s
+  in
+  (* Transitive may-allocate effect of a def, memoized: the first piece
+     of allocation evidence (site, file, qname chain), or [None].
+     Cycles resolve to no-effect on the back edge. *)
+  let effect_memo
+      : (string * string, (alloc_site * string * string list) option) Hashtbl.t
+    =
+    Hashtbl.create 256
+  in
+  let rec effect_of (d : odef) =
+    let key = (d.ofile, d.oqname) in
+    match Hashtbl.find_opt effect_memo key with
+    | Some e -> e
+    | None ->
+      Hashtbl.replace effect_memo key None;
+      let e =
+        if is_trace_file d.ofile then None
+        else
+          match sites_of d with
+          | s :: _ -> Some (s, d.ofile, [ d.oqname ])
+          | [] ->
+            List.fold_left
+              (fun acc ((rname, _) : string * Location.t) ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                  List.fold_left
+                    (fun acc (callee : odef) ->
+                      match acc with
+                      | Some _ -> acc
+                      | None -> (
+                        match effect_of callee with
+                        | Some (s, f, chain) ->
+                          Some (s, f, d.oqname :: chain)
+                        | None -> None))
+                    None
+                    (resolve_defs env ~scope:d.oscope rname))
+              None (live_refs d)
+      in
+      Hashtbl.replace effect_memo key e;
+      e
+  in
+  let elide steps =
+    let n = List.length steps in
+    if n <= 5 then steps
+    else
+      List.filteri (fun i _ -> i < 2) steps
+      @ [ Printf.sprintf "... %d more ..." (n - 3) ]
+      @ List.filteri (fun i _ -> i >= n - 1) steps
+  in
+  let roots =
+    List.filter (fun (d : odef) -> d.ohot_root) defs
+    |> List.sort (fun (a : odef) b ->
+           compare (a.ofile, a.oqname) (b.ofile, b.oqname))
+  in
+  List.iter
+    (fun (root : odef) ->
+      (* allocations in the root body itself *)
+      List.iter
+        (fun (s : alloc_site) ->
+          emit ~file:root.ofile ~rule:alloc_id ~loc:s.a_loc
+            (Printf.sprintf
+               "%s is allocated on the packet hot path; hoist it out of the \
+                per-packet flow or justify with [@leotp.allow %S]; witness: \
+                %s (%s:%d) -> allocates at line %d"
+               s.a_what alloc_id root.oqname root.ofile (line root.oloc)
+               (line s.a_loc)))
+        (sites_of root);
+      (* calls from the root body into code with a may-allocate effect:
+         one finding at the call site, not one per transitive site *)
+      List.iter
+        (fun ((rname, rloc) : string * Location.t) ->
+          List.iter
+            (fun (callee : odef) ->
+              if not callee.ohot_root then
+                match effect_of callee with
+                | Some (s, sfile, chain) ->
+                  emit ~file:root.ofile ~rule:alloc_id ~loc:rloc
+                    (Printf.sprintf
+                       "call to %s may allocate on the packet hot path (%s \
+                        at %s:%d); hoist the allocation, restructure the \
+                        call, or justify with [@leotp.allow %S]; witness: \
+                        %s (%s:%d) -> %s -> allocates %s at line %d"
+                       rname s.a_what sfile (line s.a_loc) alloc_id
+                       root.oqname root.ofile (line root.oloc)
+                       (String.concat " -> " (elide chain))
+                       s.a_what (line s.a_loc))
+                | None -> ())
+            (resolve_defs env ~scope:root.oscope rname))
+        (live_refs root))
+    roots
+
+(* ------------------------------------------------------------------ *)
+(* Time taint *)
+
+type taint = {
+  tn_read : string;  (** the wall-clock ident reached *)
+  tn_read_loc : Location.t;
+  tn_chain : string list;  (** qnames from this def to the read *)
+}
+
+let report_taint env (defs : odef list) ~emit =
+  let taint_memo : (string * string, taint option) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let rec taint_of (d : odef) : taint option =
+    let key = (d.ofile, d.oqname) in
+    match Hashtbl.find_opt taint_memo key with
+    | Some t -> t
+    | None ->
+      (* cycles resolve to untainted on the back edge *)
+      Hashtbl.replace taint_memo key None;
+      let direct =
+        List.find_opt (fun ((n, _) : string * Location.t) -> is_wall_clock n)
+          d.orefs
+      in
+      let t =
+        match direct with
+        | Some (n, loc) ->
+          Some { tn_read = n; tn_read_loc = loc; tn_chain = [ d.oqname ] }
+        | None ->
+          List.fold_left
+            (fun acc ((rname, _) : string * Location.t) ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                List.fold_left
+                  (fun acc (callee : odef) ->
+                    match acc with
+                    | Some _ -> acc
+                    | None -> (
+                      match taint_of callee with
+                      | Some t ->
+                        Some { t with tn_chain = d.oqname :: t.tn_chain }
+                      | None -> None))
+                  None
+                  (resolve_defs env ~scope:d.oscope rname))
+            None d.orefs
+      in
+      Hashtbl.replace taint_memo key t;
+      t
+  in
+  List.iter
+    (fun (d : odef) ->
+      if sim_time_stratum d.ofile then
+        List.iter
+          (fun ((rname, rloc) : string * Location.t) ->
+            if is_wall_clock rname then
+              emit ~file:d.ofile ~rule:taint_id ~loc:rloc
+                (Printf.sprintf
+                   "%s reads the wall clock (%s) but lives in the sim-time \
+                    stratum; route real time through the harness or justify \
+                    with [@leotp.allow %S]; witness: %s -> reads %s at line \
+                    %d"
+                   d.oqname rname taint_id d.oqname rname (line rloc))
+            else
+              List.iter
+                (fun (callee : odef) ->
+                  if not (sim_time_stratum callee.ofile) then
+                    match taint_of callee with
+                    | Some t ->
+                      emit ~file:d.ofile ~rule:taint_id ~loc:rloc
+                        (Printf.sprintf
+                           "sim-time code %s reaches a wall-clock read \
+                            through harness code %s; keep real time out of \
+                            the protocol core or justify with [@leotp.allow \
+                            %S]; witness: %s -> %s -> reads %s at line %d"
+                           d.oqname callee.oqname taint_id d.oqname
+                           (String.concat " -> " t.tn_chain) t.tn_read
+                           (line t.tn_read_loc))
+                    | None -> ())
+                (resolve_defs env ~scope:d.oscope rname))
+          d.orefs)
+    defs
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let max_fixpoint_rounds = 12
+
+let analyze (parsed : (string * structure) list) : Finding.t list =
+  let parsed =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) parsed
+  in
+  let defs = List.concat_map (fun (p, st) -> extract_defs ~path:p st) parsed in
+  let allows = List.map (fun (p, st) -> (p, Engine.collect_allows st)) parsed in
+  let env =
+    {
+      defs_by_leaf = Hashtbl.create 512;
+      summaries = Hashtbl.create 512;
+      changed = true;
+    }
+  in
+  List.iter
+    (fun (d : odef) -> Hashtbl.add env.defs_by_leaf (leaf d.oqname) d)
+    defs;
+  (* seed annotation-declared summaries, then iterate inference to a
+     fixpoint (roles and packet evidence only ever grow) *)
+  List.iter (fun (d : odef) -> apply_owns d (summary_of env d)) defs;
+  let rounds = ref 0 in
+  while env.changed && !rounds < max_fixpoint_rounds do
+    env.changed <- false;
+    infer_pass env defs;
+    incr rounds
+  done;
+  let suppressed_at ~file rule (loc : Location.t) =
+    match List.assoc_opt file allows with
+    | Some a -> Engine.suppressed a ~rule ~loc
+    | None -> false
+  in
+  let reported : (string * string * int * int, unit) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let findings = ref [] in
+  let emit_at ~file ~rule ~loc message =
+    let key = (file, rule, line loc, col loc) in
+    if (not (Hashtbl.mem reported key)) && not (suppressed_at ~file rule loc)
+    then begin
+      Hashtbl.replace reported key ();
+      findings :=
+        {
+          Finding.rule;
+          severity = Error;
+          file;
+          line = line loc;
+          col = col loc;
+          message;
+        }
+        :: !findings
+    end
+  in
+  let own_defs_by_file =
+    List.map
+      (fun (p, _) ->
+        (p, List.filter (fun (d : odef) -> d.ofile = p) defs))
+      parsed
+  in
+  List.iter
+    (fun (file, fdefs) ->
+      report_ownership env fdefs
+        ~emit:(fun ~rule ~loc message -> emit_at ~file ~rule ~loc message))
+    own_defs_by_file;
+  report_alloc env defs ~suppressed_at ~emit:emit_at;
+  report_taint env defs ~emit:emit_at;
+  List.sort_uniq Finding.compare !findings
+
+let analyze_sources sources =
+  let parsed =
+    List.filter_map
+      (fun (path, contents) ->
+        match Engine.parse_impl ~path contents with
+        | Ok st -> Some (path, st)
+        | Error _ -> None)
+      sources
+  in
+  analyze parsed
+
+(* Directory scan for the CLI.  Files that fail to parse are skipped:
+   Engine.scan (which always runs alongside) already reports them as
+   parse-error findings. *)
+let scan paths =
+  let files =
+    List.concat_map
+      (fun p -> if Sys.file_exists p then Engine.ml_files_under p else [])
+      paths
+    |> List.sort_uniq String.compare
+  in
+  let parsed =
+    List.filter_map
+      (fun f ->
+        match In_channel.with_open_bin f In_channel.input_all with
+        | exception Sys_error _ -> None
+        | contents -> (
+          match Engine.parse_impl ~path:f contents with
+          | Ok st -> Some (f, st)
+          | Error _ -> None))
+      files
+  in
+  analyze parsed

@@ -471,6 +471,69 @@ let hot_path_alloc =
           st);
   }
 
+(* -- Rules 10..16: the leotp-own families ---------------------------- *)
+
+(* As with domain-unsafe-access, these AST checks are no-ops: the real
+   analyses are interprocedural (ownership tracks, allocation-effect
+   and time-taint reachability across files) and live in Own, run via
+   `leotp_lint.exe --own`.  Registering the ids here makes --rules list
+   them and lets allow-validation accept their [@leotp.allow]s. *)
+
+let own_rule id doc =
+  {
+    id;
+    severity = Finding.Error;
+    doc;
+    applies = everywhere;
+    check = (fun ~emit:_ _ -> ());
+  }
+
+let own_leak =
+  own_rule "own-leak"
+    "a packet acquired from Packet_pool.acquire/clone is still owned at \
+     the end of some path: release it, hand it to a consuming/transferring \
+     callee, or annotate with [@leotp.owns] (interprocedural; run with \
+     --own)"
+
+let own_double_release =
+  own_rule "own-double-release"
+    "a packet is released (or consumed by a callee) twice, or released \
+     after its ownership was transferred; the record would alias two \
+     future owners (interprocedural; run with --own)"
+
+let own_use_after_release =
+  own_rule "own-use-after-release"
+    "a packet is read or passed on after Packet_pool.release; the record \
+     may already be recycled under another owner (interprocedural; run \
+     with --own)"
+
+let own_escape =
+  own_rule "own-escape"
+    "a packet is stored into a long-lived container (Hashtbl/Queue/array \
+     slot/record field) that is not a registered sink; annotate the \
+     function with [@leotp.owns \"transfers\"] if the store is a \
+     deliberate hand-off (interprocedural; run with --own)"
+
+let own_annotation =
+  own_rule "own-annotation"
+    "a [@leotp.owns] payload does not follow the grammar \
+     \"consumes|transfers|borrows [param ...]\" or \"source\", or names a \
+     parameter the function does not have"
+
+let hot_path_may_alloc =
+  own_rule "hot-path-may-alloc"
+    "a function reachable from the per-packet hot roots (engine dispatch, \
+     Shr.on_packet, Seg_store scans, the packet pool, datapath timer \
+     closures) may allocate: closures, tuples, records, list cells, \
+     allocating stdlib calls or partial application (interprocedural; run \
+     with --own)"
+
+let time_taint =
+  own_rule "time-taint"
+    "sim-time code (lib/ outside lib/lint) reaches a wall-clock read, \
+     directly or through harness helpers; route real time through the \
+     harness stratum (interprocedural; run with --own)"
+
 let all =
   [
     no_wall_clock;
@@ -482,6 +545,13 @@ let all =
     missing_interface;
     domain_unsafe_access;
     hot_path_alloc;
+    own_leak;
+    own_double_release;
+    own_use_after_release;
+    own_escape;
+    own_annotation;
+    hot_path_may_alloc;
+    time_taint;
   ]
 
 let known_ids = List.map (fun r -> r.id) all

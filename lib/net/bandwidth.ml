@@ -24,6 +24,17 @@ let square_mbps ~mean ~amplitude ~period =
       period;
     }
 
+(* Last step with start_time <= time — top-level recursion rather than
+   while+refs: this runs per transmission start, and a local [ref] is a
+   minor-heap allocation.  Also [fst]/[snd]-free: a polymorphic [fst] on
+   a float pair would box. *)
+let rec step_at (steps : (float * float) array) time lo hi =
+  if lo >= hi then snd steps.(lo)
+  else
+    let mid = (lo + hi + 1) / 2 in
+    if fst steps.(mid) <= time then step_at steps time mid hi
+    else step_at steps time lo (mid - 1)
+
 let at t time =
   match t with
   | Constant r -> r
@@ -33,18 +44,8 @@ let at t time =
   | Steps steps ->
     let n = Array.length steps in
     if n = 0 then invalid_arg "Bandwidth.at: empty Steps"
-    else begin
-      (* Binary search for the last step with start_time <= time. *)
-      let lo = ref 0 and hi = ref (n - 1) in
-      if time < fst steps.(0) then snd steps.(0)
-      else begin
-        while !lo < !hi do
-          let mid = (!lo + !hi + 1) / 2 in
-          if fst steps.(mid) <= time then lo := mid else hi := mid - 1
-        done;
-        snd steps.(!lo)
-      end
-    end
+    else if time < fst steps.(0) then snd steps.(0)
+    else step_at steps time 0 (n - 1)
 
 let mean_over t ~t_end =
   match t with

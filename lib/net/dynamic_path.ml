@@ -49,6 +49,8 @@ let update_link link ~delay ~bandwidth ~plr ~epsilon =
   if changed then Link.flush link;
   changed
 
+(* Runs once per topology snapshot — handover timescale (seconds), not
+   the per-packet path, even though the applying timer event is hot. *)
 let apply t snapshot =
   let n = Array.length snapshot in
   assert (n <= t.max_hops);
@@ -73,6 +75,7 @@ let apply t snapshot =
   done;
   t.active_hops <- n;
   if !any_switch then t.switch_count <- t.switch_count + 1
+[@@leotp.allow "hot-path-may-alloc"]
 
 let schedule t items =
   List.iter

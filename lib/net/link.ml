@@ -128,8 +128,11 @@ let rec start_transmission t =
     let tx_time = float_of_int pkt.Packet.size /. rate in
     let epoch = t.epoch in
     ignore
-      (Leotp_sim.Engine.schedule t.engine ~after:tx_time (fun () ->
-           complete_transmission t pkt epoch))
+      (* the transmission-completion event is this closure — one per
+         packet per hop is the cost of discrete-event simulation *)
+      (Leotp_sim.Engine.schedule t.engine ~after:tx_time
+         ((fun () -> complete_transmission t pkt epoch)
+         [@leotp.allow "hot-path-may-alloc"]))
   end
 
 and complete_transmission t pkt epoch =
@@ -151,7 +154,10 @@ and complete_transmission t pkt epoch =
         else 0.0
       in
       ignore
-        (Leotp_sim.Engine.schedule t.engine ~after:(t.delay +. extra) (fun () ->
+        (* the propagation event is this closure — one per packet per hop
+           is the cost of discrete-event simulation, not an oversight *)
+        (Leotp_sim.Engine.schedule t.engine ~after:(t.delay +. extra)
+           ((fun () ->
              t.in_flight <- t.in_flight - 1;
              if arrival_epoch = t.epoch then begin
                (* Fault-injected duplication at the receiving end.  The
@@ -174,7 +180,7 @@ and complete_transmission t pkt epoch =
              else begin
                t.stats.drops_flush <- t.stats.drops_flush + 1;
                drop t pkt Trace.Flush
-             end))
+             end) [@leotp.allow "hot-path-may-alloc"]))
     end
   end
   else begin
@@ -205,10 +211,13 @@ let send t pkt =
     start_transmission t
   end
 
+(* Runs on path switch (handover timescale), not per packet. *)
 let flush t =
   t.epoch <- t.epoch + 1;
   t.stats.drops_flush <- t.stats.drops_flush + Pkt_queue.length t.queue;
-  Pkt_queue.iter (fun pkt -> drop t pkt Trace.Flush) t.queue;
+  Pkt_queue.iter
+    ((fun pkt -> drop t pkt Trace.Flush) [@leotp.allow "hot-path-may-alloc"])
+    t.queue;
   Pkt_queue.clear t.queue;
   t.queued_bytes <- 0
 

@@ -55,9 +55,10 @@ let set_flag t bit v =
   if v then t.flags <- t.flags lor bit else t.flags <- t.flags land lnot bit
 
 (* The only raw allocation of a packet record: [Packet_pool] calls it to
-   grow the pool, queues call it for array placeholders. *)
+   grow the pool, queues call it for array placeholders.  Each record is
+   allocated once and recycled forever after. *)
 let blank () =
-  {
+  ({
     id = 0;
     src = 0;
     dst = 0;
@@ -75,7 +76,7 @@ let blank () =
     i7 = 0;
     f = Array.make float_slots 0.0;
     str = "";
-  }
+    } [@leotp.allow "hot-path-may-alloc"])
 
 (* Domain-local so independent simulations running on worker domains
    (bench --jobs N) each see the same id sequence as a sequential run. *)

@@ -34,6 +34,16 @@ let debug =
 let set_debug v = Atomic.set debug v
 let debug_enabled () = Atomic.get debug
 
+(* Double releases are counted unconditionally — in non-debug builds the
+   first release still wins, but a non-zero count after a run is exactly
+   the bug the leotp-own static pass hunts for, so tests assert it is 0.
+   Cross-domain aggregate: worker domains each release on their own pool,
+   the counter sums them. *)
+let double_releases = Leotp_util.Atomic_counter.create ()
+
+let double_release_count () = Leotp_util.Atomic_counter.get double_releases
+let reset_double_release_count () = Leotp_util.Atomic_counter.reset double_releases
+
 let poison_int = (1 lsl 61) + 0xDEAD
 let poison_float = Float.neg_infinity
 
@@ -62,8 +72,9 @@ let free_count () = (Domain.DLS.get pool).len
 let release (p : Packet.t) =
   if Packet.get_flag p Packet.flag_free then begin
     (* Already in the free list: releasing again would alias the record
-       between two future owners.  Loudly in debug, ignored otherwise
-       (the first release already made the record recyclable). *)
+       between two future owners.  Counted always, loud in debug, ignored
+       otherwise (the first release already made the record recyclable). *)
+    Leotp_util.Atomic_counter.incr double_releases;
     if Atomic.get debug then
       invalid_arg
         (Printf.sprintf "Packet_pool.release: double release of packet %d"
@@ -77,11 +88,13 @@ let release (p : Packet.t) =
     let cap = Array.length s.arr in
     if s.len = cap then begin
       let ncap = max 256 (2 * cap) in
-      let narr = Array.make ncap p in
+      (* doubling growth: amortized O(1), not a steady-state allocation *)
+      let narr = (Array.make [@leotp.allow "hot-path-may-alloc"]) ncap p in
       Array.blit s.arr 0 narr 0 s.len;
       s.arr <- narr
     end;
-    s.arr.(s.len) <- p;
+    (* the free list is the terminal owner of a released record *)
+    (s.arr.(s.len) <- p) [@leotp.allow "own-escape"];
     s.len <- s.len + 1
   end
 
@@ -92,7 +105,8 @@ let acquire ~src ~dst ~flow ~size ~kind =
   incr (Domain.DLS.get live);
   let s = Domain.DLS.get pool in
   let p =
-    if s.len = 0 then Packet.blank ()
+    (* empty-pool refill: each record is allocated once, then recycled *)
+    if s.len = 0 then (Packet.blank [@leotp.allow "hot-path-may-alloc"]) ()
     else begin
       s.len <- s.len - 1;
       let p = s.arr.(s.len) in
@@ -126,13 +140,23 @@ let acquire ~src ~dst ~flow ~size ~kind =
    the same logical packet twice, so the copy consumes no fresh id and
    traces under the original's id. *)
 let clone (p : Packet.t) =
+  (* Cloning a released record is a use-after-release: the source may
+     already be recycled under another owner (and is poisoned in debug). *)
+  if Atomic.get debug && Packet.get_flag p Packet.flag_free then
+    invalid_arg
+      (Printf.sprintf "Packet_pool.clone: clone of released packet %d"
+         p.Packet.id);
   incr (Domain.DLS.get live);
   let s = Domain.DLS.get pool in
   let c =
-    if s.len = 0 then Packet.blank ()
+    (* empty-pool refill: each record is allocated once, then recycled *)
+    if s.len = 0 then (Packet.blank [@leotp.allow "hot-path-may-alloc"]) ()
     else begin
       s.len <- s.len - 1;
-      s.arr.(s.len)
+      let c = s.arr.(s.len) in
+      if Atomic.get debug && not (Packet.get_flag c Packet.flag_free) then
+        invalid_arg "Packet_pool.clone: free-list record not marked free";
+      c
     end
   in
   c.Packet.id <- p.Packet.id;

@@ -17,7 +17,16 @@ val release : Packet.t -> unit
 
 val clone : Packet.t -> Packet.t
 (** Copy for link-level duplication: identical fields {e including} the
-    id (it is the same logical packet) — consumes no fresh id. *)
+    id (it is the same logical packet) — consumes no fresh id.  Cloning
+    an already-released record raises [Invalid_argument] in debug mode
+    (it is a use-after-release). *)
+
+val double_release_count : unit -> int
+(** Lifetime count of double releases observed, summed across domains.
+    Non-debug builds ignore the redundant release (first wins) but still
+    count it; tests assert the count stays 0 across a run. *)
+
+val reset_double_release_count : unit -> unit
 
 val set_debug : bool -> unit
 (** Poison released records (sentinel ints, -inf floats, negated id) and

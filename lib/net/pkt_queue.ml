@@ -13,9 +13,11 @@ type t = {
 
 let create () =
   (* The array is grown lazily at first push so idle queues cost one
-     blank record, not a 64-slot array. *)
+     blank record, not a 64-slot array.  One queue record per link/flow
+     at setup — not per-packet. *)
   let placeholder = (Packet.blank [@leotp.allow "hot-path-alloc"]) () in
-  { arr = [||]; head = 0; len = 0; placeholder }
+  ({ arr = [||]; head = 0; len = 0; placeholder }
+  [@leotp.allow "hot-path-may-alloc"])
 
 let length t = t.len
 let is_empty t = t.len = 0
@@ -23,7 +25,8 @@ let is_empty t = t.len = 0
 let grow t =
   let cap = Array.length t.arr in
   let ncap = max 64 (2 * cap) in
-  let narr = Array.make ncap t.placeholder in
+  (* doubling growth: amortized O(1), not a steady-state allocation *)
+  let narr = (Array.make [@leotp.allow "hot-path-may-alloc"]) ncap t.placeholder in
   for i = 0 to t.len - 1 do
     narr.(i) <- t.arr.((t.head + i) mod cap)
   done;

@@ -35,7 +35,10 @@ let now t = t.clock
 let schedule_at t ~time action =
   let time = Float.max time t.clock in
   let timer =
-    { time; seq = t.next_seq; action; cancelled = false; fired = false; owner = t }
+    (* the timer record is the simulator's unit of work — one per
+       scheduled event is the cost of discrete-event simulation *)
+    ({ time; seq = t.next_seq; action; cancelled = false; fired = false; owner = t }
+    [@leotp.allow "hot-path-may-alloc"])
   in
   t.next_seq <- t.next_seq + 1;
   Leotp_util.Pqueue.push t.queue timer;
@@ -55,7 +58,10 @@ let maybe_compact t =
     t.cancelled_pending >= compact_min
     && 2 * t.cancelled_pending > Leotp_util.Pqueue.length t.queue
   then begin
-    Leotp_util.Pqueue.filter_in_place t.queue ~keep:(fun tm -> not tm.cancelled);
+    (* compaction runs once per [compact_min] cancellations, amortized
+       far below one allocation per event *)
+    Leotp_util.Pqueue.filter_in_place t.queue
+      ~keep:((fun tm -> not tm.cancelled) [@leotp.allow "hot-path-may-alloc"]);
     t.cancelled_pending <- 0
   end
 
@@ -75,21 +81,20 @@ let is_pending timer = (not timer.cancelled) && not timer.fired
 let note_popped t timer =
   if timer.cancelled then t.cancelled_pending <- t.cancelled_pending - 1
 
-let step t =
-  let rec next () =
-    match Leotp_util.Pqueue.pop t.queue with
-    | None -> false
-    | Some timer when timer.cancelled ->
-      note_popped t timer;
-      next ()
-    | Some timer ->
-      t.clock <- Float.max t.clock timer.time;
-      timer.fired <- true;
-      t.processed <- t.processed + 1;
-      timer.action ();
-      true
-  in
-  next ()
+(* Directly recursive (no local [next] closure): [step] runs once per
+   event, and a closure capturing [t] is a minor-heap allocation. *)
+let rec step t =
+  match Leotp_util.Pqueue.pop t.queue with
+  | None -> false
+  | Some timer when timer.cancelled ->
+    note_popped t timer;
+    step t
+  | Some timer ->
+    t.clock <- Float.max t.clock timer.time;
+    timer.fired <- true;
+    t.processed <- t.processed + 1;
+    timer.action ();
+    true
 
 let run ?until t =
   match until with
@@ -111,34 +116,27 @@ let run ?until t =
    [time <= until].  The caller loops, regaining control between slices —
    the seam where a progress callback runs today and where a partitioned
    (per-shard) queue would hand control across shards tomorrow. *)
+let rec slice_loop t ~until budget fired =
+  if fired >= budget then `Events
+  else
+    match Leotp_util.Pqueue.peek t.queue with
+    | Some timer when timer.cancelled ->
+      ignore (Leotp_util.Pqueue.pop t.queue);
+      note_popped t timer;
+      slice_loop t ~until budget fired
+    | Some timer when timer.time <= until ->
+      ignore (step t);
+      slice_loop t ~until budget (fired + 1)
+    | Some _ ->
+      t.clock <- Float.max t.clock until;
+      `Until
+    | None ->
+      t.clock <- Float.max t.clock until;
+      `Quiescent
+
 let run_slice ?max_events t ~until =
   let budget = match max_events with None -> max_int | Some n -> max 1 n in
-  let fired = ref 0 in
-  let result = ref `Until in
-  let continue = ref true in
-  while !continue do
-    if !fired >= budget then begin
-      result := `Events;
-      continue := false
-    end
-    else
-      match Leotp_util.Pqueue.peek t.queue with
-      | Some timer when timer.cancelled ->
-        ignore (Leotp_util.Pqueue.pop t.queue);
-        note_popped t timer
-      | Some timer when timer.time <= until ->
-        ignore (step t);
-        incr fired
-      | Some _ ->
-        t.clock <- Float.max t.clock until;
-        result := `Until;
-        continue := false
-      | None ->
-        t.clock <- Float.max t.clock until;
-        result := `Quiescent;
-        continue := false
-  done;
-  !result
+  slice_loop t ~until budget 0
 
 let pending_events t = Leotp_util.Pqueue.length t.queue
 let cancelled_pending t = t.cancelled_pending

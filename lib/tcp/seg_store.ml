@@ -40,7 +40,8 @@ let get t i = t.buf.((t.head + i) mod Array.length t.buf)
 
 let grow t =
   let cap = Array.length t.buf in
-  let buf = Array.make (2 * cap) dummy in
+  (* doubling growth: amortized O(1), not a steady-state allocation *)
+  let buf = (Array.make [@leotp.allow "hot-path-may-alloc"]) (2 * cap) dummy in
   for i = 0 to t.count - 1 do
     buf.(i) <- get t i
   done;
@@ -59,14 +60,17 @@ let pop_front t =
   t.head <- (t.head + 1) mod Array.length t.buf;
   t.count <- t.count - 1
 
-(* Index of the first segment with [seq >= from]; [t.count] if none. *)
-let lower_bound t ~from =
-  let lo = ref 0 and hi = ref t.count in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if (get t mid).seq < from then lo := mid + 1 else hi := mid
-  done;
-  !lo
+(* Index of the first segment with [seq >= from]; [t.count] if none.
+   Top-level recursion rather than while+ref: this runs per ack, and a
+   local [ref] (or a captured closure) is a minor-heap allocation. *)
+let rec lb_search t ~from lo hi =
+  if lo >= hi then lo
+  else
+    let mid = (lo + hi) / 2 in
+    if (get t mid).seq < from then lb_search t ~from (mid + 1) hi
+    else lb_search t ~from lo mid
+
+let lower_bound t ~from = lb_search t ~from 0 t.count
 
 let find t pos =
   let i = lower_bound t ~from:pos in
@@ -82,37 +86,43 @@ let iter t f =
   done
 
 (* Ordered scan starting at the first segment with [seq >= from]; stops
-   when [f] returns false. *)
-let iter_from_while t ~from f =
-  let i = ref (lower_bound t ~from) in
-  let continue = ref true in
-  while !continue && !i < t.count do
-    continue := f (get t !i);
-    incr i
-  done
+   when [f] returns false.  Recursion, not while+ref: this is the SACK
+   scan, run per ack. *)
+let rec iter_while_at t f i =
+  if i < t.count && f (get t i) then iter_while_at t f (i + 1)
+
+let iter_from_while t ~from f = iter_while_at t f (lower_bound t ~from)
+
+(* Next retransmission candidate.  A dedicated scan (rather than
+   [iter_from_while] with a closure over a [ref]) keeps the sender's
+   per-ack path free of closure allocations. *)
+let rec first_lost_at t i =
+  if i >= t.count then None
+  else
+    let seg = get t i in
+    if seg.lost && not seg.sacked then Some seg else first_lost_at t (i + 1)
+
+let first_lost t ~from = first_lost_at t (lower_bound t ~from)
 
 (* Cumulative-ack removal: drop every segment entirely below [cum]
    (calling [on_drop] on each) and truncate a straddler in place so its
    unacknowledged tail stays outstanding.  [on_straddle seg head] runs
    before the truncation with [head] = acknowledged bytes. *)
-let drop_below t ~cum ~on_drop ~on_straddle =
-  let continue = ref true in
-  while !continue && t.count > 0 do
+let rec drop_below t ~cum ~on_drop ~on_straddle =
+  if t.count > 0 then begin
     let seg = get t 0 in
     if seg.seq + seg.len <= cum then begin
       on_drop seg;
-      pop_front t
+      pop_front t;
+      drop_below t ~cum ~on_drop ~on_straddle
     end
-    else begin
-      if seg.seq < cum then begin
-        let head = cum - seg.seq in
-        on_straddle seg head;
-        seg.seq <- cum;
-        seg.len <- seg.len - head
-      end;
-      continue := false
+    else if seg.seq < cum then begin
+      let head = cum - seg.seq in
+      on_straddle seg head;
+      seg.seq <- cum;
+      seg.len <- seg.len - head
     end
-  done
+  end
 
 let clear t =
   Array.fill t.buf 0 (Array.length t.buf) dummy;

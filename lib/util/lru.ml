@@ -52,7 +52,12 @@ let put t k v =
     node.value <- v;
     touch t node
   | None ->
-    let node = { key = k; value = v; prev = None; next = None } in
+    (* one LRU node per cached block insertion — per-block (amortized
+       over the block's many packets) and recycled through eviction *)
+    let node =
+      ({ key = k; value = v; prev = None; next = None }
+      [@leotp.allow "hot-path-may-alloc"])
+    in
     Hashtbl.replace t.table k node;
     push_front t node
 
@@ -68,7 +73,9 @@ let evict_lru t =
   | Some node ->
     unlink t node;
     Hashtbl.remove t.table node.key;
-    Some (node.key, node.value)
+    (* the evicted (key, value) pair: one per eviction, i.e. once per
+       block-sized insertion when the cache is full — not per packet *)
+    (Some (node.key, node.value) [@leotp.allow "hot-path-may-alloc"])
   | None -> None
 
 (* Walk the recency list (MRU first) rather than the hash table: the

@@ -12,47 +12,46 @@ let grow t x =
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = max 16 (2 * cap) in
-    let ndata = Array.make ncap x in
+    (* doubling growth: amortized O(1), not a steady-state allocation *)
+    let ndata = (Array.make [@leotp.allow "hot-path-may-alloc"]) ncap x in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata
+  end
+
+(* The sift loops recurse on indices instead of using while+ref: both
+   run per engine event, and a local [ref] is a minor-heap cell. *)
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
   end
 
 let push t x =
   grow t x;
   t.data.(t.size) <- x;
   t.size <- t.size + 1;
-  (* sift up *)
-  let i = ref (t.size - 1) in
-  let continue = ref true in
-  while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if t.cmp t.data.(!i) t.data.(parent) < 0 then begin
-      let tmp = t.data.(!i) in
-      t.data.(!i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      i := parent
-    end
-    else continue := false
-  done
+  sift_up t (t.size - 1)
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
-let sift_down t start =
-  let i = ref start in
-  let continue = ref true in
-  while !continue do
-    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-    let smallest = ref !i in
-    if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-    if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
-    if !smallest <> !i then begin
-      let tmp = t.data.(!i) in
-      t.data.(!i) <- t.data.(!smallest);
-      t.data.(!smallest) <- tmp;
-      i := !smallest
-    end
-    else continue := false
-  done
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && t.cmp t.data.(l) t.data.(i) < 0 then l else i in
+  let smallest =
+    if r < t.size && t.cmp t.data.(r) t.data.(smallest) < 0 then r
+    else smallest
+  in
+  if smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(smallest);
+    t.data.(smallest) <- tmp;
+    sift_down t smallest
+  end
 
 let pop t =
   if t.size = 0 then None
@@ -66,6 +65,8 @@ let pop t =
     Some root
   end
 
+(* Compaction: runs once per batch of cancellations (the caller
+   amortizes), so its scratch cells are off the per-event budget. *)
 let filter_in_place t ~keep =
   let j = ref 0 in
   for i = 0 to t.size - 1 do
@@ -93,6 +94,7 @@ let filter_in_place t ~keep =
   for i = (t.size / 2) - 1 downto 0 do
     sift_down t i
   done
+[@@leotp.allow "hot-path-may-alloc"]
 
 let clear t =
   t.data <- [||];

@@ -9,7 +9,11 @@ let create () = { samples = [||]; size = 0; sorted = None }
 let add t x =
   let cap = Array.length t.samples in
   if t.size = cap then begin
-    let ndata = Array.make (Stdlib.max 64 (2 * cap)) 0.0 in
+    (* doubling growth: amortized O(1), not a steady-state allocation *)
+    let ndata =
+      (Array.make [@leotp.allow "hot-path-may-alloc"])
+        (Stdlib.max 64 (2 * cap)) 0.0
+    in
     Array.blit t.samples 0 ndata 0 t.size;
     t.samples <- ndata
   end;
@@ -114,9 +118,11 @@ end
 module Ewma = struct
   type t = { alpha : float; mutable value : float; mutable primed : bool }
 
+  (* One record per estimator at setup — not per-sample. *)
   let create ~alpha =
     assert (alpha > 0.0 && alpha <= 1.0);
-    { alpha; value = Float.nan; primed = false }
+    ({ alpha; value = Float.nan; primed = false }
+    [@leotp.allow "hot-path-may-alloc"])
 
   let add t x =
     if t.primed then t.value <- ((1.0 -. t.alpha) *. t.value) +. (t.alpha *. x)

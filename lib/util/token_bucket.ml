@@ -5,9 +5,11 @@ type t = {
   mutable last : float;
 }
 
+(* One bucket record per flow/link at setup — not per-packet. *)
 let create ~rate ~burst ~now =
   assert (rate >= 0.0 && burst > 0.0);
-  { rate; burst; tokens = burst; last = now }
+  ({ rate; burst; tokens = burst; last = now }
+  [@leotp.allow "hot-path-may-alloc"])
 
 let refill t now =
   if now > t.last then begin

@@ -1,3 +1,8 @@
+(* The deque is a short list (O(samples in window)) rebuilt per sample —
+   endpoint RTT filtering, not the relay forwarding path; the list cells
+   are the design. *)
+[@@@leotp.allow "hot-path-may-alloc"]
+
 type kind = Min | Max
 
 type t = {

@@ -67,8 +67,11 @@ let test_retirement_leaves_nothing () =
   (* Pool debug poisons released packets, so any use-after-release in
      the retire path crashes here rather than corrupting silently. *)
   Pool.set_debug true;
+  Pool.reset_double_release_count ();
   Fun.protect ~finally:(fun () -> Pool.set_debug false) @@ fun () ->
   let s = run_with_jobs 1 in
+  Alcotest.(check int) "no double release anywhere in the run" 0
+    (Pool.double_release_count ());
   Alcotest.(check int) "no pooled packet leaked" 0 s.Fleet.pool_live_delta;
   Alcotest.(check int) "all PITs empty" 0 s.Fleet.pit_pending_end;
   List.iter

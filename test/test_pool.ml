@@ -222,6 +222,87 @@ let test_double_release_raises_in_debug () =
   let q = Pool.acquire ~src:0 ~dst:0 ~flow:0 ~size:1 ~kind:Packet.kind_raw in
   Pool.release q
 
+let test_double_release_counted_without_debug () =
+  let before = Pool.double_release_count () in
+  let p = Pool.acquire ~src:1 ~dst:2 ~flow:3 ~size:10 ~kind:Packet.kind_raw in
+  Pool.release p;
+  (* Non-debug: the redundant release is ignored (first wins) but the
+     counter records the bug for teardown asserts. *)
+  Pool.release p;
+  Alcotest.(check int) "double release counted" (before + 1)
+    (Pool.double_release_count ());
+  Alcotest.(check int) "record not double-pooled: live delta is -1 not -2"
+    0
+    (let q = Pool.acquire ~src:0 ~dst:0 ~flow:0 ~size:1 ~kind:Packet.kind_raw in
+     let d = Pool.live_count () in
+     Pool.release q;
+     d - Pool.live_count () - 1);
+  Pool.reset_double_release_count ();
+  Alcotest.(check int) "counter reset" 0 (Pool.double_release_count ())
+
+let test_clone_of_released_raises_in_debug () =
+  with_debug @@ fun () ->
+  let p = Pool.acquire ~src:1 ~dst:2 ~flow:3 ~size:64 ~kind:Packet.kind_raw in
+  Pool.release p;
+  (match Pool.clone p with
+  | _ -> Alcotest.fail "clone of released packet did not raise in debug mode"
+  | exception Invalid_argument _ -> ());
+  let q = Pool.acquire ~src:0 ~dst:0 ~flow:0 ~size:1 ~kind:Packet.kind_raw in
+  Pool.release q
+
+let test_clone_recycles_poisoned_record () =
+  with_debug @@ fun () ->
+  (* Release a scribbled record, then clone a live one: the clone must
+     reuse the poisoned free-list record (LIFO pool: it sits on top) and
+     come out an exact copy. *)
+  let p = Pool.acquire ~src:1 ~dst:2 ~flow:3 ~size:50 ~kind:Packet.kind_raw in
+  let dead = Pool.acquire ~src:9 ~dst:9 ~flow:9 ~size:9 ~kind:Packet.kind_raw in
+  scribble dead;
+  Pool.release dead;
+  p.Packet.i0 <- 42;
+  p.Packet.f.(1) <- 2.5;
+  let c = Pool.clone p in
+  Alcotest.(check bool) "clone reused the released record" true (c == dead);
+  Alcotest.(check int) "same id (same logical packet)" p.Packet.id c.Packet.id;
+  Alcotest.(check int) "slot copied, not poisoned" 42 c.Packet.i0;
+  Alcotest.(check bool) "float slot copied" true
+    (Float.equal c.Packet.f.(1) 2.5);
+  Alcotest.(check bool) "clone is not marked free" false
+    (Packet.get_flag c Packet.flag_free);
+  Pool.release p;
+  Pool.release c
+
+let test_live_count_exact_across_domain_pool_jobs () =
+  (* Pools and live counters are domain-local: each Domain_pool worker
+     must see an exactly balanced acquire/clone/release ledger for its
+     own jobs, independent of what other workers do. *)
+  let dp = Leotp_util.Domain_pool.create ~size:2 in
+  Fun.protect ~finally:(fun () -> Leotp_util.Domain_pool.shutdown dp)
+  @@ fun () ->
+  let job n =
+    let d0 = Pool.live_count () in
+    let ps =
+      List.init n (fun i ->
+          Pool.acquire ~src:i ~dst:i ~flow:i ~size:(i + 1)
+            ~kind:Packet.kind_raw)
+    in
+    let cs = List.map Pool.clone ps in
+    let mid = Pool.live_count () - d0 in
+    List.iter Pool.release ps;
+    List.iter Pool.release cs;
+    (mid, Pool.live_count () - d0)
+  in
+  let results = Leotp_util.Domain_pool.map dp job [ 5; 17; 33; 9; 21; 2 ] in
+  List.iter2
+    (fun n (mid, fin) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%d acquires + clones live mid-job" n)
+        (2 * n) mid;
+      Alcotest.(check int) "balanced after releases" 0 fin)
+    [ 5; 17; 33; 9; 21; 2 ] results;
+  Alcotest.(check int) "no double release across jobs" 0
+    (Pool.double_release_count ())
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "leotp_pool"
@@ -240,5 +321,13 @@ let () =
             test_poison_catches_use_after_release;
           Alcotest.test_case "double release raises in debug" `Quick
             test_double_release_raises_in_debug;
+          Alcotest.test_case "double release counted without debug" `Quick
+            test_double_release_counted_without_debug;
+          Alcotest.test_case "clone of released raises in debug" `Quick
+            test_clone_of_released_raises_in_debug;
+          Alcotest.test_case "clone recycles poisoned record" `Quick
+            test_clone_recycles_poisoned_record;
+          Alcotest.test_case "live_count exact across Domain_pool jobs" `Quick
+            test_live_count_exact_across_domain_pool_jobs;
         ] );
     ]
