@@ -6,12 +6,13 @@ set -eu
 cd "$(dirname "$0")/.."
 
 # Static analysis first: determinism & hygiene rules plus the --race
-# interprocedural domain-safety pass and the --own packet-ownership /
-# allocation-effect / time-taint pass (see LINT.md).  Fails on any
-# error-severity finding; LINT.json sits next to the BENCH_*.json
-# records for trend tracking (per-pass wall times under timings_ms).
+# interprocedural domain-safety pass, the --own packet-ownership /
+# allocation-effect / time-taint pass and the --dim units-of-measure
+# pass (see LINT.md).  Fails on any error-severity finding; LINT.json
+# sits next to the BENCH_*.json records for trend tracking (per-pass
+# wall times under timings_ms).
 dune build @lint
-dune exec bin/leotp_lint.exe -- --race --own --quiet --json LINT.json \
+dune exec bin/leotp_lint.exe -- --race --own --dim --quiet --json LINT.json \
   lib bench bin
 
 # The rules table in LINT.md is generated: it must match the registry

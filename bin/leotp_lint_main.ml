@@ -1,7 +1,7 @@
 (* leotp-lint CLI: scan .ml trees, print text findings, optionally write
    a JSON report.
 
-   Usage: leotp_lint.exe [--race] [--own] [--json FILE] [--rules
+   Usage: leotp_lint.exe [--race] [--own] [--dim] [--json FILE] [--rules
    [--markdown]] [PATH ...]
    Default paths: lib bench bin (relative to the cwd).
 
@@ -16,10 +16,11 @@ module Rules = Leotp_lint.Rules
 module Engine = Leotp_lint.Engine
 module Race = Leotp_lint.Race
 module Own = Leotp_lint.Own
+module Dim = Leotp_lint.Dim
 
 let usage =
-  "leotp_lint [--race] [--own] [--json FILE] [--rules [--markdown]] \
-   [--quiet] [PATH ...]\n\
+  "leotp_lint [--race] [--own] [--dim] [--json FILE] [--rules \
+   [--markdown]] [--quiet] [PATH ...]\n\
    Static determinism/hygiene analysis (see LINT.md).  Default paths: \
    lib bench bin.\n\n\
    Exit codes: 0 = no error-severity findings (warnings allowed);\n\
@@ -70,6 +71,7 @@ let () =
   let quiet = ref false in
   let race = ref false in
   let own = ref false in
+  let dim = ref false in
   let paths = ref [] in
   let spec =
     [
@@ -80,6 +82,10 @@ let () =
         Arg.Set own,
         " also run the interprocedural ownership/allocation/time-taint \
          (own) pass" );
+      ( "--dim",
+        Arg.Set dim,
+        " also run the interprocedural dimensional-analysis (units of \
+         measure) pass" );
       ( "--json",
         Arg.String (fun s -> json_out := Some s),
         "FILE write a JSON report to FILE" );
@@ -127,6 +133,12 @@ let () =
       if !own then
         List.sort_uniq Finding.compare
           (timed "own" (fun () -> Own.scan paths) @ findings)
+      else findings
+    in
+    let findings =
+      if !dim then
+        List.sort_uniq Finding.compare
+          (timed "dim" (fun () -> Dim.scan paths) @ findings)
       else findings
     in
     (files, findings)

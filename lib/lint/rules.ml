@@ -534,6 +534,45 @@ let time_taint =
      directly or through harness helpers; route real time through the \
      harness stratum (interprocedural; run with --own)"
 
+(* -- Rules 17..21: the leotp-dim family ------------------------------ *)
+
+(* Same pattern again: the dimensional analysis is interprocedural
+   (unit inference over the call graph) and lives in Dim, run via
+   `leotp_lint.exe --dim`. *)
+
+let dim_mixed_arith =
+  own_rule "dim-mixed-arith"
+    "arithmetic or a comparison mixes incompatible units of measure \
+     (seconds + bytes, ms passed where a seeded signature expects \
+     seconds); convert via Leotp_util.Units or pin with [@leotp.dim] \
+     (interprocedural; run with --dim)"
+
+let dim_bad_product =
+  own_rule "dim-bad-product"
+    "a product multiplies two rates or two durations; no protocol \
+     quantity has that unit, so one factor is almost certainly wrong \
+     (interprocedural; run with --dim)"
+
+let dim_raw_conversion =
+  own_rule "dim-raw-conversion"
+    "a magic constant re-derives a Leotp_util.Units conversion on a \
+     value with a known unit (*. 1000. on seconds, /. 8. on bits, \
+     ...); call the named Units helper instead (interprocedural; run \
+     with --dim)"
+
+let dim_seqno_arith =
+  own_rule "dim-seqno-arith"
+    "an ordinal sequence number is used as a byte/bit/packet count or \
+     vice versa; offsets difference to counts, they do not add to \
+     sizes (interprocedural; run with --dim)"
+
+let dim_annotation =
+  own_rule "dim-annotation"
+    "a [@leotp.dim] payload does not follow the grammar \"<unit> \
+     <param>...\" | \"returns <unit>\" | \"<unit>\" (clauses \
+     comma-separated), uses an unknown unit, or names a parameter the \
+     function does not have"
+
 let all =
   [
     no_wall_clock;
@@ -552,6 +591,11 @@ let all =
     own_annotation;
     hot_path_may_alloc;
     time_taint;
+    dim_mixed_arith;
+    dim_bad_product;
+    dim_raw_conversion;
+    dim_seqno_arith;
+    dim_annotation;
   ]
 
 let known_ids = List.map (fun r -> r.id) all

@@ -61,7 +61,7 @@ let fig03 () =
   List.iter
     (fun (name, stats) ->
       Report.row "  %-12s" name;
-      List.iter (fun (k, v) -> Report.row "  %s=%5.0fms" k (v *. 1000.0)) stats;
+      List.iter (fun (k, v) -> Report.row "  %s=%5.0fms" k (Report.ms v)) stats;
       Report.newline ())
     results;
   results
@@ -92,7 +92,7 @@ let fig04 ?(quick = false) () =
   List.iter
     (fun (name, (tput, owd)) ->
       Report.row "  %-16s tput=%5.2f Mbps  mean OWD=%6.1f ms\n" name tput
-        (owd *. 1000.0))
+        (Report.ms owd))
     results;
   results
 
@@ -129,7 +129,7 @@ let fig05 ?(quick = false) () =
       Report.row "  %-8s" name;
       List.iter
         (fun (p, q, drops) ->
-          Report.row "  %3.0fms: q=%5.1fms loss=%d" (p *. 1000.0) (q *. 1000.0) drops)
+          Report.row "  %3.0fms: q=%5.1fms loss=%d" (Report.ms p) (Report.ms q) drops)
         rows;
       Report.newline ())
     results;
@@ -165,7 +165,7 @@ let fig10 ?(quick = false) () =
       List.iter
         (fun (plr, mean, p99) ->
           Report.row "  plr=%.3f: mean=%5.1fms p99=%5.1fms" plr
-            (mean *. 1000.0) (p99 *. 1000.0))
+            (Report.ms mean) (Report.ms p99))
         rows;
       Report.newline ())
     results;
@@ -175,10 +175,10 @@ let fig10 ?(quick = false) () =
 (* Fig 11: origin traffic for a fixed file vs loss rate.                *)
 
 let fig11 ?(quick = false) () =
-  let file = if quick then 5_000_000 else 100_000_000 in
+  let file = Leotp_util.Units.mb_to_bytes_int (if quick then 5 else 100) in
   Report.header
     (Printf.sprintf "Fig 11: origin traffic for a %d MB file vs per-hop loss"
-       (file / 1_000_000));
+       (Leotp_util.Units.bytes_to_mb_int file));
   let plrs = if quick then [ 0.0; 0.01 ] else [ 0.0; 0.005; 0.01; 0.015; 0.02 ] in
   let protos = [ leotp_default; Common.Tcp Cc.Bbr ] in
   let results =
@@ -190,7 +190,7 @@ let fig11 ?(quick = false) () =
                  (Common.link ~plr ~bw:20.0 ~delay:0.01 ()))
             proto
         in
-        float_of_int s.Common.wire_bytes /. 1e6)
+        Leotp_util.Units.bytes_to_mb (float_of_int s.Common.wire_bytes))
     |> List.map (fun (proto, rows) -> (Common.protocol_name proto, rows))
   in
   List.iter
@@ -379,7 +379,7 @@ let fig14 ?(quick = false) () =
   List.iter
     (fun (name, (tput, q)) ->
       Report.row "  %-14s tput=%5.2f Mbps  queuing=%6.1f ms\n" name tput
-        (q *. 1000.0))
+        (Report.ms q))
     results;
   results
 

@@ -5,7 +5,7 @@
    the no-direct-print lint rule is allowed here and only here. *)
 [@@@leotp.allow "no-direct-print"]
 
-let ms s = s *. 1000.0
+let ms s = Leotp_util.Units.sec_to_ms s
 
 let header title =
   Printf.printf "\n=== %s ===\n" title

@@ -92,7 +92,7 @@ let run_pair ?(quick = false) ?(seed = 42) ~src ~dst ~isls protocol =
     let rec go prev = function
       | [] -> []
       | (t, h) :: rest ->
-        let sig_ = List.map (fun (x : Path_service.hop) -> Float.round (x.Path_service.distance /. 1000.0)) h in
+        let sig_ = List.map (fun (x : Path_service.hop) -> Float.round (Leotp_util.Units.m_to_km x.Path_service.distance)) h in
         if prev <> Some sig_ && prev <> None then t :: go (Some sig_) rest
         else go (Some sig_) rest
     in
@@ -190,9 +190,9 @@ let fig16 ?(quick = false) () =
       Report.row
         "  %-8s tput=%5.2f Mbps  owd(avg)=%6.1fms  queuing(avg)=%6.1fms  p99=%6.1fms\n"
         name r.summary.Common.goodput_mbps
-        (Stats.mean r.summary.Common.owd *. 1000.0)
-        (Stats.mean r.summary.Common.queuing_delay *. 1000.0)
-        (Stats.percentile r.summary.Common.owd 99.0 *. 1000.0);
+        (Report.ms (Stats.mean r.summary.Common.owd))
+        (Report.ms (Stats.mean r.summary.Common.queuing_delay))
+        (Report.ms (Stats.percentile r.summary.Common.owd 99.0));
       Report.cdf_rows ~points:8 (name ^ " OWD") r.summary.Common.owd)
     results;
   results
@@ -214,9 +214,9 @@ let fig17 ?(quick = false) () =
       Report.row
         "  %-8s tput=%5.2f Mbps  owd(avg)=%6.1fms  queuing(avg)=%6.1fms  p99=%6.1fms (hops~%.1f)\n"
         name r.summary.Common.goodput_mbps
-        (Stats.mean r.summary.Common.owd *. 1000.0)
-        (Stats.mean r.summary.Common.queuing_delay *. 1000.0)
-        (Stats.percentile r.summary.Common.owd 99.0 *. 1000.0)
+        (Report.ms (Stats.mean r.summary.Common.owd))
+        (Report.ms (Stats.mean r.summary.Common.queuing_delay))
+        (Report.ms (Stats.percentile r.summary.Common.owd 99.0))
         r.mean_hops;
       Report.cdf_rows ~points:8 (name ^ " OWD") r.summary.Common.owd)
     results;
@@ -261,7 +261,7 @@ let fig18 ?(quick = false) () =
   List.iter
     (fun (pair, proto, owd, tput) ->
       Report.row "  %-20s %-16s owd=%6.1fms  tput=%5.2f Mbps\n" pair proto
-        (owd *. 1000.0) tput)
+        (Report.ms owd) tput)
     results;
   results
 
@@ -289,7 +289,7 @@ let table2 ?(quick = false) () =
                ( Printf.sprintf "%s-%s" src dst,
                  label,
                  r.summary.Common.goodput_mbps,
-                 Stats.mean r.summary.Common.owd *. 1000.0 ))
+                 Report.ms (Stats.mean r.summary.Common.owd) ))
              configs)
          pairs)
   in

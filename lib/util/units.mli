@@ -2,7 +2,11 @@
 
     Internal conventions: time in seconds, sizes in bytes, rates in
     bytes/second, distances in meters.  The paper quotes link rates in
-    Mbps (decimal megabits) and delays in milliseconds. *)
+    Mbps (decimal megabits) and delays in milliseconds.
+
+    Inline conversion constants elsewhere in lib/ are flagged by the
+    leotp-lint [--dim] pass (rule dim-raw-conversion); route
+    conversions through these helpers instead. *)
 
 val bits_per_byte : float
 
@@ -13,8 +17,19 @@ val mbps_to_bytes_per_sec : float -> float
 val bytes_per_sec_to_mbps : float -> float
 val ms_to_sec : float -> float
 val sec_to_ms : float -> float
+val usec_to_sec : float -> float
+val sec_to_usec : float -> float
 val km_to_m : float -> float
-val mb_to_bytes : int -> int
+val m_to_km : float -> float
+val bytes_to_bits : float -> float
+val bits_to_bytes : float -> float
+val mb_to_bytes : float -> float
+val bytes_to_mb : float -> float
+
+val mb_to_bytes_int : int -> int
+(** Integer variant for byte counters (file sizes, buffer budgets). *)
+
+val bytes_to_mb_int : int -> int
 
 val earth_radius : float
 (** Earth's mean radius, meters. *)

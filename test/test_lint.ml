@@ -270,7 +270,7 @@ let test_json_report () =
 let test_registry_docs () =
   (* every advertised rule id is non-empty and unique; doc strings exist *)
   let ids = Rules.known_ids in
-  Alcotest.(check int) "16 rules" 16 (List.length ids);
+  Alcotest.(check int) "21 rules" 21 (List.length ids);
   Alcotest.(check int) "unique"
     (List.length ids)
     (List.length (List.sort_uniq String.compare ids));
