@@ -33,6 +33,9 @@ module Trace = Leotp_net.Trace
 module Fuzz = Leotp_scenario.Fuzz
 module Fleet = Leotp_scenario.Fleet
 module Workload = Leotp_scenario.Workload
+module Pathtrace = Leotp_scenario.Pathtrace
+module Path_trace = Leotp_net.Path_trace
+module Stats = Leotp_util.Stats
 
 (* ------------------------------------------------------------------ *)
 (* Fig 19: Midnode CPU overhead, as per-packet processing cost          *)
@@ -113,6 +116,37 @@ let fig19 () =
     "  (flat across PLR = the paper's Fig 19 claim: cost dominated by per-packet work)"
 
 (* ------------------------------------------------------------------ *)
+(* Path-trace experiment results, stashed so the BENCH_pathtrace.json
+   perf record can carry the per-cell summary stats alongside the
+   generic perf fields.  Cells run under Runner.map, so everything in
+   this JSON — digests included — is identical for any --jobs N. *)
+
+let pathtrace_cells : (Pathtrace.cell * Pathtrace.run_result) list ref =
+  ref []
+
+let pathtrace_cells_json cells =
+  let cell_json ((c : Pathtrace.cell), (r : Pathtrace.run_result)) =
+    Printf.sprintf
+      "    {\"label\": \"%s\", \"horizon_s\": %.17g, \"isls\": %b, \"seed\": \
+       %d, \"handovers\": %d, \"handover_rate_per_s\": %.17g, \"outages\": \
+       %d, \"outage_fraction\": %.17g, \"mean_hops\": %.17g, \"switches\": \
+       %d, \"goodput_mbps\": %.17g, \"owd_ms_mean\": %.17g, \"owd_ms_p99\": \
+       %.17g, \"digest\": \"%s\"}"
+      c.Pathtrace.label c.Pathtrace.spec.Pathtrace.horizon
+      c.Pathtrace.spec.Pathtrace.isls c.Pathtrace.spec.Pathtrace.seed
+      r.Pathtrace.handovers
+      (if c.Pathtrace.spec.Pathtrace.horizon > 0.0 then
+         float_of_int r.Pathtrace.handovers /. c.Pathtrace.spec.Pathtrace.horizon
+       else 0.0)
+      r.Pathtrace.outages r.Pathtrace.outage_fraction r.Pathtrace.mean_hops
+      r.Pathtrace.switches r.Pathtrace.summary.Common.goodput_mbps
+      (Leotp_util.Units.sec_to_ms (Stats.mean r.Pathtrace.summary.Common.owd))
+      (Leotp_util.Units.sec_to_ms
+         (Stats.percentile r.Pathtrace.summary.Common.owd 99.0))
+      r.Pathtrace.digest
+  in
+  Printf.sprintf "  \"cells\": [\n%s\n  ]"
+    (String.concat ",\n" (List.map cell_json cells))
 
 let all_experiments =
   [
@@ -130,6 +164,7 @@ let all_experiments =
     ("fig17", fun ~quick -> ignore (S.fig17 ~quick ()));
     ("fig18", fun ~quick -> ignore (S.fig18 ~quick ()));
     ("table2", fun ~quick -> ignore (S.table2 ~quick ()));
+    ("pathtrace", fun ~quick -> pathtrace_cells := Pathtrace.experiment ~quick ());
     ("fig19", fun ~quick:_ -> fig19 ());
   ]
 
@@ -153,7 +188,7 @@ type perf = {
   minor_words_per_packet : float;
 }
 
-let json_of_perf p =
+let json_of_perf ?(extra = "") p =
   (* %.17g round-trips any float; no JSON library in the tree. *)
   Printf.sprintf
     "{\n\
@@ -172,16 +207,17 @@ let json_of_perf p =
     \  },\n\
     \  \"worker_alloc_bytes\": %.17g,\n\
     \  \"packets_simulated\": %d,\n\
-    \  \"minor_words_per_packet\": %.17g\n\
+    \  \"minor_words_per_packet\": %.17g%s\n\
      }\n"
     p.id p.quick p.jobs p.wall_s p.cpu_s p.jobs_run p.sim_seconds
     p.sim_per_wall p.minor_words p.major_words p.promoted_words
     p.worker_alloc_bytes p.packets_simulated p.minor_words_per_packet
+    (if extra = "" then "" else ",\n" ^ extra)
 
-let write_perf ~out_dir p =
+let write_perf ?extra ~out_dir p =
   let path = Filename.concat out_dir (Printf.sprintf "BENCH_%s.json" p.id) in
   let oc = open_out path in
-  output_string oc (json_of_perf p);
+  output_string oc (json_of_perf ?extra p);
   close_out oc;
   path
 
@@ -224,16 +260,21 @@ let run_instrumented ~quick ~out_dir (id, f) =
          else 0.0);
     }
   in
-  let path = write_perf ~out_dir p in
+  let extra =
+    match (id, !pathtrace_cells) with
+    | "pathtrace", (_ :: _ as cells) -> Some (pathtrace_cells_json cells)
+    | _ -> None
+  in
+  let path = write_perf ?extra ~out_dir p in
   Printf.printf "  [%s done in %.1fs wall / %.1fs cpu, %d jobs, %.0f sim-s/wall-s -> %s]\n%!"
     id wall cpu c.Runner.jobs_run p.sim_per_wall path;
   p
 
 (* Fixed quick subset for perf sanity checks: one pure-computation
-   experiment, one simulation sweep that exercises the runner, and the
+   experiment, one simulation sweep that exercises the runner, the
    retransmission-latency figure whose per-packet allocation number the
-   perf gate tracks. *)
-let perf_smoke_ids = [ "fig3"; "fig10"; "fig12" ]
+   perf gate tracks, and the trace-driven path replay. *)
+let perf_smoke_ids = [ "fig3"; "fig10"; "fig12"; "pathtrace" ]
 
 (* ------------------------------------------------------------------ *)
 (* Perf-regression gate: compare this run's per-packet allocation
@@ -508,6 +549,82 @@ let run_fault_lab ~quick ~out_dir ~spec ~trace_wanted =
   Invariants.all_ok reports
 
 (* ------------------------------------------------------------------ *)
+(* Path-trace mode: generate a TRACE_PATH timeline from the live
+   constellation (and replay it in-memory), or replay a trace file.
+   Both print the packet-trace digest; gen(live) and a replay of the
+   written file must print the same digest — the bit-identical replay
+   guarantee that bin/ci.sh checks. *)
+
+let print_pathtrace_run ~tag (r : Pathtrace.run_result) =
+  Printf.printf
+    "  %s: tput=%5.2f Mbps  owd(avg)=%6.1fms  switches %d\n" tag
+    r.Pathtrace.summary.Common.goodput_mbps
+    (Leotp_util.Units.sec_to_ms (Stats.mean r.Pathtrace.summary.Common.owd))
+    r.Pathtrace.switches;
+  Printf.printf "  digest %s\n" r.Pathtrace.digest
+
+let interp_of ~step = function
+  | `Hold -> Leotp_net.Dynamic_path.Hold_last
+  | `Linear -> Leotp_net.Dynamic_path.Linear { substep = step /. 4.0 }
+
+let run_path_trace ~mode ~file ~pair ~isls ~horizon ~step ~route_epoch ~interp
+    ~seed =
+  match mode with
+  | `Gen -> (
+    let src, dst = pair in
+    let spec = { Pathtrace.src; dst; isls; horizon; step; route_epoch; seed } in
+    Printf.printf "\n=== path-trace gen: %s -> %s (%s) %.0fs @ %gs, seed %d ===\n%!"
+      src dst
+      (if isls then "isls" else "bent-pipe")
+      horizon step seed;
+    match Pathtrace.generate spec with
+    | exception Not_found ->
+      Printf.eprintf "--path-trace gen: unknown city in pair %S:%S\n" src dst;
+      false
+    | tr ->
+      Path_trace.to_file tr file;
+      Printf.printf
+        "  wrote %d records to %s (handovers %d, outages %d, outage \
+         fraction %.1f%%)\n"
+        (List.length tr.Path_trace.records)
+        file
+        (Path_trace.handover_count tr)
+        (List.length (Path_trace.outage_intervals tr))
+        (100.0 *. Path_trace.outage_fraction tr);
+      if Path_trace.route_count tr = 0 then begin
+        Printf.printf "  no route records: skipping the live replay\n";
+        true
+      end
+      else begin
+        print_pathtrace_run ~tag:"live"
+          (Pathtrace.run ~interp:(interp_of ~step interp) tr);
+        true
+      end)
+  | `Replay -> (
+    match Path_trace.of_file file with
+    | Error msg ->
+      Printf.eprintf "--path-trace replay: %s: %s\n" file msg;
+      false
+    | Ok tr ->
+      let m = tr.Path_trace.meta in
+      Printf.printf
+        "\n=== path-trace replay: %s -> %s (%s) %.0fs @ %gs, seed %d ===\n%!"
+        m.Path_trace.src m.Path_trace.dst
+        (if m.Path_trace.isls then "isls" else "bent-pipe")
+        m.Path_trace.horizon m.Path_trace.step m.Path_trace.seed;
+      if Path_trace.route_count tr = 0 then begin
+        Printf.eprintf "--path-trace replay: trace has no route records\n";
+        false
+      end
+      else begin
+        print_pathtrace_run ~tag:"replay"
+          (Pathtrace.run
+             ~interp:(interp_of ~step:m.Path_trace.step interp)
+             tr);
+        true
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* Fuzz mode: random scenarios through the differential oracle
    (Leotp_check) and invariant checker, failures shrunk to a replay
    spec.  Deterministic in --seed; cells parallelize under --jobs. *)
@@ -553,7 +670,10 @@ let usage () =
   Printf.eprintf
     "usage: main.exe [--quick] [--jobs N] [--out-dir DIR] [--perf-smoke]\n\
     \       [--check] [--faults SPEC] [--trace] [--fuzz N] [--seed S]\n\
-    \       [--fuzz-replay SPEC] [--manyflow N] [--shards K] [EXPERIMENT...]\n\
+    \       [--fuzz-replay SPEC] [--manyflow N] [--shards K]\n\
+    \       [--path-trace gen|replay] [--trace-file PATH] [--pair SRC:DST]\n\
+    \       [--bent-pipe] [--horizon S] [--step S] [--route-epoch S]\n\
+    \       [--interp hold|linear] [EXPERIMENT...]\n\
      known experiments: %s\n\
      --check        attach the invariant checker to every scenario (fail on violation)\n\
      --faults SPEC  run the fault lab; SPEC = '<t>@<verb>:<target>[=args];...' or random:SEED:N\n\
@@ -565,6 +685,15 @@ let usage () =
      --shards K     fixed shard count for --manyflow (default 8; digests\n\
     \                depend on K but never on --jobs)\n\
      --fuzz-replay SPEC  re-run one spec printed by a failing --fuzz\n\
+     --path-trace gen     sample the constellation into --trace-file\n\
+    \                (TRACE_PATH jsonl), then replay it live and print the digest\n\
+     --path-trace replay  replay an existing --trace-file and print the digest\n\
+    \                (gen/replay digests must match; --seed seeds the generator)\n\
+     --pair SRC:DST  city pair for --path-trace gen (default Beijing:New York)\n\
+     --bent-pipe     disable ISLs for --path-trace gen (single-satellite relay)\n\
+     --horizon S / --step S / --route-epoch S  gen horizon, sample step,\n\
+    \                routing recompute quantum (defaults 3600 / 1 / 5)\n\
+     --interp hold|linear  replay interpolation policy (default hold-last)\n\
      --gate FILE    after the experiments, compare minor_words_per_packet\n\
                     against FILE's baselines; exit 1 on regression\n"
     (String.concat ", " (List.map fst all_experiments));
@@ -585,7 +714,22 @@ let () =
   let gate = ref None in
   let manyflow = ref None in
   let shards = ref 8 in
+  let pt_mode = ref None in
+  let pt_file = ref "TRACE_path.jsonl" in
+  let pt_pair = ref (Pathtrace.default.Pathtrace.src, Pathtrace.default.Pathtrace.dst) in
+  let pt_isls = ref true in
+  let pt_horizon = ref Pathtrace.default.Pathtrace.horizon in
+  let pt_step = ref Pathtrace.default.Pathtrace.step in
+  let pt_epoch = ref Pathtrace.default.Pathtrace.route_epoch in
+  let pt_interp = ref `Hold in
   let selected = ref [] in
+  let positive_float flag s k =
+    match float_of_string_opt s with
+    | Some v when v > 0.0 && Float.is_finite v -> k v
+    | _ ->
+      Printf.eprintf "%s expects a positive number, got %S\n" flag s;
+      usage ()
+  in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -622,6 +766,56 @@ let () =
     | "--fuzz-replay" :: spec :: rest ->
       fuzz_replay := Some spec;
       parse rest
+    | "--path-trace" :: mode :: rest -> (
+      match mode with
+      | "gen" ->
+        pt_mode := Some `Gen;
+        parse rest
+      | "replay" ->
+        pt_mode := Some `Replay;
+        parse rest
+      | _ ->
+        Printf.eprintf "--path-trace expects 'gen' or 'replay', got %S\n" mode;
+        usage ())
+    | "--trace-file" :: path :: rest ->
+      pt_file := path;
+      parse rest
+    | "--pair" :: pair :: rest -> (
+      match String.index_opt pair ':' with
+      | Some i when i > 0 && i < String.length pair - 1 ->
+        pt_pair :=
+          ( String.sub pair 0 i,
+            String.sub pair (i + 1) (String.length pair - i - 1) );
+        parse rest
+      | _ ->
+        Printf.eprintf "--pair expects \"SRC:DST\", got %S\n" pair;
+        usage ())
+    | "--bent-pipe" :: rest ->
+      pt_isls := false;
+      parse rest
+    | "--horizon" :: s :: rest ->
+      positive_float "--horizon" s (fun v ->
+          pt_horizon := v;
+          parse rest)
+    | "--step" :: s :: rest ->
+      positive_float "--step" s (fun v ->
+          pt_step := v;
+          parse rest)
+    | "--route-epoch" :: s :: rest ->
+      positive_float "--route-epoch" s (fun v ->
+          pt_epoch := v;
+          parse rest)
+    | "--interp" :: policy :: rest -> (
+      match policy with
+      | "hold" ->
+        pt_interp := `Hold;
+        parse rest
+      | "linear" ->
+        pt_interp := `Linear;
+        parse rest
+      | _ ->
+        Printf.eprintf "--interp expects 'hold' or 'linear', got %S\n" policy;
+        usage ())
     | "--manyflow" :: n :: rest -> (
       match int_of_string_opt n with
       | Some n when n >= 1 ->
@@ -710,6 +904,19 @@ let () =
        explicitly selected alongside it. *)
     if !selected = [] then exit 0
   end;
+  (match !pt_mode with
+  | Some mode ->
+    let src, dst = !pt_pair in
+    let ok =
+      run_path_trace ~mode ~file:!pt_file ~pair:(src, dst) ~isls:!pt_isls
+        ~horizon:!pt_horizon ~step:!pt_step ~route_epoch:!pt_epoch
+        ~interp:!pt_interp ~seed:!fuzz_seed
+    in
+    if not ok then exit 1;
+    (* Like the fault lab, --path-trace replaces the experiment sweep
+       unless some were explicitly selected alongside it. *)
+    if !selected = [] then exit 0
+  | None -> ());
   let to_run =
     if !perf_smoke then
       List.filter (fun (id, _) -> List.mem id perf_smoke_ids) all_experiments

@@ -46,12 +46,31 @@ trap 'rm -rf "$out_dir"' EXIT
 dune exec bench/main.exe -- --perf-smoke --jobs 2 --out-dir "$out_dir" \
   --gate bench/baselines.json
 
-for id in fig3 fig10 fig12; do
+for id in fig3 fig10 fig12 pathtrace; do
   test -s "$out_dir/BENCH_$id.json" || {
     echo "ci.sh: missing perf record BENCH_$id.json" >&2
     exit 1
   }
 done
+
+# Path-trace smoke: generate a short bent-pipe TRACE_PATH timeline, then
+# replay the written file with the invariant checker attached.  Both runs
+# print the packet-trace digest, and they must match — the bit-identical
+# replay guarantee (see EXPERIMENTS.md, "Trace-driven paths").
+gen_out="$(dune exec bench/main.exe -- --path-trace gen \
+  --trace-file "$out_dir/TRACE_path.jsonl" --pair "Beijing:Shanghai" \
+  --bent-pipe --horizon 60 --step 1 --route-epoch 1)"
+printf '%s\n' "$gen_out"
+replay_out="$(dune exec bench/main.exe -- --path-trace replay \
+  --trace-file "$out_dir/TRACE_path.jsonl" --check)"
+printf '%s\n' "$replay_out"
+gen_digest="$(printf '%s\n' "$gen_out" | sed -n 's/^  digest //p')"
+replay_digest="$(printf '%s\n' "$replay_out" | sed -n 's/^  digest //p')"
+if [ -z "$gen_digest" ] || [ "$gen_digest" != "$replay_digest" ]; then
+  echo "ci.sh: path-trace digest mismatch (gen='$gen_digest'" \
+    "replay='$replay_digest')" >&2
+  exit 1
+fi
 
 # Many-flow smoke: ~500 open-loop flows over the live constellation
 # with the invariant checker attached, gated on the headline

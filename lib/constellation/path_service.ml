@@ -75,22 +75,6 @@ let route_bent_pipe w ~src ~dst ~time ?(min_elevation_deg = 25.0) () =
         { distance = Geo.distance pos gp2; kind = Gsl };
       ]
 
-let snapshots w ~src ~dst ~isls ~t_end ~step =
-  let rec go time acc =
-    if time > t_end then List.rev acc
-    else begin
-      let route =
-        if isls then route_with_isls w ~src ~dst ~time ()
-        else route_bent_pipe w ~src ~dst ~time ()
-      in
-      let acc =
-        match route with Some hops -> (time, hops) :: acc | None -> acc
-      in
-      go (time +. step) acc
-    end
-  in
-  go 0.0 []
-
 (* Per-epoch route memo.  A fleet admitting 1000 flows between the same
    city pair within one routing epoch would otherwise run Dijkstra over
    1600 satellites 1000 times for the same answer.  Times are quantized
@@ -134,6 +118,33 @@ module Memo = struct
     t.queries <- 0;
     t.computes <- 0
 end
+
+(* Instants with no route are kept as [`No_route]: the trace generator
+   turns them into explicit outage intervals instead of silently holding
+   the last path (the pre-trace [snapshots] behavior). *)
+let snapshots_with_gaps ?(epoch = 0.0) w ~src ~dst ~isls ~t_end ~step =
+  let memo = Memo.create ~epoch w in
+  let rec go time acc =
+    if time > t_end then List.rev acc
+    else begin
+      let entry =
+        match Memo.route memo ~src ~dst ~isls ~time with
+        | Some hops -> `Route hops
+        | None -> `No_route
+      in
+      go (time +. step) ((time, entry) :: acc)
+    end
+  in
+  go 0.0 []
+
+let snapshots w ~src ~dst ~isls ~t_end ~step =
+  List.filter_map
+    (fun (time, entry) ->
+      match entry with `Route hops -> Some (time, hops) | `No_route -> None)
+    (snapshots_with_gaps w ~src ~dst ~isls ~t_end ~step)
+
+let signature hops =
+  List.map (fun h -> Float.round (Leotp_util.Units.m_to_km h.distance)) hops
 
 let total_delay hops =
   List.fold_left (fun acc h -> acc +. Geo.propagation_delay h.distance) 0.0 hops

@@ -46,6 +46,26 @@ val snapshots :
 (** Route recomputed every [step] seconds from 0 to [t_end]; times with no
     route are omitted. *)
 
+val snapshots_with_gaps :
+  ?epoch:float ->
+  Walker.t ->
+  src:Cities.t ->
+  dst:Cities.t ->
+  isls:bool ->
+  t_end:float ->
+  step:float ->
+  (float * [ `Route of hop list | `No_route ]) list
+(** Like {!snapshots} but gap-preserving: one entry per sampled instant,
+    with [`No_route] where the pair has no path (bent-pipe visibility
+    loss, unreachable ground station).  [epoch] > 0 memoizes route
+    computation per {!Memo} epoch, so bandwidth can be sampled on a finer
+    [step] than the routing recompute quantum. *)
+
+val signature : hop list -> float list
+(** Per-hop distances rounded to whole kilometres: the route identity
+    used for handover detection (compare with
+    [List.equal Float.equal]). *)
+
 (** Per-epoch memoization of route queries.  Many-flow fleets issue one
     query per admitted flow; flows between the same city pair inside one
     routing epoch share a single Dijkstra run.  The query/compute counters

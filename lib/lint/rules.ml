@@ -342,16 +342,111 @@ let floatish (e : expression) =
     || (starts_with ~prefix:"Float." n && not (List.mem n float_fns_not_float))
   | _ -> false
 
+(* Combinators whose lambda argument's result populates the structure
+   they build: [List.map (fun h -> Float.round ...) hops] is a float
+   list. *)
+let float_struct_builders =
+  [
+    "List.map";
+    "List.mapi";
+    "List.rev_map";
+    "List.filter_map";
+    "List.concat_map";
+    "List.init";
+    "Array.map";
+    "Array.mapi";
+    "Array.init";
+  ]
+
+let rec type_mentions_float (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, args) ->
+    ident_name txt = "float" || List.exists type_mentions_float args
+  | Ptyp_tuple ts -> List.exists type_mentions_float ts
+  | _ -> false
+
+let rec lambda_body (e : expression) =
+  match e.pexp_desc with
+  | Pexp_function (_, _, Pfunction_body inner) -> lambda_body inner
+  | Pexp_constraint (inner, _) -> lambda_body inner
+  | _ -> e
+
+(* [floatish] lifted through structure: options, tuples, list cells,
+   map-style builders and let-bound names ([env]) whose right-hand side
+   was itself float-bearing — so [prev <> Some sig_] is caught when
+   [sig_] was built from float data. *)
+let rec floatish_deep env (e : expression) =
+  floatish e
+  ||
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident x; _ } -> Hashtbl.mem env x
+  | Pexp_constraint (_, t) -> type_mentions_float t
+  | Pexp_tuple es -> List.exists (floatish_deep env) es
+  | Pexp_construct ({ txt = Lident "Some"; _ }, Some arg) ->
+    floatish_deep env arg
+  | Pexp_construct
+      ({ txt = Lident "::"; _ }, Some { pexp_desc = Pexp_tuple [ hd; tl ]; _ })
+    ->
+    floatish_deep env hd || floatish_deep env tl
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+    List.mem (ident_name txt) float_struct_builders
+    && List.exists
+         (fun ((_, a) : _ * expression) ->
+           match a.pexp_desc with
+           | Pexp_function _ -> floatish_deep env (lambda_body a)
+           | _ -> false)
+         args
+  | _ -> false
+
+(* Let-bound names with float-bearing right-hand sides, to a fixpoint
+   (a binding may reference an earlier float-bearing binding). *)
+let collect_float_names st =
+  let env = Hashtbl.create 16 in
+  let grew = ref true in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! value_binding vb =
+        (match vb.pvb_pat.ppat_desc with
+        | Ppat_var { txt; _ }
+          when (not (Hashtbl.mem env txt))
+               && floatish_deep env vb.pvb_expr ->
+          Hashtbl.add env txt ();
+          grew := true
+        | _ -> ());
+        super#value_binding vb
+
+      (* Annotated binders anywhere — [(a : float list)] parameters,
+         let-patterns — carry their own evidence. *)
+      method! pattern p =
+        (match p.ppat_desc with
+        | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, t)
+          when (not (Hashtbl.mem env txt)) && type_mentions_float t ->
+          Hashtbl.add env txt ();
+          grew := true
+        | _ -> ());
+        super#pattern p
+    end
+  in
+  while !grew do
+    grew := false;
+    it#structure st
+  done;
+  env
+
 let no_poly_float_compare =
   {
     id = "no-polymorphic-compare-on-float";
     severity = Finding.Error;
     doc =
-      "polymorphic =/compare on floats is boxed and nan-unsound; use \
-       Float.equal / Float.compare";
+      "polymorphic =/compare on floats (or float-containing structures) \
+       is boxed and nan-unsound; use Float.equal / Float.compare \
+       (compose with Option.equal / List.equal)";
     applies = lib_only;
     check =
       (fun ~emit st ->
+        let env = collect_float_names st in
         let it =
           object
             inherit Ast_traverse.iter as super
@@ -362,11 +457,12 @@ let no_poly_float_compare =
                   (({ pexp_desc = Pexp_ident { txt; _ }; _ } as fn), args)
                 when List.mem (ident_name txt) poly_compare_fns
                      && List.length args >= 2
-                     && List.exists (fun (_, a) -> floatish a) args ->
+                     && List.exists (fun (_, a) -> floatish_deep env a) args ->
                 emit ~loc:fn.pexp_loc
                   (Printf.sprintf
-                     "polymorphic %s on a float operand (boxed, \
-                      nan-unsound); use Float.equal / Float.compare"
+                     "polymorphic %s on a float-bearing operand (boxed, \
+                      nan-unsound); use Float.equal / Float.compare \
+                      (compose with Option.equal / List.equal)"
                      (ident_name txt))
               | _ -> ());
               super#expression e

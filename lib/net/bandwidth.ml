@@ -35,6 +35,37 @@ let rec step_at (steps : (float * float) array) time lo hi =
     if fst steps.(mid) <= time then step_at steps time mid hi
     else step_at steps time lo (mid - 1)
 
+(* Same style as [step_at]: index recursion, no closures, so the
+   dynamic-path switch detector can call this from the timer path. *)
+let rec steps_approx_equal (a : (float * float) array) b epsilon i =
+  i >= Array.length a
+  || (Float.equal (fst a.(i)) (fst b.(i))
+     && Float.abs (snd a.(i) -. snd b.(i)) <= epsilon
+     && steps_approx_equal a b epsilon (i + 1))
+
+(* Nested matches, not [match (a, b)]: the tupled scrutinee would be a
+   minor-heap allocation on the reconfiguration timer path. *)
+let approx_equal ~epsilon a b =
+  match a with
+  | Constant x -> (
+    match b with
+    | Constant y -> Float.abs (x -. y) <= epsilon
+    | Square _ | Steps _ -> false)
+  | Square p -> (
+    match b with
+    | Square q ->
+      Float.abs (p.mean -. q.mean) <= epsilon
+      && Float.abs (p.amplitude -. q.amplitude) <= epsilon
+      && Float.equal p.period q.period
+    | Constant _ | Steps _ -> false)
+  | Steps xs -> (
+    match b with
+    | Steps ys ->
+      xs == ys
+      || (Array.length xs = Array.length ys
+         && steps_approx_equal xs ys epsilon 0)
+    | Constant _ | Square _ -> false)
+
 let at t time =
   match t with
   | Constant r -> r

@@ -16,6 +16,12 @@ type t =
 val constant_mbps : float -> t
 val square_mbps : mean:float -> amplitude:float -> period:float -> t
 
+val approx_equal : epsilon:float -> t -> t -> bool
+(** Same model shape with every rate within [epsilon] bytes/second
+    (step boundary times must match exactly).  Different constructors
+    never compare equal — a handover from a [Steps] uplink to a
+    [Constant] hop is always a change. *)
+
 val at : t -> float -> float
 (** Instantaneous rate at an absolute time, bytes/second. *)
 

@@ -1,11 +1,25 @@
 type hop_state = { delay : float; bandwidth : Bandwidth.t; plr : float }
 type snapshot = hop_state array
 
+type epsilons = { delay_eps : float; bw_eps : float; plr_eps : float }
+
+(* Delay: 50 us ~ 15 km of path change, well above numeric jitter and
+   well below any real handover.  Bandwidth: 4 Mbps, so the paper's
+   per-second +/-0.5 Mbps bias and the 1.5 Mbps/s handover "V" slope do
+   not read as switches while a 10 -> 20 Mbps hop swap does.  Plr: GSL
+   (1%) vs ISL (0.1%) hop substitutions are above it. *)
+let default_epsilons =
+  {
+    delay_eps = 50e-6;
+    bw_eps = Leotp_util.Units.mbps_to_bytes_per_sec 4.0;
+    plr_eps = 5e-3;
+  }
+
 type t = {
   engine : Leotp_sim.Engine.t;
   chain : Topology.chain;
   max_hops : int;
-  switch_epsilon : float;
+  eps : epsilons;
   mutable active_hops : int;
   mutable switch_count : int;
 }
@@ -20,8 +34,13 @@ let to_spec ?(buffer_bytes = 256 * 1024) (h : hop_state) =
     ()
 
 let create engine ~rng ~max_hops ~initial ?(buffer_bytes = 256 * 1024)
-    ?(switch_epsilon = 50e-6) () =
+    ?switch_epsilon ?(epsilons = default_epsilons) () =
   assert (Array.length initial <= max_hops);
+  let eps =
+    match switch_epsilon with
+    | None -> epsilons
+    | Some d -> { epsilons with delay_eps = d }
+  in
   let specs =
     Array.init max_hops (fun i ->
         if i < Array.length initial then to_spec ~buffer_bytes initial.(i)
@@ -34,15 +53,22 @@ let create engine ~rng ~max_hops ~initial ?(buffer_bytes = 256 * 1024)
     engine;
     chain;
     max_hops;
-    switch_epsilon;
+    eps;
     active_hops = Array.length initial;
     switch_count = 0;
   }
 
 let chain t = t.chain
 
-let update_link link ~delay ~bandwidth ~plr ~epsilon =
-  let changed = Float.abs (Link.delay link -. delay) > epsilon in
+(* A switch is any above-epsilon change in *any* dimension: a handover
+   that keeps the delay but lands on a different-rate (or lossier) link
+   must still flush in-flight packets and count in [switch_count]. *)
+let update_link link ~delay ~bandwidth ~plr ~eps =
+  let changed =
+    Float.abs (Link.delay link -. delay) > eps.delay_eps
+    || not (Bandwidth.approx_equal ~epsilon:eps.bw_eps (Link.bandwidth link) bandwidth)
+    || Float.abs (Link.plr link -. plr) > eps.plr_eps
+  in
   Link.set_delay link delay;
   Link.set_bandwidth link bandwidth;
   Link.set_plr link plr;
@@ -61,16 +87,10 @@ let apply t snapshot =
       else (pass_through_delay, pass_through_bw, 0.0)
     in
     let d = t.chain.Topology.hops.(i) in
-    let c1 =
-      update_link d.Topology.fwd ~delay ~bandwidth ~plr
-        ~epsilon:t.switch_epsilon
-    in
+    let c1 = update_link d.Topology.fwd ~delay ~bandwidth ~plr ~eps:t.eps in
     (* The reverse direction keeps the same delay/plr; its bandwidth is the
        forward one too (Interest/ACK traffic is tiny). *)
-    let c2 =
-      update_link d.Topology.rev ~delay ~bandwidth ~plr
-        ~epsilon:t.switch_epsilon
-    in
+    let c2 = update_link d.Topology.rev ~delay ~bandwidth ~plr ~eps:t.eps in
     if c1 || c2 then any_switch := true
   done;
   t.active_hops <- n;
@@ -86,3 +106,123 @@ let schedule t items =
 
 let active_hops t = t.active_hops
 let switch_count t = t.switch_count
+
+(* ------------------------------------------------------------------ *)
+(* Trace replay. *)
+
+type interp = Hold_last | Linear of { substep : float }
+
+let hop_state_of_trace (h : Path_trace.hop) =
+  {
+    delay = h.Path_trace.delay;
+    bandwidth =
+      Bandwidth.Constant
+        (Leotp_util.Units.mbps_to_bytes_per_sec h.Path_trace.bw_mbps);
+    plr = h.Path_trace.plr;
+  }
+
+let snapshot_of_hops ~max_hops (hops : Path_trace.hop array) =
+  Array.init
+    (min (Array.length hops) max_hops)
+    (fun i -> hop_state_of_trace hops.(i))
+
+(* Linearly interpolated snapshot between two same-length hop arrays. *)
+let lerp_snapshot ~max_hops a b frac =
+  Array.init
+    (min (Array.length a) max_hops)
+    (fun i ->
+      let ha : Path_trace.hop = a.(i) and hb : Path_trace.hop = b.(i) in
+      {
+        delay = ha.Path_trace.delay +. (frac *. (hb.Path_trace.delay -. ha.Path_trace.delay));
+        bandwidth =
+          Bandwidth.Constant
+            (Leotp_util.Units.mbps_to_bytes_per_sec
+               (ha.Path_trace.bw_mbps
+               +. (frac *. (hb.Path_trace.bw_mbps -. ha.Path_trace.bw_mbps))));
+        plr =
+          ha.Path_trace.plr +. (frac *. (hb.Path_trace.plr -. ha.Path_trace.plr));
+      })
+
+let trace_snapshots ~max_hops ~interp (tr : Path_trace.t) =
+  let routes =
+    List.filter_map
+      (fun (r : Path_trace.record) ->
+        match r.Path_trace.event with
+        | Path_trace.Route { hops; _ } -> Some (r.Path_trace.time, hops)
+        | Path_trace.No_route -> None)
+      tr.Path_trace.records
+  in
+  match interp with
+  | Hold_last ->
+    List.map
+      (fun (time, hops) -> (time, snapshot_of_hops ~max_hops hops))
+      routes
+  | Linear { substep } ->
+    let substep = Float.max substep 1e-3 in
+    let rec expand acc = function
+      | [] -> List.rev acc
+      | [ (t0, h0) ] -> List.rev ((t0, snapshot_of_hops ~max_hops h0) :: acc)
+      | (t0, h0) :: ((t1, h1) :: _ as rest) ->
+        let acc = (t0, snapshot_of_hops ~max_hops h0) :: acc in
+        let acc =
+          (* Only interpolate along an unchanged route shape; a hop-count
+             change is a reroute and must stay a step. *)
+          if Array.length h0 <> Array.length h1 then acc
+          else begin
+            let k =
+              int_of_float (Float.round ((t1 -. t0) /. substep))
+            in
+            let rec fill acc j =
+              if j >= k then acc
+              else
+                let frac = float_of_int j /. float_of_int k in
+                let tj = t0 +. (frac *. (t1 -. t0)) in
+                fill ((tj, lerp_snapshot ~max_hops h0 h1 frac) :: acc) (j + 1)
+            in
+            if k > 1 then fill acc 1 else acc
+          end
+        in
+        expand acc rest
+    in
+    expand [] routes
+
+let apply_outage t (ev : Leotp_sim.Fault.event) =
+  let set_hop i v =
+    if i >= 0 && i < t.max_hops then begin
+      let d = t.chain.Topology.hops.(i) in
+      Link.set_up d.Topology.fwd v;
+      Link.set_up d.Topology.rev v
+    end
+  in
+  match ev.Leotp_sim.Fault.action with
+  | Leotp_sim.Fault.Link_down (Leotp_sim.Fault.Hop i) -> set_hop i false
+  | Leotp_sim.Fault.Link_up (Leotp_sim.Fault.Hop i) -> set_hop i true
+  | _ -> ()
+
+(* Every outage window takes the whole chain down: with no route there is
+   no partial path either, and taking links down drops in-flight packets
+   through the regular fault plumbing. *)
+let outage_schedule t (tr : Path_trace.t) =
+  List.concat_map
+    (fun (a, b) ->
+      List.concat
+        (List.init t.max_hops (fun i ->
+             [
+               {
+                 Leotp_sim.Fault.time = a;
+                 action = Leotp_sim.Fault.Link_down (Leotp_sim.Fault.Hop i);
+               };
+               {
+                 Leotp_sim.Fault.time = b;
+                 action = Leotp_sim.Fault.Link_up (Leotp_sim.Fault.Hop i);
+               };
+             ])))
+    (Path_trace.outage_intervals tr)
+
+let schedule_trace ?(interp = Hold_last) t (tr : Path_trace.t) =
+  schedule t (trace_snapshots ~max_hops:t.max_hops ~interp tr);
+  (* Snapshots are scheduled before outage events, so at an outage-ending
+     instant the new route's parameters apply first and the link comes
+     back up second — deterministically, via the engine's FIFO tie-break. *)
+  Leotp_sim.Fault.install t.engine ~apply:(apply_outage t)
+    (outage_schedule t tr)

@@ -7,9 +7,13 @@
     change — which is exactly the property LEOTP's connectionless design
     exploits, while TCP endpoints simply observe a changed end-to-end path.
 
-    Any hop whose propagation delay changes by more than [switch_epsilon]
-    is flushed: queued and in-flight packets are dropped, reproducing the
-    paper's "link switching causes inevitable packet loss" (§V-B). *)
+    Any hop that changes by more than the per-dimension epsilons — delay,
+    bandwidth or loss rate — is flushed: queued and in-flight packets are
+    dropped, reproducing the paper's "link switching causes inevitable
+    packet loss" (§V-B).  Besides explicit snapshot lists, a path can
+    replay a recorded {!Path_trace} timeline, including its outage
+    windows (chain-wide link-down intervals through the
+    {!Leotp_sim.Fault} plumbing). *)
 
 type hop_state = {
   delay : float;
@@ -20,6 +24,19 @@ type hop_state = {
 type snapshot = hop_state array
 (** Active hops, source side first; length <= max hops of the chain. *)
 
+type epsilons = {
+  delay_eps : float;  (** seconds *)
+  bw_eps : float;  (** bytes/second (see {!Bandwidth.approx_equal}) *)
+  plr_eps : float;  (** absolute loss-probability delta *)
+}
+(** A reconfiguration counts as a switch (and flushes the hop) when any
+    dimension moves by more than its epsilon. *)
+
+val default_epsilons : epsilons
+(** 50 us delay, 4 Mbps bandwidth, 5e-3 plr: tight enough to catch any
+    real handover, loose enough that the paper's per-second bandwidth
+    bias and handover "V" ramps do not read as switches. *)
+
 type t
 
 val create :
@@ -29,15 +46,35 @@ val create :
   initial:snapshot ->
   ?buffer_bytes:int ->
   ?switch_epsilon:float ->
+  ?epsilons:epsilons ->
   unit ->
   t
-(** Default [switch_epsilon] 50 microseconds; default buffer 256 KB. *)
+(** Default epsilons {!default_epsilons}; [switch_epsilon] overrides the
+    delay component only (the pre-trace API).  Default buffer 256 KB. *)
 
 val chain : t -> Topology.chain
 val apply : t -> snapshot -> unit
 
 val schedule : t -> (float * snapshot) list -> unit
 (** Apply each snapshot at its absolute time. *)
+
+type interp =
+  | Hold_last  (** each trace sample holds until the next one *)
+  | Linear of { substep : float }
+      (** linearly interpolate delay/bandwidth/plr between consecutive
+          same-hop-count samples, applied every [substep] seconds;
+          reroutes (hop-count changes) remain steps *)
+
+val snapshot_of_hops : max_hops:int -> Path_trace.hop array -> snapshot
+(** Truncate to [max_hops] and convert Mbps rates to {!Bandwidth.t}
+    (trace hops are already Consumer side first). *)
+
+val schedule_trace : ?interp:interp -> t -> Path_trace.t -> unit
+(** Replay a recorded timeline: schedule every route sample (under the
+    interpolation policy, default {!Hold_last}) and turn every outage
+    interval into a chain-wide link-down window via
+    {!Leotp_sim.Fault.install}, so going dark drops in-flight packets
+    exactly like an injected fault. *)
 
 val active_hops : t -> int
 val switch_count : t -> int

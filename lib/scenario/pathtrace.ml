@@ -1,0 +1,334 @@
+module Engine = Leotp_sim.Engine
+module Dynamic_path = Leotp_net.Dynamic_path
+module Path_trace = Leotp_net.Path_trace
+module Path_service = Leotp_constellation.Path_service
+module Walker = Leotp_constellation.Walker
+module Cities = Leotp_constellation.Cities
+module Geo = Leotp_constellation.Geo
+module Rng = Leotp_util.Rng
+module Stats = Leotp_util.Stats
+
+type spec = {
+  src : string;
+  dst : string;
+  isls : bool;
+  horizon : float;  (** seconds of orbital time *)
+  step : float;  (** trace sample step, seconds *)
+  route_epoch : float;  (** routing recompute quantum (Memo epoch) *)
+  seed : int;
+}
+
+let default =
+  {
+    src = "Beijing";
+    dst = "New York";
+    isls = true;
+    horizon = 3600.0;
+    step = 1.0;
+    route_epoch = 5.0;
+    seed = 42;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Generator: drive the Walker constellation over [horizon], sampling
+   the route every [step] seconds (Dijkstra runs once per [route_epoch]
+   via the Memo), and emit the per-hop timeline.  Bandwidth policy
+   matches the parametric Starlink scenario — the Producer uplink is the
+   ~10 Mbps bottleneck with the handover "V" dip and per-second bias,
+   other hops 20 Mbps, per-kind loss — but here the samples are baked
+   into the trace, so a replay needs no RNG agreement with the
+   generator. *)
+
+let generate spec =
+  let w = Walker.create Walker.starlink in
+  let src = Cities.find_exn spec.src and dst = Cities.find_exn spec.dst in
+  let samples =
+    Path_service.snapshots_with_gaps ~epoch:spec.route_epoch w ~src ~dst
+      ~isls:spec.isls ~t_end:spec.horizon ~step:spec.step
+  in
+  (* Handover flags: the route signature changed vs the last seen route
+     (so reacquisition after an outage counts as a handover too). *)
+  let flagged =
+    let rec go prev acc = function
+      | [] -> List.rev acc
+      | (t, `No_route) :: rest -> go prev ((t, `No_route, false) :: acc) rest
+      | (t, `Route hops) :: rest ->
+        let sig_ = Path_service.signature hops in
+        let same = Option.equal (List.equal Float.equal) prev (Some sig_) in
+        let ho = (not same) && Option.is_some prev in
+        go (Some sig_) ((t, `Route hops, ho) :: acc) rest
+    in
+    go None [] samples
+  in
+  let handovers =
+    List.filter_map (fun (t, _, ho) -> if ho then Some t else None) flagged
+  in
+  let rng = Rng.substream (Rng.create ~seed:spec.seed) "uplink-bias" in
+  let bias =
+    Array.init
+      (int_of_float spec.horizon + 2)
+      (fun _ -> Rng.uniform rng (-0.5) 0.5)
+  in
+  (* Same shape as Starlink.uplink_trace: a "V" dip of up to 3 Mbps
+     within +/-2 s of each handover, +/-0.5 Mbps bias per second. *)
+  let uplink_mbps t =
+    let v_dip =
+      List.fold_left
+        (fun acc h ->
+          let x = Float.abs (t -. h) in
+          if x < 2.0 then Float.max acc (3.0 *. (1.0 -. (x /. 2.0))) else acc)
+        0.0 handovers
+    in
+    Float.max 1.0 (Starlink.uplink_mean_bw -. v_dip +. bias.(int_of_float t))
+  in
+  let records =
+    List.map
+      (fun (t, entry, ho) ->
+        match entry with
+        | `No_route -> { Path_trace.time = t; event = Path_trace.No_route }
+        | `Route hops ->
+          let mapped =
+            List.mapi
+              (fun i (h : Path_service.hop) ->
+                let delay = Geo.propagation_delay h.Path_service.distance in
+                let bw_mbps, plr =
+                  match h.Path_service.kind with
+                  | Path_service.Gsl when i = 0 ->
+                    (* Producer ground station uplink: the bottleneck. *)
+                    (uplink_mbps t, Starlink.gsl_plr)
+                  | Path_service.Gsl -> (Starlink.other_bw, Starlink.gsl_plr)
+                  | Path_service.Isl -> (Starlink.other_bw, Starlink.isl_plr)
+                in
+                let kind =
+                  match h.Path_service.kind with
+                  | Path_service.Gsl -> Path_trace.Gsl
+                  | Path_service.Isl -> Path_trace.Isl
+                in
+                { Path_trace.delay; bw_mbps; plr; kind })
+              hops
+          in
+          (* Routes are Producer side first; trace hops are stored in the
+             Dynamic_path orientation (Consumer side first). *)
+          {
+            Path_trace.time = t;
+            event =
+              Path_trace.Route
+                {
+                  hops = Array.of_list (List.rev mapped);
+                  handover = ho;
+                };
+          })
+      flagged
+  in
+  {
+    Path_trace.meta =
+      {
+        Path_trace.seed = spec.seed;
+        src = spec.src;
+        dst = spec.dst;
+        isls = spec.isls;
+        step = spec.step;
+        horizon = spec.horizon;
+      };
+    records;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Replay: one bulk flow over a Dynamic_path fed by the trace. *)
+
+type run_result = {
+  summary : Common.summary;
+  switches : int;
+  handovers : int;
+  outages : int;  (** outage interval count *)
+  outage_fraction : float;
+  mean_hops : float;
+  digest : string;  (** packet-trace digest: the determinism witness *)
+}
+
+let run ?seed ?(interp = Dynamic_path.Hold_last) ?duration
+    ?(protocol = Common.Leotp Leotp.Config.default) ?(label = "pathtrace")
+    (trace : Path_trace.t) =
+  if Path_trace.route_count trace = 0 then
+    invalid_arg "Pathtrace.run: trace has no route records";
+  Leotp_net.Packet.reset_ids ();
+  Leotp_net.Node.reset_ids ();
+  let meta = trace.Path_trace.meta in
+  let seed =
+    match seed with Some s -> s | None -> meta.Path_trace.seed
+  in
+  let duration =
+    match duration with Some d -> d | None -> meta.Path_trace.horizon
+  in
+  let warmup = Float.min 15.0 (0.15 *. duration) in
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed in
+  let max_hops = min 24 (Path_trace.max_hop_count trace) in
+  let initial =
+    match
+      List.find_map
+        (fun (r : Path_trace.record) ->
+          match r.Path_trace.event with
+          | Path_trace.Route { hops; _ } -> Some hops
+          | Path_trace.No_route -> None)
+        trace.Path_trace.records
+    with
+    | Some hops -> Dynamic_path.snapshot_of_hops ~max_hops hops
+    | None -> assert false
+  in
+  let dp = Dynamic_path.create engine ~rng ~max_hops ~initial () in
+  Dynamic_path.schedule_trace ~interp dp trace;
+  let chain = Dynamic_path.chain dp in
+  let links =
+    Array.fold_left
+      (fun acc (d : Leotp_net.Topology.duplex) ->
+        d.Leotp_net.Topology.fwd :: d.Leotp_net.Topology.rev :: acc)
+      []
+      chain.Leotp_net.Topology.hops
+  in
+  let recorder = Leotp_net.Trace.create ~capacity:1 () in
+  let n = Array.length chain.Leotp_net.Topology.nodes - 1 in
+  let metrics =
+    Common.observed ~engine ~links ~trace:recorder ~label (fun () ->
+        let metrics =
+          match protocol with
+          | Common.Tcp cc ->
+            (* Data flows producer (node n) -> consumer (node 0), the
+               LEOTP orientation, so the same bottleneck applies. *)
+            let session =
+              Leotp_tcp.Session.connect engine
+                ~src_node:chain.Leotp_net.Topology.nodes.(n)
+                ~dst_node:chain.Leotp_net.Topology.nodes.(0)
+                ~flow:1 ~cc ~source:Leotp_tcp.Sender.Unlimited ()
+            in
+            Leotp_tcp.Session.start session;
+            session.Leotp_tcp.Session.metrics
+          | Common.Leotp cfg ->
+            let session =
+              Leotp.Session.over_chain engine ~config:cfg ~chain ~flow:1 ()
+            in
+            Leotp.Session.start session;
+            session.Leotp.Session.metrics
+          | Common.Leotp_partial (cfg, coverage) ->
+            let session =
+              Leotp.Session.over_chain engine ~config:cfg ~chain ~flow:1
+                ~coverage
+                ~coverage_rng:(Rng.substream rng "coverage")
+                ()
+            in
+            Leotp.Session.start session;
+            session.Leotp.Session.metrics
+          | Common.Split_tcp _ ->
+            invalid_arg "Pathtrace.run: split tcp not used here"
+        in
+        Engine.run ~until:duration engine;
+        metrics)
+  in
+  Runner.note_sim_seconds (Engine.now engine);
+  let summary =
+    Common.summarize
+      ~protocol:(Common.protocol_name protocol)
+      ~metrics
+      ~floor:(Path_trace.min_total_delay trace)
+      ~warmup ~duration ()
+  in
+  {
+    summary;
+    switches = Dynamic_path.switch_count dp;
+    handovers = Path_trace.handover_count trace;
+    outages = List.length (Path_trace.outage_intervals trace);
+    outage_fraction = Path_trace.outage_fraction trace;
+    mean_hops = Path_trace.mean_hop_count trace;
+    digest = Leotp_net.Trace.digest recorder;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Long-horizon experiment family: ISL long haul (hundreds of
+   handovers), a bent-pipe outage storm, and a polar vs equatorial
+   comparison.  Cells are independent and run under Runner.map, so the
+   results — including digests — are bit-identical for any --jobs N. *)
+
+type cell = { label : string; spec : spec }
+
+let family ~quick =
+  if quick then
+    [
+      { label = "bj-ny-isl"; spec = { default with horizon = 120.0 } };
+      {
+        label = "hk-tokyo-bent";
+        spec =
+          {
+            default with
+            src = "Hong Kong";
+            dst = "Tokyo";
+            isls = false;
+            horizon = 180.0;
+            route_epoch = 1.0;
+          };
+      };
+    ]
+  else
+    [
+      { label = "bj-ny-isl"; spec = default };
+      {
+        label = "hk-tokyo-bent";
+        spec =
+          {
+            default with
+            src = "Hong Kong";
+            dst = "Tokyo";
+            isls = false;
+            route_epoch = 1.0;
+          };
+      };
+      {
+        label = "polar-spb-moscow";
+        spec =
+          {
+            default with
+            src = "Saint Petersburg";
+            dst = "Moscow";
+            horizon = 1800.0;
+          };
+      };
+      {
+        label = "equator-sgp-nairobi";
+        spec =
+          {
+            default with
+            src = "Singapore";
+            dst = "Nairobi";
+            horizon = 1800.0;
+          };
+      };
+    ]
+
+let experiment ?(quick = false) () =
+  Report.header
+    "Path trace: long-horizon trace-driven dynamic paths (gen -> replay)";
+  let results =
+    Runner.map
+      (List.map
+         (fun c () ->
+           let tr = generate c.spec in
+           (c, run ~label:c.label tr))
+         (family ~quick))
+  in
+  List.iter
+    (fun (c, r) ->
+      Report.row
+        "  %-20s %5.0fs %s  hops~%4.1f  handovers %4d  outages %3d \
+         (%4.1f%%)  switches %4d\n"
+        c.label c.spec.horizon
+        (if c.spec.isls then "isl " else "bent")
+        r.mean_hops r.handovers r.outages
+        (100.0 *. r.outage_fraction)
+        r.switches;
+      Report.row
+        "  %-20s tput=%5.2f Mbps  owd(avg)=%6.1fms  p99=%6.1fms  digest %s\n"
+        "" r.summary.Common.goodput_mbps
+        (Report.ms (Stats.mean r.summary.Common.owd))
+        (Report.ms (Stats.percentile r.summary.Common.owd 99.0))
+        r.digest)
+    results;
+  results

@@ -87,13 +87,18 @@ let run_pair ?(quick = false) ?(seed = 42) ~src ~dst ~isls protocol =
       (fun acc (_, h) -> Float.min acc (Path_service.total_delay h))
       Float.infinity snaps
   in
-  (* Handover times: route (hop-count or first-hop distance) changes. *)
+  (* Handover times: route (hop-count or per-hop distance) changes.
+     Signatures are float lists, so the comparison must be
+     [Option.equal (List.equal Float.equal)] — polymorphic [<>] on a
+     float-containing structure is boxed and nan-unsound (and is now
+     caught by the no-polymorphic-compare-on-float lint rule). *)
   let handovers =
     let rec go prev = function
       | [] -> []
       | (t, h) :: rest ->
-        let sig_ = List.map (fun (x : Path_service.hop) -> Float.round (Leotp_util.Units.m_to_km x.Path_service.distance)) h in
-        if prev <> Some sig_ && prev <> None then t :: go (Some sig_) rest
+        let sig_ = Path_service.signature h in
+        let same = Option.equal (List.equal Float.equal) prev (Some sig_) in
+        if (not same) && Option.is_some prev then t :: go (Some sig_) rest
         else go (Some sig_) rest
     in
     go None snaps

@@ -8,6 +8,16 @@
     light and change with the orbits (link switching drops in-flight
     packets). *)
 
+val gsl_plr : float
+val isl_plr : float
+
+val other_bw : float
+(** Mbps on non-bottleneck (downlink / ISL) hops. *)
+
+val uplink_mean_bw : float
+(** Mbps, mean of the bottleneck GSL uplink; shared with the
+    trace-driven generator ({!Pathtrace}). *)
+
 type pair_result = {
   summary : Common.summary;
   mean_hops : float;

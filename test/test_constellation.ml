@@ -246,6 +246,59 @@ let test_snapshots_change_over_time () =
   Alcotest.(check bool) "mean hops sane" true
     (Path_service.mean_hop_count snaps > 2.0)
 
+(* Regression companion to the trace generator: [snapshots] silently
+   drops no-route instants, so outage windows were invisible.  The
+   gap-preserving variant must keep them, and filtering its [`Route]
+   entries must reproduce the old behaviour exactly. *)
+let test_snapshots_with_gaps () =
+  let bj = Cities.find_exn "Beijing" and ny = Cities.find_exn "New York" in
+  (* A transpacific bent-pipe pair has no common satellite: every sample
+     must still be present, as [`No_route]. *)
+  let gaps =
+    Path_service.snapshots_with_gaps w ~src:bj ~dst:ny ~isls:false
+      ~t_end:120.0 ~step:30.0
+  in
+  Alcotest.(check int) "all instants kept" 5 (List.length gaps);
+  Alcotest.(check bool) "all dark" true
+    (List.for_all (fun (_, e) -> e = `No_route) gaps);
+  Alcotest.(check int) "plain snapshots drop them all" 0
+    (List.length
+       (Path_service.snapshots w ~src:bj ~dst:ny ~isls:false ~t_end:120.0
+          ~step:30.0));
+  (* A pair near the edge of common visibility (HK-Tokyo, ~2900 km)
+     mixes [`Route] and [`No_route] over a long enough window... *)
+  let hk = Cities.find_exn "Hong Kong" and tk = Cities.find_exn "Tokyo" in
+  let mixed =
+    Path_service.snapshots_with_gaps w ~src:hk ~dst:tk ~isls:false
+      ~t_end:600.0 ~step:1.0
+  in
+  let dark =
+    List.length (List.filter (fun (_, e) -> e = `No_route) mixed)
+  in
+  Alcotest.(check int) "all instants kept (mixed)" 601 (List.length mixed);
+  Alcotest.(check bool) "some dark" true (dark > 0);
+  Alcotest.(check bool) "some lit" true (dark < 601);
+  (* ...and filtering the gaps reproduces [snapshots] exactly. *)
+  let filtered =
+    List.filter_map
+      (fun (t, e) -> match e with `Route h -> Some (t, h) | `No_route -> None)
+      mixed
+  in
+  let plain =
+    Path_service.snapshots w ~src:hk ~dst:tk ~isls:false ~t_end:600.0
+      ~step:1.0
+  in
+  Alcotest.(check int) "filtered = plain (length)" (List.length plain)
+    (List.length filtered);
+  List.iter2
+    (fun (t1, h1) (t2, h2) ->
+      Alcotest.(check bool) "same instant" true (Float.equal t1 t2);
+      Alcotest.(check bool) "same route" true
+        (List.equal Float.equal
+           (Path_service.signature h1)
+           (Path_service.signature h2)))
+    filtered plain
+
 let test_memo_deduplicates_queries () =
   let bj = Cities.find_exn "Beijing" and pr = Cities.find_exn "Paris" in
   let memo = Path_service.Memo.create ~epoch:30.0 w in
@@ -310,6 +363,8 @@ let () =
           Alcotest.test_case "no bent pipe BJ-NY" `Quick test_no_bent_pipe_transcontinental;
           Alcotest.test_case "ISL route BJ-NY" `Quick test_isl_route_transcontinental;
           Alcotest.test_case "snapshots vary" `Quick test_snapshots_change_over_time;
+          Alcotest.test_case "snapshots with gaps" `Quick
+            test_snapshots_with_gaps;
           Alcotest.test_case "memo dedup" `Quick test_memo_deduplicates_queries;
         ] );
     ]

@@ -126,7 +126,24 @@ let test_poly_float_compare () =
   check_clean ~rule "let f x = Float.compare x 1.0 < 0";
   check_clean ~rule "let f x = x = 1";
   (* < and <= on floats are left alone (no nan-equality trap) *)
-  check_clean ~rule "let f x = x < 1.0"
+  check_clean ~rule "let f x = x < 1.0";
+  (* float-containing structures: the boxed compare is just as
+     nan-unsound one level down.  This is the Starlink handover-detector
+     bug shape: a [float list option] compared with polymorphic <>. *)
+  check_flags ~rule ~line:3
+    "let f prev h =\n\
+    \  let s = List.map (fun x -> Float.round (x *. 2.0)) h in\n\
+    \  prev <> Some s";
+  check_flags ~rule ~line:1 "let f (a : float list) b = a = b";
+  check_flags ~rule ~line:1 "let f x y = (x, 1.0) = y";
+  check_flags ~rule ~line:3
+    "let f y =\n  let pair = (1, 2.5) in\n  pair = y";
+  check_clean ~rule
+    "let f prev h =\n\
+    \  let s = List.map (fun x -> Float.round (x *. 2.0)) h in\n\
+    \  Option.equal (List.equal Float.equal) prev (Some s)";
+  (* int-shaped structures stay exempt *)
+  check_clean ~rule "let f prev h = prev <> Some (List.map succ h)"
 
 (* ------------------------------------------------------------------ *)
 (* Rule 7: missing-interface *)

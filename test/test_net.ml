@@ -363,6 +363,79 @@ let test_dynamic_path_same_snapshot_no_switch () =
     (Dynamic_path.switch_count dp);
   ignore engine
 
+(* Regression: the switch detector must flag any above-epsilon change,
+   not just delay.  The pre-fix [update_link] compared delay only, so a
+   pure bandwidth or loss reconfiguration neither counted as a switch
+   nor flushed in-flight packets. *)
+let test_dynamic_path_bandwidth_only_switch () =
+  let engine, rng = setup () in
+  let dp =
+    Dynamic_path.create engine ~rng ~max_hops:2
+      ~initial:[| hopstate 0.05; hopstate 0.05 |]
+      ()
+  in
+  let chain = Dynamic_path.chain dp in
+  let src = chain.Topology.nodes.(0)
+  and dst = chain.Topology.nodes.(2) in
+  let count = ref 0 in
+  Node.set_handler dst (fun ~from:_ _ -> incr count);
+  Node.send src
+    (mk ~src:(Node.id src) ~dst:(Node.id dst) ~flow:0 ~size:1000
+       "x");
+  (* Same delays, bottleneck cut 8 -> 2 Mbps (well past the 4 Mbps
+     epsilon): still a path switch, so the in-flight packet must be
+     flushed and the switch counted. *)
+  Dynamic_path.schedule dp
+    [
+      ( 0.02,
+        [|
+          {
+            (hopstate 0.05) with
+            Dynamic_path.bandwidth = Bandwidth.Constant (mbps 2.0);
+          };
+          hopstate 0.05;
+        |] );
+    ];
+  Leotp_sim.Engine.run engine;
+  Alcotest.(check int) "bandwidth-only change flushes in-flight" 0 !count;
+  Alcotest.(check int) "bandwidth-only change counts" 1
+    (Dynamic_path.switch_count dp)
+
+let test_dynamic_path_plr_only_switch () =
+  let engine, rng = setup () in
+  let dp =
+    Dynamic_path.create engine ~rng ~max_hops:2
+      ~initial:[| hopstate 0.05; hopstate 0.05 |]
+      ()
+  in
+  Dynamic_path.apply dp
+    [| { (hopstate 0.05) with Dynamic_path.plr = 0.02 }; hopstate 0.05 |];
+  Alcotest.(check int) "plr-only change counts" 1
+    (Dynamic_path.switch_count dp);
+  ignore engine
+
+let test_dynamic_path_below_epsilon_no_switch () =
+  let engine, rng = setup () in
+  let dp =
+    Dynamic_path.create engine ~rng ~max_hops:2
+      ~initial:[| hopstate 0.05; hopstate 0.05 |]
+      ()
+  in
+  (* Wiggles below every per-dimension epsilon (50us / 4 Mbps / 5e-3)
+     are parameter drift, not a handover: no flush, no switch. *)
+  Dynamic_path.apply dp
+    [|
+      {
+        Dynamic_path.delay = 0.05 +. 20e-6;
+        bandwidth = Bandwidth.Constant (mbps 8.4);
+        plr = 2e-3;
+      };
+      hopstate 0.05;
+    |];
+  Alcotest.(check int) "sub-epsilon drift is not a switch" 0
+    (Dynamic_path.switch_count dp);
+  ignore engine
+
 (* ------------------------------------------------------------------ *)
 (* Node routing edge cases *)
 
@@ -464,6 +537,12 @@ let () =
             test_dynamic_path_switch_drops;
           Alcotest.test_case "identical snapshot no switch" `Quick
             test_dynamic_path_same_snapshot_no_switch;
+          Alcotest.test_case "bandwidth-only switch" `Quick
+            test_dynamic_path_bandwidth_only_switch;
+          Alcotest.test_case "plr-only switch" `Quick
+            test_dynamic_path_plr_only_switch;
+          Alcotest.test_case "below-epsilon no switch" `Quick
+            test_dynamic_path_below_epsilon_no_switch;
         ] );
       ( "node",
         [
